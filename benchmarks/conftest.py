@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper through the
+real pipeline + GPU model; ``pytest benchmarks/ --benchmark-only`` runs them
+all and prints the regenerated rows/series alongside the timing data.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.experiments.common import EvaluationSettings
+
+
+@pytest.fixture(scope="session")
+def settings():
+    """Reduced saturation limits so the whole harness stays fast."""
+
+    return EvaluationSettings(node_limit=1500, iter_limit=3, time_limit=3.0)

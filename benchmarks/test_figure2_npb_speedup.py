@@ -1,0 +1,23 @@
+"""Figure 2 — NPB speedups (CSE / CSE+SAT / CSE+BULK / ACCSAT) on the
+A100-PCIE-40GB under NVHPC and GCC."""
+
+from repro.experiments import figure2
+
+
+def test_figure2_npb_speedups(benchmark, settings):
+    results = benchmark(figure2.run, settings=settings)
+    print("\nFigure 2 — NPB speedups on A100-PCIE-40GB")
+    print(figure2.format_report(results))
+    summary = figure2.summarize(results)
+
+    by_name = {c.benchmark: c for c in results["nvhpc"]}
+    gcc_by_name = {c.benchmark: c for c in results["gcc"]}
+
+    # BT gains the most; GCC gains more than NVHPC (paper: 1.21x vs 2.20x)
+    assert by_name["BT"].speedup("accsat") > 1.05
+    assert gcc_by_name["BT"].speedup("accsat") > by_name["BT"].speedup("accsat")
+    # the average ACCSAT speedup is >= 1 on both compilers (1.10x / 1.29x)
+    assert summary["nvhpc"]["accsat"] >= 0.99
+    assert summary["gcc"]["accsat"] >= 1.05
+    # CSE and CSE+SAT hover around 1.0 (0.98x-1.03x in the paper)
+    assert 0.9 < summary["nvhpc"]["cse"] < 1.2

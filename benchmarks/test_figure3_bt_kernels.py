@@ -1,0 +1,17 @@
+"""Figure 3 — per-kernel speedup distribution of NPB-BT."""
+
+from repro.experiments import figure3
+
+
+def test_figure3_bt_kernel_breakdown(benchmark, settings):
+    rows = benchmark(figure3.run, settings)
+    print("\nFigure 3 — NPB-BT per-kernel speedups")
+    print(figure3.format_report(rows))
+
+    gcc_rows = [r for r in rows if r["compiler"] == "gcc"]
+    # time shares sum to one per compiler
+    assert abs(sum(r["time_share"] for r in gcc_rows) - 1.0) < 1e-6
+    # the Jacobian kernels (the paper's top-3) show the largest ACCSAT gain
+    best = max(gcc_rows, key=lambda r: r["speedup_accsat"])
+    assert best["kernel"].startswith("bt_jacobian") or best["kernel"].startswith("bt_solve")
+    assert best["speedup_accsat"] > 1.3

@@ -1,0 +1,22 @@
+"""Figure 4 — SPEC ACCEL speedups (OpenACC + OpenMP) on the A100-PCIE-40GB."""
+
+from repro.experiments import figure4
+
+
+def test_figure4_spec_speedups(benchmark, settings):
+    results = benchmark(figure4.run, settings=settings)
+    print("\nFigure 4 — SPEC ACCEL speedups on A100-PCIE-40GB")
+    print(figure4.format_report(results))
+
+    gcc_acc = {c.benchmark: c for c in results["gcc/acc"]}
+    nvhpc_acc = {c.benchmark: c for c in results["nvhpc/acc"]}
+    clang_omp = {c.benchmark: c for c in results["clang/omp"]}
+
+    # olbm: CSE alone already wins (paper: 1.32x-1.38x across compilers)
+    assert gcc_acc["olbm"].speedup("cse") > 1.2
+    assert nvhpc_acc["olbm"].speedup("cse") > 1.1
+    # csp / bt: bulk load dominates on GCC (paper: ~2x)
+    assert gcc_acc["csp"].speedup("accsat") > 1.5
+    assert gcc_acc["bt"].speedup("accsat") > 1.5
+    # pbt on Clang gains from bulk load (paper: up to 4.84x)
+    assert clang_omp["pbt"].speedup("cse+bulk") >= clang_omp["pbt"].speedup("cse")

@@ -1,0 +1,21 @@
+"""Figure 5 — NPB speedups on the A100-SXM4-80GB."""
+
+from repro.experiments import figure2, figure5
+from repro.gpusim import A100_PCIE_40GB
+
+
+def test_figure5_npb_sxm(benchmark, settings):
+    results = benchmark(figure5.run, settings)
+    print("\nFigure 5 — NPB speedups on A100-SXM4-80GB")
+    print(figure5.format_report(results))
+
+    pcie = figure2.run(gpu=A100_PCIE_40GB, settings=settings)
+    sxm_bt = {c.benchmark: c for c in results["nvhpc"]}["BT"]
+    pcie_bt = {c.benchmark: c for c in pcie["nvhpc"]}["BT"]
+
+    # the faster memory system lowers absolute time (paper: +5.79% on NVHPC)
+    assert sxm_bt.total_time["original"] < pcie_bt.total_time["original"]
+    # ACCSAT still wins on the SXM part (paper: 1.25x on NVHPC, 2.31x on GCC)
+    assert sxm_bt.speedup("accsat") > 1.05
+    gcc_bt = {c.benchmark: c for c in results["gcc"]}["BT"]
+    assert gcc_bt.speedup("accsat") > sxm_bt.speedup("accsat")

@@ -1,0 +1,15 @@
+"""Figure 6 — SPEC ACCEL speedups on the A100-SXM4-80GB."""
+
+from repro.experiments import figure6
+
+
+def test_figure6_spec_sxm(benchmark, settings):
+    results = benchmark(figure6.run, settings)
+    print("\nFigure 6 — SPEC ACCEL speedups on A100-SXM4-80GB")
+    print(figure6.format_report(results))
+    summary = figure6.summarize(results)
+    # overall ACCSAT averages stay >= 1 for the OpenACC compilers
+    assert summary["nvhpc/acc"]["accsat"] >= 0.98
+    assert summary["gcc/acc"]["accsat"] >= 1.1
+    # bulk load remains the dominant contribution for GCC OpenACC
+    assert summary["gcc/acc"]["cse+bulk"] >= summary["gcc/acc"]["cse+sat"]

@@ -1,0 +1,25 @@
+"""Table IV — top-kernel breakdown of NPB-BT (time, instructions, memory
+utilisation, registers, occupancy per variant)."""
+
+from repro.experiments import table4
+
+
+def test_table4_bt_breakdown(benchmark, settings):
+    rows = benchmark(table4.run, settings)
+    print("\nTable IV — NPB-BT kernel breakdown")
+    print(table4.format_table(rows))
+
+    def pick(compiler, kernel, variant):
+        return next(
+            r for r in rows
+            if r["compiler"] == compiler and r["kernel"] == kernel and r["variant"] == variant
+        )
+
+    original = pick("nvhpc", "bt_jacobian_z", "original")
+    accsat = pick("nvhpc", "bt_jacobian_z", "accsat")
+    # bulk load trades registers/occupancy for memory throughput (Table IV:
+    # +103 registers, occupancy drops, memory utilisation rises)
+    assert accsat["registers"] > original["registers"]
+    assert accsat["occupancy"] <= original["occupancy"] + 1e-9
+    assert accsat["memory_utilization"] > original["memory_utilization"]
+    assert accsat["time_per_launch_ms"] < original["time_per_launch_ms"]

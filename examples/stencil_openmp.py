@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Optimize an OpenMP target-offload stencil and validate it numerically.
+
+Shows that ACC Saturator is programming-model agnostic (paper contribution
+1): the same pipeline handles `#pragma omp target teams distribute` kernels,
+preserves the directives verbatim, and the optimized kernel matches a NumPy
+reference implementation.
+
+Usage::
+
+    python examples/stencil_openmp.py
+"""
+
+import numpy as np
+
+from repro import SaturatorConfig, Variant, optimize_source
+from repro.frontend import parse_statement
+from repro.frontend.normalize import normalize_blocks
+from repro.interp import Environment, execute
+
+KERNEL = """
+#pragma omp target teams distribute
+for (int k = 1; k < nz - 1; k++) {
+#pragma omp parallel for simd
+  for (int j = 1; j < ny - 1; j++) {
+    out[k][j] = c0 * in[k][j]
+              + c1 * (in[k][j-1] + in[k][j+1] + in[k-1][j] + in[k+1][j])
+              + c1 * (in[k-1][j-1] + in[k-1][j+1] + in[k+1][j-1] + in[k+1][j+1]);
+  }
+}
+"""
+
+
+def numpy_reference(grid, c0, c1):
+    out = np.zeros_like(grid)
+    out[1:-1, 1:-1] = (
+        c0 * grid[1:-1, 1:-1]
+        + c1 * (grid[1:-1, :-2] + grid[1:-1, 2:] + grid[:-2, 1:-1] + grid[2:, 1:-1])
+        + c1 * (grid[:-2, :-2] + grid[:-2, 2:] + grid[2:, :-2] + grid[2:, 2:])
+    )
+    return out
+
+
+def main() -> None:
+    result = optimize_source(KERNEL, SaturatorConfig(variant=Variant.ACCSAT))
+    report = result.kernels[0]
+    print("Optimized OpenMP stencil "
+          f"(loads {report.original.loads} -> {report.optimized.loads}, "
+          f"{report.optimized.fmas} FMAs):")
+    print(result.code)
+
+    # run the *generated* code in the reference interpreter and compare with NumPy
+    nz = ny = 10
+    rng = np.random.default_rng(3)
+    grid = rng.standard_normal((nz, ny))
+    c0, c1 = 0.5, 0.0625
+
+    optimized_ast = parse_statement(result.code)
+    normalize_blocks(optimized_ast)
+    env = Environment(
+        scalars={"nz": nz, "ny": ny, "c0": c0, "c1": c1},
+        arrays={"in": grid.copy(), "out": np.zeros((nz, ny))},
+    )
+    execute(optimized_ast, env)
+
+    expected = numpy_reference(grid, c0, c1)
+    max_err = float(np.abs(env.arrays["out"][1:-1, 1:-1] - expected[1:-1, 1:-1]).max())
+    print(f"Max |generated - NumPy reference| = {max_err:.3e}")
+    assert max_err < 1e-9, "optimized stencil diverges from the NumPy reference"
+    print("OK: the optimized OpenMP kernel matches the NumPy reference.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""NPB and SPEC ACCEL benchmark kernels (paper Tables II and III).
+
+Every benchmark is represented by real OpenACC/OpenMP C kernel sources that
+run through the full ACC Saturator pipeline; suite-level numbers aggregate
+the per-kernel GPU-model results using the paper's kernel counts and the
+benchmarks' problem sizes (NPB CLASS C, SPEC Ref).
+"""
+
+from repro.benchsuite.base import BenchmarkSpec, KernelSpec, acc_to_omp_source
+from repro.benchsuite.registry import (
+    NPB_BENCHMARKS,
+    SPEC_ACC_BENCHMARKS,
+    SPEC_OMP_BENCHMARKS,
+    all_benchmarks,
+    get_benchmark,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "KernelSpec",
+    "NPB_BENCHMARKS",
+    "SPEC_ACC_BENCHMARKS",
+    "SPEC_OMP_BENCHMARKS",
+    "acc_to_omp_source",
+    "all_benchmarks",
+    "get_benchmark",
+]

@@ -1,0 +1,152 @@
+"""Benchmark suite data model.
+
+Each benchmark (NPB BT, SPEC olbm, ...) is described by a
+:class:`BenchmarkSpec`: suite metadata matching the paper's Tables II/III
+(compute pattern, access pattern, kernel count, problem size, the original
+execution times the paper reports) plus a set of representative
+:class:`KernelSpec` entries — real OpenACC/OpenMP C sources that are run
+through the actual ACC Saturator pipeline and then through the GPU model.
+
+A benchmark typically has far more kernels than we ship (NPB BT has 46);
+each shipped kernel therefore carries a ``repeat`` count and a
+``time_share`` weight so that suite-level aggregation reflects the paper's
+kernel counts and time distribution.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["KernelSpec", "BenchmarkSpec", "acc_to_omp_source"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One representative kernel of a benchmark."""
+
+    name: str
+    #: OpenACC (or OpenMP) C source of the kernel loop nest.
+    source: str
+    #: Loop iterations executed per kernel launch (problem-size dependent).
+    iterations_per_launch: float
+    #: Number of launches over the benchmark run (time steps etc.).
+    launches: int
+    #: How many kernels of this shape the real benchmark contains.
+    repeat: int = 1
+    #: Fraction of iterations that are parallel work (see LaunchConfig).
+    parallel_fraction: float = 1.0
+    #: Threads per block used by the launcher.
+    threads_per_block: int = 128
+    #: The shipped source is an abridged version of the real kernel; the real
+    #: kernel repeats the same statement pattern ``statement_scale`` times
+    #: (e.g. NPB-BT's z_solve builds all five block rows, Listing 2 shows
+    #: two).  The GPU model scales the per-iteration operation counts and
+    #: register pressure accordingly; the pipeline itself always runs on the
+    #: shipped source.
+    statement_scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark of NPB or SPEC ACCEL."""
+
+    name: str
+    suite: str  # "npb" or "spec"
+    programming_model: str  # "acc" or "omp"
+    compute: str
+    access: str
+    num_kernels: int
+    problem_class: str
+    kernels: tuple
+    #: Original execution times reported by the paper (seconds), keyed by
+    #: compiler name; used for the Table II/III "paper" columns.
+    paper_original_time: Dict[str, float] = field(default_factory=dict)
+
+    def with_programming_model(self, model: str, name: Optional[str] = None) -> "BenchmarkSpec":
+        """Derive the OpenMP (or OpenACC) flavour of this benchmark.
+
+        Kernel sources are translated directive-for-directive; the
+        computation is unchanged, mirroring how SPEC ships both versions.
+        """
+
+        if model == self.programming_model:
+            return self
+        translate = acc_to_omp_source if model == "omp" else omp_to_acc_source
+        kernels = tuple(
+            KernelSpec(
+                name=k.name,
+                source=translate(k.source),
+                iterations_per_launch=k.iterations_per_launch,
+                launches=k.launches,
+                repeat=k.repeat,
+                parallel_fraction=k.parallel_fraction,
+                threads_per_block=k.threads_per_block,
+                statement_scale=k.statement_scale,
+            )
+            for k in self.kernels
+        )
+        return BenchmarkSpec(
+            name=name or f"p{self.name}",
+            suite=self.suite,
+            programming_model=model,
+            compute=self.compute,
+            access=self.access,
+            num_kernels=self.num_kernels,
+            problem_class=self.problem_class,
+            kernels=kernels,
+            paper_original_time=self.paper_original_time,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Directive translation (OpenACC <-> OpenMP) for the suite's own kernels
+# ---------------------------------------------------------------------------
+
+_ACC_TO_OMP_RULES = [
+    (re.compile(r"#pragma\s+acc\s+parallel\s+loop\b.*"), "#pragma omp target teams distribute"),
+    (re.compile(r"#pragma\s+acc\s+kernels\s+loop\b.*"), "#pragma omp target teams distribute"),
+    (re.compile(r"#pragma\s+acc\s+kernels\b.*"), "#pragma omp target teams"),
+    (re.compile(r"#pragma\s+acc\s+loop\s+worker\b.*"), "#pragma omp parallel for"),
+    (re.compile(r"#pragma\s+acc\s+loop\s+vector\b.*"), "#pragma omp parallel for simd"),
+    (re.compile(r"#pragma\s+acc\s+loop\s+independent\s+gang.*vector.*"),
+     "#pragma omp parallel for simd"),
+    (re.compile(r"#pragma\s+acc\s+loop\s+gang\b.*"), "#pragma omp parallel for"),
+    (re.compile(r"#pragma\s+acc\s+loop\b.*seq.*"), "#pragma omp loop bind(thread)"),
+    (re.compile(r"#pragma\s+acc\s+loop\b.*"), "#pragma omp parallel for simd"),
+]
+
+_OMP_TO_ACC_RULES = [
+    (re.compile(r"#pragma\s+omp\s+target\s+teams\s+distribute\b.*"),
+     "#pragma acc parallel loop gang"),
+    (re.compile(r"#pragma\s+omp\s+parallel\s+for\s+simd\b.*"), "#pragma acc loop vector"),
+    (re.compile(r"#pragma\s+omp\s+parallel\s+for\b.*"), "#pragma acc loop worker"),
+    (re.compile(r"#pragma\s+omp\s+simd\b.*"), "#pragma acc loop vector"),
+]
+
+
+def _translate(source: str, rules) -> str:
+    lines = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#pragma"):
+            for pattern, replacement in rules:
+                if pattern.match(stripped):
+                    indent = line[: len(line) - len(line.lstrip())]
+                    line = indent + replacement
+                    break
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def acc_to_omp_source(source: str) -> str:
+    """Translate the suite's OpenACC directives into OpenMP equivalents."""
+
+    return _translate(source, _ACC_TO_OMP_RULES)
+
+
+def omp_to_acc_source(source: str) -> str:
+    """Translate the suite's OpenMP directives into OpenACC equivalents."""
+
+    return _translate(source, _OMP_TO_ACC_RULES)

@@ -1,0 +1,11 @@
+"""NAS Parallel Benchmarks (OpenACC/C, CLASS C) — paper Table II."""
+
+from repro.benchsuite.npb.bt import BT
+from repro.benchsuite.npb.cg import CG
+from repro.benchsuite.npb.ep import EP
+from repro.benchsuite.npb.ft import FT
+from repro.benchsuite.npb.lu import LU
+from repro.benchsuite.npb.mg import MG
+from repro.benchsuite.npb.sp import SP
+
+__all__ = ["BT", "CG", "EP", "FT", "LU", "MG", "SP"]

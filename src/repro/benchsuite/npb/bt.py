@@ -1,0 +1,136 @@
+"""NPB BT — block tri-diagonal CFD solver (CLASS C).
+
+The time-dominant kernels build 5×5 block Jacobians along each sweep
+direction (``z_solve.c`` in the paper's Listing 2): long straight-line
+sequences that reload ``fjacZ``/``njacZ`` blocks and recompute ``dt * tz?``
+factors over and over.  Those kernels are memory-latency-bound and are
+exactly where bulk load buys the paper its 2.2× GCC speedup.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import BenchmarkSpec, KernelSpec
+
+__all__ = ["BT", "BT_JACOBIAN_SOURCE", "BT_SOLVE_SOURCE", "BT_RHS_SOURCE", "BT_ADD_SOURCE"]
+
+
+#: The lhsZ Jacobian construction kernel (paper Listing 2, abridged to the
+#: first two block rows; the real kernel continues for 75 statements).
+BT_JACOBIAN_SOURCE = """
+#pragma acc parallel loop gang num_gangs(ksize-1) num_workers(4) vector_length(32)
+for (k = 1; k <= ksize-1; k++) {
+#pragma acc loop worker
+  for (i = 1; i <= gp02; i++) {
+#pragma acc loop vector
+    for (j = 1; j <= gp12; j++) {
+      temp1 = dt * tz1;
+      temp2 = dt * tz2;
+      lhsZ[0][0][k][i][j] = - temp2 * fjacZ[0][0][k-1][i][j]
+        - temp1 * njacZ[0][0][k-1][i][j] - temp1 * dz1;
+      lhsZ[0][1][k][i][j] = - temp2 * fjacZ[0][1][k-1][i][j]
+        - temp1 * njacZ[0][1][k-1][i][j];
+      lhsZ[0][2][k][i][j] = - temp2 * fjacZ[0][2][k-1][i][j]
+        - temp1 * njacZ[0][2][k-1][i][j];
+      lhsZ[0][3][k][i][j] = - temp2 * fjacZ[0][3][k-1][i][j]
+        - temp1 * njacZ[0][3][k-1][i][j];
+      lhsZ[0][4][k][i][j] = - temp2 * fjacZ[0][4][k-1][i][j]
+        - temp1 * njacZ[0][4][k-1][i][j];
+      lhsZ[1][0][k][i][j] = - temp2 * fjacZ[1][0][k-1][i][j]
+        - temp1 * njacZ[1][0][k-1][i][j];
+      lhsZ[1][1][k][i][j] = - temp2 * fjacZ[1][1][k-1][i][j]
+        - temp1 * njacZ[1][1][k-1][i][j] - temp1 * dz2;
+      lhsZ[1][2][k][i][j] = - temp2 * fjacZ[1][2][k-1][i][j]
+        - temp1 * njacZ[1][2][k-1][i][j];
+      lhsZ[1][3][k][i][j] = - temp2 * fjacZ[1][3][k-1][i][j]
+        - temp1 * njacZ[1][3][k-1][i][j];
+      lhsZ[1][4][k][i][j] = - temp2 * fjacZ[1][4][k-1][i][j]
+        - temp1 * njacZ[1][4][k-1][i][j];
+      lhsZ[2][2][k][i][j] = dt * tz2 * 2.0 + temp2 * fjacZ[2][2][k-1][i][j]
+        + temp1 * 2.0 * njacZ[2][2][k-1][i][j] + temp1 * dz3;
+      lhsZ[3][3][k][i][j] = dt * tz2 * 2.0 + temp2 * fjacZ[3][3][k-1][i][j]
+        + temp1 * 2.0 * njacZ[3][3][k-1][i][j] + temp1 * dz4;
+      lhsZ[4][4][k][i][j] = dt * tz2 * 2.0 + temp2 * fjacZ[4][4][k-1][i][j]
+        + temp1 * 2.0 * njacZ[4][4][k-1][i][j] + temp1 * dz5;
+    }}}
+"""
+
+#: Back-substitution along z: dependent block updates of the rhs.
+BT_SOLVE_SOURCE = """
+#pragma acc parallel loop gang num_workers(4) vector_length(32)
+for (i = 1; i <= gp02; i++) {
+#pragma acc loop worker
+  for (j = 1; j <= gp12; j++) {
+#pragma acc loop vector
+    for (m = 0; m < 5; m++) {
+      rhs[m][ksize][i][j] = rhs[m][ksize][i][j]
+        - lhsZ[m][0][ksize][i][j] * rhs[0][ksize-1][i][j]
+        - lhsZ[m][1][ksize][i][j] * rhs[1][ksize-1][i][j]
+        - lhsZ[m][2][ksize][i][j] * rhs[2][ksize-1][i][j]
+        - lhsZ[m][3][ksize][i][j] * rhs[3][ksize-1][i][j]
+        - lhsZ[m][4][ksize][i][j] * rhs[4][ksize-1][i][j];
+    }}}
+"""
+
+#: The compute_rhs flux-difference kernel (xi direction, energy equation).
+BT_RHS_SOURCE = """
+#pragma acc parallel loop gang
+for (k = 1; k <= gp22; k++) {
+#pragma acc loop worker
+  for (j = 1; j <= gp12; j++) {
+#pragma acc loop vector
+    for (i = 1; i <= gp02; i++) {
+      uijk = us[k][j][i];
+      up1 = us[k][j][i+1];
+      um1 = us[k][j][i-1];
+      rhs[1][k][j][i] = rhs[1][k][j][i] + dx2tx1 *
+        (u[1][k][j][i+1] - 2.0 * u[1][k][j][i] + u[1][k][j][i-1]) -
+        xxcon2 * con43 * (up1 - 2.0 * uijk + um1) -
+        tx2 * (u[1][k][j][i+1] * up1 - u[1][k][j][i-1] * um1 +
+        (u[4][k][j][i+1] - square[k][j][i+1] -
+         u[4][k][j][i-1] + square[k][j][i-1]) * c2);
+      rhs[2][k][j][i] = rhs[2][k][j][i] + dx3tx1 *
+        (u[2][k][j][i+1] - 2.0 * u[2][k][j][i] + u[2][k][j][i-1]) +
+        xxcon2 * (vs[k][j][i+1] - 2.0 * vs[k][j][i] + vs[k][j][i-1]) -
+        tx2 * (u[2][k][j][i+1] * up1 - u[2][k][j][i-1] * um1);
+      rhs[3][k][j][i] = rhs[3][k][j][i] + dx4tx1 *
+        (u[3][k][j][i+1] - 2.0 * u[3][k][j][i] + u[3][k][j][i-1]) +
+        xxcon2 * (ws[k][j][i+1] - 2.0 * ws[k][j][i] + ws[k][j][i-1]) -
+        tx2 * (u[3][k][j][i+1] * up1 - u[3][k][j][i-1] * um1);
+    }}}
+"""
+
+#: The trivial `add` kernel: u += rhs (bandwidth bound, nothing to gain).
+BT_ADD_SOURCE = """
+#pragma acc parallel loop gang
+for (k = 1; k <= gp22; k++) {
+#pragma acc loop worker
+  for (j = 1; j <= gp12; j++) {
+#pragma acc loop vector
+    for (i = 1; i <= gp02; i++) {
+      u[0][k][j][i] = u[0][k][j][i] + rhs[0][k][j][i];
+      u[1][k][j][i] = u[1][k][j][i] + rhs[1][k][j][i];
+      u[2][k][j][i] = u[2][k][j][i] + rhs[2][k][j][i];
+      u[3][k][j][i] = u[3][k][j][i] + rhs[3][k][j][i];
+      u[4][k][j][i] = u[4][k][j][i] + rhs[4][k][j][i];
+    }}}
+"""
+
+_GRID = 162.0 ** 3  # CLASS C grid
+_STEPS = 200
+
+BT = BenchmarkSpec(
+    name="BT",
+    suite="npb",
+    programming_model="acc",
+    compute="CFD",
+    access="Halo (3D)",
+    num_kernels=46,
+    problem_class="C",
+    kernels=(
+        KernelSpec("bt_jacobian_z", BT_JACOBIAN_SOURCE, _GRID, _STEPS, repeat=3, statement_scale=5.0),
+        KernelSpec("bt_solve_z", BT_SOLVE_SOURCE, _GRID / 162.0 * 5, _STEPS, repeat=9, statement_scale=3.0),
+        KernelSpec("bt_rhs_x", BT_RHS_SOURCE, _GRID, _STEPS, repeat=6, statement_scale=2.0),
+        KernelSpec("bt_add", BT_ADD_SOURCE, _GRID, _STEPS, repeat=4),
+    ),
+    paper_original_time={"nvhpc": 14.85, "gcc": 28.04},
+)

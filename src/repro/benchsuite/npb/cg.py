@@ -1,0 +1,65 @@
+"""NPB CG — conjugate gradient with an irregular sparse matrix (CLASS C).
+
+Dominated by the sparse matrix–vector product with indirect accesses
+through ``colidx`` (no reuse to exploit) and by short vector updates; the
+paper measures essentially no benefit on CG (1.00×–1.02×).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import BenchmarkSpec, KernelSpec
+
+__all__ = ["CG", "CG_SPMV_SOURCE", "CG_AXPY_SOURCE", "CG_NORM_SOURCE"]
+
+
+#: Sparse matrix-vector product: w = A p (irregular gathers).
+CG_SPMV_SOURCE = """
+#pragma acc parallel loop gang
+for (j = 0; j < lastrow - firstrow + 1; j++) {
+  double suml = 0.0;
+#pragma acc loop vector
+  for (k = rowstr[j]; k < rowstr[j+1]; k++) {
+    suml = suml + a[k] * p[colidx[k]];
+  }
+  w[j] = suml;
+}
+"""
+
+#: The p / r / x vector updates (axpy-style, bandwidth bound).
+CG_AXPY_SOURCE = """
+#pragma acc parallel loop gang vector_length(128)
+for (j = 0; j < lastcol - firstcol + 1; j++) {
+  z[j] = z[j] + alpha * p[j];
+  r[j] = r[j] - alpha * q[j];
+  p[j] = r[j] + beta * p[j];
+}
+"""
+
+#: Residual norm contribution (reduction body).
+CG_NORM_SOURCE = """
+#pragma acc parallel loop gang vector_length(128)
+for (j = 0; j < lastcol - firstcol + 1; j++) {
+  suml = x[j] - r[j];
+  d[j] = suml * suml;
+}
+"""
+
+_ROWS = 150000.0       # CLASS C
+_NNZ_PER_ROW = 220.0
+_ITERS = 75
+
+CG = BenchmarkSpec(
+    name="CG",
+    suite="npb",
+    programming_model="acc",
+    compute="Eigenvalue",
+    access="Irregular",
+    num_kernels=16,
+    problem_class="C",
+    kernels=(
+        KernelSpec("cg_spmv", CG_SPMV_SOURCE, _ROWS * _NNZ_PER_ROW, _ITERS, repeat=2),
+        KernelSpec("cg_axpy", CG_AXPY_SOURCE, _ROWS, _ITERS * 2, repeat=8),
+        KernelSpec("cg_norm", CG_NORM_SOURCE, _ROWS, _ITERS, repeat=6),
+    ),
+    paper_original_time={"nvhpc": 1.27, "gcc": 26.17},
+)

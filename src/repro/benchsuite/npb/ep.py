@@ -1,0 +1,64 @@
+"""NPB EP — embarrassingly parallel random-number kernel (CLASS C).
+
+Pure arithmetic (linear congruential generator + acceptance test), no reuse
+between iterations; compute bound.  The paper reports ~1.0× on NVHPC and a
+large CSE win on the SPEC variant of ep for GCC (1.82×) because GCC does
+not clean up the repeated constant arithmetic itself.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import BenchmarkSpec, KernelSpec
+
+__all__ = ["EP", "EP_GAUSSIAN_SOURCE", "EP_RNG_SOURCE"]
+
+
+#: The Marsaglia polar / Box-Muller style acceptance step of EP.
+EP_GAUSSIAN_SOURCE = """
+#pragma acc parallel loop gang vector_length(128)
+for (i = 0; i < nk; i++) {
+  x1 = 2.0 * xs[i] - 1.0;
+  x2 = 2.0 * ys[i] - 1.0;
+  t1 = x1 * x1 + x2 * x2;
+  if (t1 <= 1.0) {
+    t2 = sqrt(-2.0 * log(t1) / t1);
+    t3 = x1 * t2;
+    t4 = x2 * t2;
+    gx[i] = t3;
+    gy[i] = t4;
+    qq[i] = t3 * t3 + t4 * t4;
+  }
+}
+"""
+
+#: The linear congruential random-number generation sweep.
+EP_RNG_SOURCE = """
+#pragma acc parallel loop gang vector_length(128)
+for (i = 0; i < nk; i++) {
+  t1 = r23 * a1 * xk[i];
+  a2 = a1 * xk[i] - t23 * t1;
+  t1 = r23 * xk[i];
+  x1 = t1 * r23 + a2 * r23;
+  t2 = r46 * x1 * x1 + a2 * x1;
+  xk[i] = x1 * t46 - t2 * r46 + a2;
+  qq[i] = x1 * t2 + a2 * r46;
+}
+"""
+
+_SAMPLES = 2.0 ** 32 / 65536.0   # CLASS C pairs per batch
+_BATCHES = 256
+
+EP = BenchmarkSpec(
+    name="EP",
+    suite="npb",
+    programming_model="acc",
+    compute="Random Num",
+    access="Parallel",
+    num_kernels=4,
+    problem_class="C",
+    kernels=(
+        KernelSpec("ep_gaussian", EP_GAUSSIAN_SOURCE, _SAMPLES, _BATCHES, repeat=2),
+        KernelSpec("ep_rng", EP_RNG_SOURCE, _SAMPLES, _BATCHES, repeat=2),
+    ),
+    paper_original_time={"nvhpc": 2.65, "gcc": 3.35},
+)

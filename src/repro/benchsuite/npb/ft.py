@@ -1,0 +1,68 @@
+"""NPB FT — 3-D FFT (CLASS C).
+
+The Stockham butterfly kernels read pairs of complex values and write two
+results; all-to-all access, bandwidth bound, modest reuse.  The paper sees
+0.94×–1.04× on FT.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import BenchmarkSpec, KernelSpec
+
+__all__ = ["FT", "FT_BUTTERFLY_SOURCE", "FT_EVOLVE_SOURCE"]
+
+
+#: One radix-2 Stockham butterfly stage over a line of the 3-D grid.
+FT_BUTTERFLY_SOURCE = """
+#pragma acc parallel loop gang
+for (k = 0; k < d3; k++) {
+#pragma acc loop vector
+  for (j = 0; j < lk; j++) {
+    u1r = u_r[ku + j];
+    u1i = u_i[ku + j];
+    x11r = xr[k][i11 + j];
+    x11i = xi[k][i11 + j];
+    x21r = xr[k][i12 + j];
+    x21i = xi[k][i12 + j];
+    yr[k][i21 + j] = x11r + x21r;
+    yi[k][i21 + j] = x11i + x21i;
+    yr[k][i22 + j] = u1r * (x11r - x21r) - u1i * (x11i - x21i);
+    yi[k][i22 + j] = u1i * (x11r - x21r) + u1r * (x11i - x21i);
+  }
+}
+"""
+
+#: The evolve kernel: multiply by the exponential time-evolution factor.
+FT_EVOLVE_SOURCE = """
+#pragma acc parallel loop gang
+for (k = 0; k < d3; k++) {
+#pragma acc loop worker
+  for (j = 0; j < d2; j++) {
+#pragma acc loop vector
+    for (i = 0; i < d1; i++) {
+      u1r = u0_r[k][j][i] * twiddle[k][j][i];
+      u1i = u0_i[k][j][i] * twiddle[k][j][i];
+      u0_r[k][j][i] = u1r;
+      u0_i[k][j][i] = u1i;
+      u1_r[k][j][i] = u1r;
+      u1_i[k][j][i] = u1i;
+    }}}
+"""
+
+_GRID = 512.0 * 512.0 * 512.0  # CLASS C
+_ITERS = 20
+
+FT = BenchmarkSpec(
+    name="FT",
+    suite="npb",
+    programming_model="acc",
+    compute="FFT",
+    access="All-to-All",
+    num_kernels=12,
+    problem_class="C",
+    kernels=(
+        KernelSpec("ft_butterfly", FT_BUTTERFLY_SOURCE, _GRID, _ITERS * 3, repeat=6),
+        KernelSpec("ft_evolve", FT_EVOLVE_SOURCE, _GRID, _ITERS, repeat=3),
+    ),
+    paper_original_time={"nvhpc": 3.06, "gcc": 3.10},
+)

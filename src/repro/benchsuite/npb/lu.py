@@ -1,0 +1,104 @@
+"""NPB LU — lower-upper symmetric Gauss-Seidel CFD solver (CLASS C).
+
+Like BT, the dominant kernels (``jacld``/``jacu``) assemble block Jacobians
+with heavy redundant loads of the 5-component state vector and repeated
+``tmp1/tmp2/tmp3`` powers; the paper measures 1.13×–1.20× on NVHPC and
+1.60×–1.64× on GCC with ACCSAT.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import BenchmarkSpec, KernelSpec
+
+__all__ = ["LU", "LU_JACLD_SOURCE", "LU_BLTS_SOURCE", "LU_RHS_SOURCE"]
+
+
+#: jacld: build the lower-triangular block Jacobian (first block row shown).
+LU_JACLD_SOURCE = """
+#pragma acc parallel loop gang num_workers(4) vector_length(32)
+for (j = jst; j <= jend; j++) {
+#pragma acc loop worker
+  for (i = ist; i <= iend; i++) {
+    tmp1 = rho_i[k][j][i];
+    tmp2 = tmp1 * tmp1;
+    tmp3 = tmp1 * tmp2;
+    d[0][0][j][i] = 1.0 + dt * 2.0 * (tx1 * dx1 + ty1 * dy1 + tz1 * dz1);
+    d[1][0][j][i] = -dt * 2.0 * (tx1 + ty1 + tz1) * c34 * tmp2 * u[1][k][j][i];
+    d[1][1][j][i] = 1.0 + dt * 2.0 * c34 * tmp1 * (tx1 + ty1 + tz1)
+      + dt * 2.0 * (tx1 * dx2 + ty1 * dy2 + tz1 * dz2);
+    d[2][0][j][i] = -dt * 2.0 * (tx1 + ty1 + tz1) * c34 * tmp2 * u[2][k][j][i];
+    d[2][2][j][i] = 1.0 + dt * 2.0 * c34 * tmp1 * (tx1 + ty1 + tz1)
+      + dt * 2.0 * (tx1 * dx3 + ty1 * dy3 + tz1 * dz3);
+    d[3][0][j][i] = -dt * 2.0 * (tx1 + ty1 + tz1) * c34 * tmp2 * u[3][k][j][i];
+    d[3][3][j][i] = 1.0 + dt * 2.0 * c34 * tmp1 * (tx1 + ty1 + tz1)
+      + dt * 2.0 * (tx1 * dx4 + ty1 * dy4 + tz1 * dz4);
+    d[4][0][j][i] = -dt * 2.0 * (((tx1 * (r43 * c34 - c1345)
+      + ty1 * (c34 - c1345) + tz1 * (c34 - c1345)) * (u[1][k][j][i] * u[1][k][j][i])
+      + (tx1 * (c34 - c1345) + ty1 * (r43 * c34 - c1345) + tz1 * (c34 - c1345))
+        * (u[2][k][j][i] * u[2][k][j][i])) * tmp3
+      - (tx1 + ty1 + tz1) * c1345 * tmp2 * u[4][k][j][i]);
+    d[4][4][j][i] = 1.0 + dt * 2.0 * (tx1 + ty1 + tz1) * c1345 * tmp1
+      + dt * 2.0 * (tx1 * dx5 + ty1 * dy5 + tz1 * dz5);
+  }}
+"""
+
+#: blts: block lower-triangular solve (dependent update).
+LU_BLTS_SOURCE = """
+#pragma acc parallel loop gang
+for (j = jst; j <= jend; j++) {
+#pragma acc loop vector
+  for (i = ist; i <= iend; i++) {
+    rsd[0][k][j][i] = rsd[0][k][j][i]
+      - omega * (a[0][0][j][i] * rsd[0][k-1][j][i]
+               + a[0][1][j][i] * rsd[1][k-1][j][i]
+               + a[0][2][j][i] * rsd[2][k-1][j][i]
+               + a[0][3][j][i] * rsd[3][k-1][j][i]
+               + a[0][4][j][i] * rsd[4][k-1][j][i]);
+    rsd[1][k][j][i] = rsd[1][k][j][i]
+      - omega * (a[1][0][j][i] * rsd[0][k-1][j][i]
+               + a[1][1][j][i] * rsd[1][k-1][j][i]
+               + a[1][2][j][i] * rsd[2][k-1][j][i]
+               + a[1][3][j][i] * rsd[3][k-1][j][i]
+               + a[1][4][j][i] * rsd[4][k-1][j][i]);
+  }}
+"""
+
+#: rhs: one directional flux-difference sweep of the residual.
+LU_RHS_SOURCE = """
+#pragma acc parallel loop gang
+for (k = 1; k < nz - 1; k++) {
+#pragma acc loop worker
+  for (j = jst; j <= jend; j++) {
+#pragma acc loop vector
+    for (i = ist; i <= iend; i++) {
+      rsd[0][k][j][i] = rsd[0][k][j][i]
+        - dssp * (u[0][k][j][i-2] - 4.0 * u[0][k][j][i-1]
+                + 6.0 * u[0][k][j][i] - 4.0 * u[0][k][j][i+1] + u[0][k][j][i+2]);
+      rsd[1][k][j][i] = rsd[1][k][j][i]
+        - dssp * (u[1][k][j][i-2] - 4.0 * u[1][k][j][i-1]
+                + 6.0 * u[1][k][j][i] - 4.0 * u[1][k][j][i+1] + u[1][k][j][i+2]);
+      rsd[2][k][j][i] = rsd[2][k][j][i]
+        - dssp * (u[2][k][j][i-2] - 4.0 * u[2][k][j][i-1]
+                + 6.0 * u[2][k][j][i] - 4.0 * u[2][k][j][i+1] + u[2][k][j][i+2]);
+    }}}
+"""
+
+_PLANE = 162.0 ** 2
+_GRID = 162.0 ** 3
+_STEPS = 250
+
+LU = BenchmarkSpec(
+    name="LU",
+    suite="npb",
+    programming_model="acc",
+    compute="CFD",
+    access="Halo (3D)",
+    num_kernels=59,
+    problem_class="C",
+    kernels=(
+        KernelSpec("lu_jacld", LU_JACLD_SOURCE, _PLANE, _STEPS * 162, repeat=4, statement_scale=4.0),
+        KernelSpec("lu_blts", LU_BLTS_SOURCE, _PLANE, _STEPS * 162, repeat=4, statement_scale=2.5),
+        KernelSpec("lu_rhs", LU_RHS_SOURCE, _GRID, _STEPS, repeat=6, statement_scale=1.5),
+    ),
+    paper_original_time={"nvhpc": 15.36, "gcc": 24.86},
+)

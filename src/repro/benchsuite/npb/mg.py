@@ -1,0 +1,69 @@
+"""NPB MG — V-cycle multigrid Poisson solver (CLASS C).
+
+27-point stencil smoother and restriction/prolongation kernels with long-
+and short-stride accesses; close to the bandwidth roofline already, so the
+paper measures 0.98×–1.05×.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import BenchmarkSpec, KernelSpec
+
+__all__ = ["MG", "MG_RESID_SOURCE", "MG_PSINV_SOURCE"]
+
+
+#: resid: r = v - A u with the 27-point operator (partial sums u1/u2).
+MG_RESID_SOURCE = """
+#pragma acc parallel loop gang
+for (i3 = 1; i3 < n3 - 1; i3++) {
+#pragma acc loop worker
+  for (i2 = 1; i2 < n2 - 1; i2++) {
+#pragma acc loop vector
+    for (i1 = 0; i1 < n1; i1++) {
+      u1[i1] = u[i3][i2-1][i1] + u[i3][i2+1][i1]
+             + u[i3-1][i2][i1] + u[i3+1][i2][i1];
+      u2[i1] = u[i3-1][i2-1][i1] + u[i3-1][i2+1][i1]
+             + u[i3+1][i2-1][i1] + u[i3+1][i2+1][i1];
+      r[i3][i2][i1] = v[i3][i2][i1]
+        - a0 * u[i3][i2][i1]
+        - a2 * (u2[i1] + u1[i1-1] + u1[i1+1])
+        - a3 * (u2[i1-1] + u2[i1+1]);
+    }}}
+"""
+
+#: psinv: the smoother application (same stencil shape on r).
+MG_PSINV_SOURCE = """
+#pragma acc parallel loop gang
+for (i3 = 1; i3 < n3 - 1; i3++) {
+#pragma acc loop worker
+  for (i2 = 1; i2 < n2 - 1; i2++) {
+#pragma acc loop vector
+    for (i1 = 1; i1 < n1 - 1; i1++) {
+      r1[i1] = r[i3][i2-1][i1] + r[i3][i2+1][i1]
+             + r[i3-1][i2][i1] + r[i3+1][i2][i1];
+      r2[i1] = r[i3-1][i2-1][i1] + r[i3-1][i2+1][i1]
+             + r[i3+1][i2-1][i1] + r[i3+1][i2+1][i1];
+      u[i3][i2][i1] = u[i3][i2][i1]
+        + c0 * r[i3][i2][i1]
+        + c1 * (r[i3][i2][i1-1] + r[i3][i2][i1+1] + r1[i1])
+        + c2 * (r2[i1] + r1[i1-1] + r1[i1+1]);
+    }}}
+"""
+
+_GRID = 512.0 ** 3  # CLASS C top level
+_ITERS = 20
+
+MG = BenchmarkSpec(
+    name="MG",
+    suite="npb",
+    programming_model="acc",
+    compute="Poisson Eq",
+    access="Long & Short",
+    num_kernels=16,
+    problem_class="C",
+    kernels=(
+        KernelSpec("mg_resid", MG_RESID_SOURCE, _GRID / 8, _ITERS, repeat=8),
+        KernelSpec("mg_psinv", MG_PSINV_SOURCE, _GRID / 8, _ITERS, repeat=8),
+    ),
+    paper_original_time={"nvhpc": 0.79, "gcc": 0.79},
+)

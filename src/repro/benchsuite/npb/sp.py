@@ -1,0 +1,102 @@
+"""NPB SP — scalar penta-diagonal CFD solver (CLASS C).
+
+The lhs assembly kernels reload the same ``rho_i``/``us`` planes with ±1/±2
+offsets and recompute the same dtt?/c2dtt? factors; memory-latency bound
+like BT.  The paper measures 1.17×–1.21× (NVHPC) and 1.22×–1.27× (GCC).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import BenchmarkSpec, KernelSpec
+
+__all__ = ["SP", "SP_LHSX_SOURCE", "SP_XSOLVE_SOURCE", "SP_NINVR_SOURCE"]
+
+
+#: lhsx: assemble the scalar penta-diagonal coefficients along x.
+SP_LHSX_SOURCE = """
+#pragma acc parallel loop gang
+for (k = 1; k <= nz2; k++) {
+#pragma acc loop worker
+  for (j = 1; j <= ny2; j++) {
+#pragma acc loop vector
+    for (i = 1; i <= nx2; i++) {
+      ru1 = c3c4 * rho_i[k][j][i-1];
+      ru2 = c3c4 * rho_i[k][j][i];
+      ru3 = c3c4 * rho_i[k][j][i+1];
+      rhon1 = dx2 + con43 * ru1;
+      rhon2 = dx5 + c1c5 * ru1;
+      rhon3 = dxmax + ru1;
+      lhs[0][k][j][i] = 0.0 - dttx2 * cv[i-1] - dttx1 * rhon1;
+      lhs[1][k][j][i] = 1.0 + c2dttx1 * (dx2 + con43 * ru2);
+      lhs[2][k][j][i] = dttx2 * cv[i+1] - dttx1 * (dx2 + con43 * ru3);
+      lhs[3][k][j][i] = 0.0 - dttx1 * (dx5 + c1c5 * ru3);
+      lhs[4][k][j][i] = 1.0 + c2dttx1 * (dx5 + c1c5 * ru2) + comz1;
+      lhsp[0][k][j][i] = lhs[0][k][j][i] - dttx2 * speed[k][j][i-1];
+      lhsp[2][k][j][i] = lhs[2][k][j][i] + dttx2 * speed[k][j][i+1];
+      lhsm[0][k][j][i] = lhs[0][k][j][i] + dttx2 * speed[k][j][i-1];
+      lhsm[2][k][j][i] = lhs[2][k][j][i] - dttx2 * speed[k][j][i+1];
+    }}}
+"""
+
+#: x_solve: the Thomas-algorithm forward elimination step along x.
+SP_XSOLVE_SOURCE = """
+#pragma acc parallel loop gang
+for (k = 1; k <= nz2; k++) {
+#pragma acc loop vector
+  for (j = 1; j <= ny2; j++) {
+    fac1 = 1.0 / lhs[2][k][j][i];
+    lhs[3][k][j][i] = fac1 * lhs[3][k][j][i];
+    lhs[4][k][j][i] = fac1 * lhs[4][k][j][i];
+    rhs[0][k][j][i] = fac1 * rhs[0][k][j][i];
+    rhs[1][k][j][i] = fac1 * rhs[1][k][j][i];
+    rhs[2][k][j][i] = fac1 * rhs[2][k][j][i];
+    lhs[2][k][j][i1] = lhs[2][k][j][i1] - lhs[1][k][j][i1] * lhs[3][k][j][i];
+    lhs[3][k][j][i1] = lhs[3][k][j][i1] - lhs[1][k][j][i1] * lhs[4][k][j][i];
+    rhs[0][k][j][i1] = rhs[0][k][j][i1] - lhs[1][k][j][i1] * rhs[0][k][j][i];
+    rhs[1][k][j][i1] = rhs[1][k][j][i1] - lhs[1][k][j][i1] * rhs[1][k][j][i];
+    rhs[2][k][j][i1] = rhs[2][k][j][i1] - lhs[1][k][j][i1] * rhs[2][k][j][i];
+  }}
+"""
+
+#: ninvr: multiply by the inverse of the N matrix (block of scalar updates).
+SP_NINVR_SOURCE = """
+#pragma acc parallel loop gang
+for (k = 1; k <= nz2; k++) {
+#pragma acc loop worker
+  for (j = 1; j <= ny2; j++) {
+#pragma acc loop vector
+    for (i = 1; i <= nx2; i++) {
+      r1 = rhs[0][k][j][i];
+      r2 = rhs[1][k][j][i];
+      r3 = rhs[2][k][j][i];
+      r4 = rhs[3][k][j][i];
+      r5 = rhs[4][k][j][i];
+      t1 = bt * r3;
+      t2 = 0.5 * (r4 + r5);
+      rhs[0][k][j][i] = -r2;
+      rhs[1][k][j][i] = r1;
+      rhs[2][k][j][i] = bt * (r4 - r5);
+      rhs[3][k][j][i] = -t1 + t2;
+      rhs[4][k][j][i] = t1 + t2;
+    }}}
+"""
+
+_GRID = 162.0 ** 3
+_PLANE = 162.0 ** 2
+_STEPS = 400
+
+SP = BenchmarkSpec(
+    name="SP",
+    suite="npb",
+    programming_model="acc",
+    compute="CFD",
+    access="Halo (3D)",
+    num_kernels=65,
+    problem_class="C",
+    kernels=(
+        KernelSpec("sp_lhsx", SP_LHSX_SOURCE, _GRID, _STEPS, repeat=6, statement_scale=3.0),
+        KernelSpec("sp_xsolve", SP_XSOLVE_SOURCE, _PLANE, _STEPS * 3, repeat=9, statement_scale=2.0),
+        KernelSpec("sp_ninvr", SP_NINVR_SOURCE, _GRID, _STEPS, repeat=6),
+    ),
+    paper_original_time={"nvhpc": 10.00, "gcc": 12.00},
+)

@@ -1,0 +1,91 @@
+"""Registry of every benchmark in the reproduction.
+
+* :data:`NPB_BENCHMARKS` — the seven NPB/OpenACC benchmarks of Table II.
+* :data:`SPEC_ACC_BENCHMARKS` — the seven SPEC ACCEL OpenACC benchmarks of
+  Table III.
+* :data:`SPEC_OMP_BENCHMARKS` — the OpenMP flavours (``p``-prefixed names),
+  derived from the OpenACC kernels directive-for-directive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.benchsuite.base import BenchmarkSpec
+from repro.benchsuite.npb import BT, CG, EP, FT, LU, MG, SP
+from repro.benchsuite.specaccel import CSP, OLBM, OMRIQ, OSTENCIL, SPEC_BT, SPEC_CG, SPEC_EP
+
+__all__ = [
+    "NPB_BENCHMARKS",
+    "SPEC_ACC_BENCHMARKS",
+    "SPEC_OMP_BENCHMARKS",
+    "all_benchmarks",
+    "get_benchmark",
+]
+
+NPB_BENCHMARKS: List[BenchmarkSpec] = [BT, CG, EP, FT, LU, MG, SP]
+
+SPEC_ACC_BENCHMARKS: List[BenchmarkSpec] = [
+    OSTENCIL, OLBM, OMRIQ, SPEC_EP, SPEC_CG, CSP, SPEC_BT,
+]
+
+#: Paper Table III also reports OpenMP original times; keep them here keyed
+#: by the OpenMP benchmark name for the Table III harness.
+_SPEC_OMP_PAPER_TIMES: Dict[str, Dict[str, float]] = {
+    "postencil": {"nvhpc": 7.75, "gcc": 107.54, "clang": 34.60},
+    "polbm": {"nvhpc": 7.11, "gcc": 13.47, "clang": 5.91},
+    "pomriq": {"nvhpc": 5.99, "gcc": 18.54, "clang": 11.87},
+    "pep": {"nvhpc": 62.42, "gcc": 90.35, "clang": 71.32},
+    "pcg": {"nvhpc": 5.06, "gcc": 19.03, "clang": 18.42},
+    "pcsp": {"nvhpc": 111.79, "gcc": 589.87, "clang": 105.75},
+    "pbt": {"nvhpc": 555.44, "gcc": 60.45, "clang": 562.83},
+}
+
+
+def _make_omp_benchmarks() -> List[BenchmarkSpec]:
+    omp: List[BenchmarkSpec] = []
+    for bench in SPEC_ACC_BENCHMARKS:
+        converted = bench.with_programming_model("omp", name=f"p{bench.name}")
+        converted = BenchmarkSpec(
+            name=converted.name,
+            suite=converted.suite,
+            programming_model=converted.programming_model,
+            compute=converted.compute,
+            access=converted.access,
+            num_kernels=converted.num_kernels,
+            problem_class=converted.problem_class,
+            kernels=converted.kernels,
+            paper_original_time=_SPEC_OMP_PAPER_TIMES.get(converted.name, {}),
+        )
+        omp.append(converted)
+    return omp
+
+
+SPEC_OMP_BENCHMARKS: List[BenchmarkSpec] = _make_omp_benchmarks()
+
+
+def all_benchmarks() -> List[BenchmarkSpec]:
+    """Every benchmark of the reproduction (NPB + SPEC ACC + SPEC OMP)."""
+
+    return NPB_BENCHMARKS + SPEC_ACC_BENCHMARKS + SPEC_OMP_BENCHMARKS
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look a benchmark up by name.
+
+    NPB names are upper-case (``BT``) and SPEC names lower-case (``bt``), so
+    an exact match is preferred; a case-insensitive match is used as a
+    fallback when it is unambiguous.
+    """
+
+    for bench in all_benchmarks():
+        if bench.name == name:
+            return bench
+    matches = [b for b in all_benchmarks() if b.name.lower() == name.lower()]
+    if len(matches) == 1:
+        return matches[0]
+    if matches:
+        raise KeyError(
+            f"ambiguous benchmark name {name!r}: matches {[b.name for b in matches]}"
+        )
+    raise KeyError(f"unknown benchmark {name!r}")

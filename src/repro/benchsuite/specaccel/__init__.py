@@ -1,0 +1,17 @@
+"""SPEC ACCEL benchmark suite (OpenACC and OpenMP, C) — paper Table III.
+
+The OpenACC versions use the ``kernels`` directive (whose immature support
+in GCC is the source of the paper's largest speedups); the OpenMP versions
+(``p``-prefixed names) use ``target teams distribute`` and are derived from
+the same kernels via :func:`repro.benchsuite.base.acc_to_omp_source`.
+"""
+
+from repro.benchsuite.specaccel.ostencil import OSTENCIL
+from repro.benchsuite.specaccel.olbm import OLBM
+from repro.benchsuite.specaccel.omriq import OMRIQ
+from repro.benchsuite.specaccel.ep import SPEC_EP
+from repro.benchsuite.specaccel.cg import SPEC_CG
+from repro.benchsuite.specaccel.csp import CSP
+from repro.benchsuite.specaccel.bt import SPEC_BT
+
+__all__ = ["OSTENCIL", "OLBM", "OMRIQ", "SPEC_EP", "SPEC_CG", "CSP", "SPEC_BT"]

@@ -1,0 +1,53 @@
+"""SPEC ACCEL 370.bt / 470.pbt — block tri-diagonal solver (CLASS B / W).
+
+Same computation as NPB BT under the ``kernels`` directive.  The OpenMP
+version (pbt) executes one of its solve kernels with a single thread block
+over nested loops, which is where the paper's largest speedup (4.84× with
+bulk load on Clang) comes from.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import BenchmarkSpec, KernelSpec
+from repro.benchsuite.npb.bt import (
+    BT_ADD_SOURCE,
+    BT_JACOBIAN_SOURCE,
+    BT_RHS_SOURCE,
+    BT_SOLVE_SOURCE,
+)
+
+__all__ = ["SPEC_BT"]
+
+
+def _kernels_directive(source: str) -> str:
+    return (
+        source
+        .replace("#pragma acc parallel loop gang num_gangs(ksize-1) num_workers(4) vector_length(32)",
+                 "#pragma acc kernels loop independent")
+        .replace("#pragma acc parallel loop gang num_workers(4) vector_length(32)",
+                 "#pragma acc kernels loop independent")
+        .replace("#pragma acc parallel loop gang",
+                 "#pragma acc kernels loop independent")
+    )
+
+
+_GRID = 102.0 ** 3   # CLASS B
+_STEPS = 200
+
+SPEC_BT = BenchmarkSpec(
+    name="bt",
+    suite="spec",
+    programming_model="acc",
+    compute="CFD",
+    access="Halo (3D)",
+    num_kernels=50,
+    problem_class="Ref / Test (CLASS B / W)",
+    kernels=(
+        KernelSpec("bt_jacobian_z", _kernels_directive(BT_JACOBIAN_SOURCE), _GRID, _STEPS, repeat=3, statement_scale=5.0),
+        KernelSpec("bt_solve_z", _kernels_directive(BT_SOLVE_SOURCE), _GRID / 102.0 * 5,
+                   _STEPS, repeat=9, parallel_fraction=0.25, statement_scale=3.0),
+        KernelSpec("bt_rhs_x", _kernels_directive(BT_RHS_SOURCE), _GRID, _STEPS, repeat=6, statement_scale=2.0),
+        KernelSpec("bt_add", _kernels_directive(BT_ADD_SOURCE), _GRID, _STEPS, repeat=4),
+    ),
+    paper_original_time={"nvhpc": 3.24, "gcc": 130.43},
+)

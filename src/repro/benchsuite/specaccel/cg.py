@@ -1,0 +1,45 @@
+"""SPEC ACCEL 354.cg / 454.pcg — conjugate gradient (> CLASS C, Ref).
+
+Same irregular sparse matrix–vector product as NPB CG under the ``kernels``
+directive.  GCC's OpenACC handles the irregular inner loop very poorly
+(662 s original time in Table III), but ACC Saturator finds little to
+improve (1.00×–1.17×).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import BenchmarkSpec, KernelSpec
+from repro.benchsuite.npb.cg import CG_AXPY_SOURCE, CG_NORM_SOURCE, CG_SPMV_SOURCE
+
+__all__ = ["SPEC_CG"]
+
+
+def _kernels_directive(source: str) -> str:
+    return (
+        source
+        .replace("#pragma acc parallel loop gang vector_length(128)",
+                 "#pragma acc kernels loop independent")
+        .replace("#pragma acc parallel loop gang",
+                 "#pragma acc kernels loop independent")
+    )
+
+
+_ROWS = 220000.0
+_NNZ_PER_ROW = 250.0
+_ITERS = 75
+
+SPEC_CG = BenchmarkSpec(
+    name="cg",
+    suite="spec",
+    programming_model="acc",
+    compute="Eigenvalue",
+    access="Irregular",
+    num_kernels=16,
+    problem_class="Ref (> CLASS C)",
+    kernels=(
+        KernelSpec("cg_spmv", _kernels_directive(CG_SPMV_SOURCE), _ROWS * _NNZ_PER_ROW, _ITERS, repeat=2),
+        KernelSpec("cg_axpy", _kernels_directive(CG_AXPY_SOURCE), _ROWS, _ITERS * 2, repeat=8),
+        KernelSpec("cg_norm", _kernels_directive(CG_NORM_SOURCE), _ROWS, _ITERS, repeat=6),
+    ),
+    paper_original_time={"nvhpc": 4.28, "gcc": 662.58},
+)

@@ -1,0 +1,39 @@
+"""SPEC ACCEL 357.csp / 457.pcsp — scalar penta-diagonal solver (CLASS C / S).
+
+Same computation as NPB SP but implemented with the ``kernels`` directive,
+which GCC supports poorly (111.79 s original, Table III); bulk load is
+worth ~2× there (Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import BenchmarkSpec, KernelSpec
+from repro.benchsuite.npb.sp import SP_LHSX_SOURCE, SP_NINVR_SOURCE, SP_XSOLVE_SOURCE
+
+__all__ = ["CSP"]
+
+
+def _kernels_directive(source: str) -> str:
+    return source.replace("#pragma acc parallel loop gang",
+                          "#pragma acc kernels loop independent")
+
+
+_GRID = 162.0 ** 3
+_PLANE = 162.0 ** 2
+_STEPS = 400
+
+CSP = BenchmarkSpec(
+    name="csp",
+    suite="spec",
+    programming_model="acc",
+    compute="CFD",
+    access="Halo (3D)",
+    num_kernels=68,
+    problem_class="Ref / Test (CLASS C / S)",
+    kernels=(
+        KernelSpec("csp_lhsx", _kernels_directive(SP_LHSX_SOURCE), _GRID, _STEPS, repeat=6, statement_scale=3.0),
+        KernelSpec("csp_xsolve", _kernels_directive(SP_XSOLVE_SOURCE), _PLANE, _STEPS * 3, repeat=9, statement_scale=2.0),
+        KernelSpec("csp_ninvr", _kernels_directive(SP_NINVR_SOURCE), _GRID, _STEPS, repeat=6),
+    ),
+    paper_original_time={"nvhpc": 7.71, "gcc": 27.26},
+)

@@ -1,0 +1,51 @@
+"""SPEC ACCEL 363.omriq / 463.pomriq — MRI Q-matrix reconstruction (Ref).
+
+A structure-of-arrays gather of the k-space trajectory plus ``sin``/``cos``
+calls per sample; compute bound, with the paper observing mild slowdowns
+when bulk load / saturation reduce ILP or occupancy (0.92×–1.03×).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import BenchmarkSpec, KernelSpec
+
+__all__ = ["OMRIQ", "OMRIQ_SOURCE"]
+
+
+OMRIQ_SOURCE = """
+#pragma acc kernels loop independent
+for (x = 0; x < numX; x++) {
+  double qr = 0.0;
+  double qi = 0.0;
+#pragma acc loop seq
+  for (k = 0; k < numK; k++) {
+    expArg = 6.2831853071795864 * (kVals[k].Kx * xv[x]
+           + kVals[k].Ky * yv[x]
+           + kVals[k].Kz * zv[x]);
+    cosArg = cos(expArg);
+    sinArg = sin(expArg);
+    phi = kVals[k].PhiMag;
+    qr += phi * cosArg;
+    qi += phi * sinArg;
+  }
+  Qr[x] = qr;
+  Qi[x] = qi;
+}
+"""
+
+_SAMPLES = 32768.0 * 3072.0 / 64.0  # numX x numK work split across launches
+_LAUNCHES = 64
+
+OMRIQ = BenchmarkSpec(
+    name="omriq",
+    suite="spec",
+    programming_model="acc",
+    compute="MRI",
+    access="Structure-of-arrays",
+    num_kernels=2,
+    problem_class="Ref",
+    kernels=(
+        KernelSpec("omriq_q", OMRIQ_SOURCE, _SAMPLES, _LAUNCHES, repeat=2),
+    ),
+    paper_original_time={"nvhpc": 16.02, "gcc": 16.18},
+)

@@ -1,0 +1,157 @@
+"""Command-line interface: the ``accsat`` tool.
+
+The paper ships ``accsat`` as a wrapper around a normal C-compiler
+invocation (``accsat nvc -O3 kernel.c``).  Offline we cannot invoke NVHPC /
+GCC / Clang, so the reproduction's CLI focuses on the part the paper's tool
+actually owns: reading OpenACC/OpenMP C, optimizing every kernel, and
+writing the saturated source (plus an optional JSON report).  When the
+first positional argument looks like a compiler name it is accepted and
+recorded in the report for fidelity with the original command line, but no
+compiler is spawned.
+
+Examples::
+
+    accsat kernel.c -o kernel.sat.c
+    accsat --variant cse+bulk --report report.json nvc kernel.c
+    accsat --emit-report-only --variant accsat kernel.c
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.egraph.runner import RunnerLimits
+from repro.saturator import SaturatorConfig, Variant, optimize_source
+
+__all__ = ["build_arg_parser", "main"]
+
+_KNOWN_COMPILERS = {"nvc", "nvcc", "gcc", "cc", "clang", "icc", "pgcc"}
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="accsat",
+        description="Equality-saturation optimizer for OpenACC/OpenMP C kernels "
+                    "(ACC Saturator reproduction).",
+    )
+    parser.add_argument(
+        "inputs",
+        nargs="+",
+        help="input C file(s); an optional leading compiler name (nvc/gcc/clang) "
+             "is accepted and ignored",
+    )
+    parser.add_argument("-o", "--output", help="output file (default: <input>.sat.c)")
+    parser.add_argument(
+        "--variant",
+        default="accsat",
+        help="generated-code variant: cse, cse+sat, cse+bulk, accsat (default)",
+    )
+    parser.add_argument(
+        "--ruleset",
+        default="default",
+        help="rewrite rule set: default, extended, fma-only, reassoc-only, none",
+    )
+    parser.add_argument(
+        "--extraction",
+        default="dag-greedy",
+        choices=["dag-greedy", "tree", "ilp"],
+        help="extraction method (default: dag-greedy)",
+    )
+    parser.add_argument("--node-limit", type=int, default=10_000,
+                        help="e-node limit for saturation (default 10000)")
+    parser.add_argument("--iter-limit", type=int, default=10,
+                        help="iteration limit for saturation (default 10)")
+    parser.add_argument("--time-limit", type=float, default=10.0,
+                        help="saturation time limit in seconds (default 10)")
+    parser.add_argument("--report", help="write a JSON report of per-kernel statistics")
+    parser.add_argument(
+        "--emit-report-only",
+        action="store_true",
+        help="print the per-kernel report to stdout instead of writing code",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress the summary line")
+    return parser
+
+
+def _split_inputs(inputs: Sequence[str]) -> tuple[Optional[str], List[Path]]:
+    """Separate an optional leading compiler name from the input files."""
+
+    compiler: Optional[str] = None
+    files: List[Path] = []
+    for index, item in enumerate(inputs):
+        if index == 0 and item in _KNOWN_COMPILERS:
+            compiler = item
+            continue
+        files.append(Path(item))
+    return compiler, files
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+
+    compiler, files = _split_inputs(args.inputs)
+    if not files:
+        parser.error("no input files given")
+
+    try:
+        variant = Variant.from_name(args.variant)
+    except ValueError as exc:
+        parser.error(str(exc))
+        return 2  # pragma: no cover - parser.error raises
+
+    config = SaturatorConfig(
+        variant=variant,
+        ruleset=args.ruleset,
+        extraction=args.extraction,
+        limits=RunnerLimits(args.node_limit, args.iter_limit, args.time_limit),
+    )
+
+    overall_report = {
+        "compiler": compiler,
+        "variant": variant.value,
+        "files": [],
+    }
+
+    exit_code = 0
+    for path in files:
+        if not path.exists():
+            print(f"accsat: error: no such file: {path}", file=sys.stderr)
+            exit_code = 1
+            continue
+        source = path.read_text()
+        result = optimize_source(source, config, name_prefix=path.stem)
+
+        file_report = {
+            "input": str(path),
+            "kernels": [k.as_dict() for k in result.kernels],
+            "ssa_codegen_time": result.total_ssa_codegen_time,
+            "saturation_time": result.total_saturation_time,
+        }
+        overall_report["files"].append(file_report)
+
+        if args.emit_report_only:
+            continue
+
+        output = Path(args.output) if args.output else path.with_suffix(".sat.c")
+        output.write_text(result.code)
+        if not args.quiet:
+            print(
+                f"accsat: {path} -> {output} "
+                f"({len(result.kernels)} kernel(s), variant={variant.value})"
+            )
+
+    if args.report:
+        Path(args.report).write_text(json.dumps(overall_report, indent=2))
+    if args.emit_report_only:
+        json.dump(overall_report, sys.stdout, indent=2)
+        print()
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,234 @@
+"""Rendering of selected e-classes into C expressions and temp variables.
+
+Every selected e-node that performs real work (a load, an arithmetic
+operation, a call ...) is assigned a temporary variable ``_vN`` holding its
+value (paper §VI-A, cf. Listing 3 of the paper).  Leaves (constants,
+symbols), φ nodes (whose value is simply the variable they merge), stores
+(performed by the original statements) and e-classes only used as array
+indices are rendered inline instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.egraph.egraph import EGraph, ENode
+
+__all__ = ["TempAllocator", "ClassRenderer", "TEMP_OPS"]
+
+
+#: Operators whose e-classes are materialised into temporaries.
+TEMP_OPS = frozenset(
+    {"load", "+", "-", "*", "/", "%", "neg", "fma", "call", "ternary",
+     "min", "max", "<<", ">>", "&", "|", "^"}
+)
+
+#: Operators always rendered inline (no temp, no work of their own).
+INLINE_OPS = frozenset(
+    {"num", "sym", "phi", "phi-loop", "store", "cast", "member", "addr",
+     "<", ">", "<=", ">=", "==", "!=", "&&", "||", "!", "~"}
+)
+
+
+class TempAllocator:
+    """Hands out ``_vN`` names, one per e-class.
+
+    ``first_index`` lets the code generator keep numbering globally unique
+    across groups even though each straight-line group gets its own
+    allocator (temporaries are scoped to the group's block).
+    """
+
+    def __init__(self, prefix: str = "_v", first_index: int = 0) -> None:
+        self.prefix = prefix
+        self._names: Dict[int, str] = {}
+        self._counter = first_index
+        self._first_index = first_index
+
+    def name_for(self, eclass_id: int) -> str:
+        name = self._names.get(eclass_id)
+        if name is None:
+            name = f"{self.prefix}{self._counter}"
+            self._counter += 1
+            self._names[eclass_id] = name
+        return name
+
+    def known(self, eclass_id: int) -> Optional[str]:
+        return self._names.get(eclass_id)
+
+    @property
+    def next_index(self) -> int:
+        """The index the next allocated temporary would get."""
+
+        return self._counter
+
+    def __len__(self) -> int:
+        return self._counter - self._first_index
+
+
+def _strip_ssa_suffix(name: str) -> str:
+    """``tmp@loop1`` / ``b@phi3`` → the runtime variable name (``tmp`` / ``b``)."""
+
+    return name.split("@", 1)[0]
+
+
+def _format_number(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    text = repr(float(value))
+    return text
+
+
+@dataclass
+class ClassRenderer:
+    """Render e-classes of an extraction result into C expression text."""
+
+    egraph: EGraph
+    choices: Dict[int, ENode]
+    temps: TempAllocator
+    #: E-classes that currently have a live temporary (already emitted in the
+    #: group being generated); rendered as their temp name.
+    available_temps: Set[int] = field(default_factory=set)
+    #: E-classes that must never be rendered through a temp (index contexts).
+    inline_only: Set[int] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+
+    def node_of(self, eclass_id: int) -> ENode:
+        return self.choices[self.egraph.find(eclass_id)]
+
+    def is_temp_class(self, eclass_id: int) -> bool:
+        """True if this class is materialised as a temporary variable."""
+
+        eclass_id = self.egraph.find(eclass_id)
+        if eclass_id in self.inline_only:
+            return False
+        node = self.choices.get(eclass_id)
+        if node is None:
+            return False
+        return node.op in TEMP_OPS
+
+    # ------------------------------------------------------------------
+
+    def render(self, eclass_id: int) -> str:
+        """Render the value of an e-class as a C expression.
+
+        Classes whose temp has already been emitted render as the temp name;
+        everything else renders structurally (inline).
+        """
+
+        eclass_id = self.egraph.find(eclass_id)
+        if eclass_id in self.available_temps:
+            return self.temps.name_for(eclass_id)
+        return self.render_definition(eclass_id)
+
+    def render_definition(self, eclass_id: int) -> str:
+        """Render the defining expression of an e-class (one node deep,
+        children rendered through :meth:`render`)."""
+
+        eclass_id = self.egraph.find(eclass_id)
+        node = self.choices.get(eclass_id)
+        if node is None:
+            raise KeyError(f"e-class {eclass_id} has no selected node")
+        return self._render_node(node)
+
+    # ------------------------------------------------------------------
+
+    def _render_node(self, node: ENode) -> str:
+        op = node.op
+        if op == "num":
+            return _format_number(node.payload)
+        if op == "sym":
+            return _strip_ssa_suffix(str(node.payload))
+        if op in ("phi", "phi-loop"):
+            return _strip_ssa_suffix(str(node.payload))
+        if op == "load":
+            template = str(node.payload)
+            index_text = [self.render(c) for c in node.children[1:]]
+            return template.format(*index_text)
+        if op == "store":
+            # value of a store is the stored value (used only when a load
+            # forwards from a store of the same location)
+            return self.render(node.children[-1])
+        if op == "neg":
+            return f"(- {self.render(node.children[0])})"
+        if op == "fma":
+            a, b, c = (self.render(child) for child in node.children)
+            return f"({a} + {b} * {c})"
+        if op == "call":
+            args = ", ".join(self.render(c) for c in node.children)
+            return f"{node.payload}({args})"
+        if op == "cast":
+            return f"(({node.payload})({self.render(node.children[0])}))"
+        if op == "ternary":
+            cond, then, other = (self.render(c) for c in node.children)
+            return f"({cond} ? {then} : {other})"
+        if op == "member":
+            return f"{self.render(node.children[0])}.{node.payload}"
+        if op == "addr":
+            return f"(&{self.render(node.children[0])})"
+        if op in ("min", "max"):
+            a, b = (self.render(c) for c in node.children)
+            return f"(({a}) {'<' if op == 'min' else '>'} ({b}) ? ({a}) : ({b}))"
+        if op in ("!", "~"):
+            return f"({op}{self.render(node.children[0])})"
+        if len(node.children) == 2:
+            lhs, rhs = (self.render(c) for c in node.children)
+            return f"({lhs} {op} {rhs})"
+        raise ValueError(f"cannot render e-node {node}")
+
+    # ------------------------------------------------------------------
+
+    def mark_index_classes(self, root: int) -> None:
+        """Mark classes used in array-index position as inline-only.
+
+        Index expressions must stay integer-typed, so they never go through
+        the ``double`` temporaries; this walks the selected DAG under *root*
+        and collects every class reachable through an index operand of a
+        ``load`` or ``store``.
+        """
+
+        seen: Set[int] = set()
+
+        def mark_subtree(cid: int) -> None:
+            cid = self.egraph.find(cid)
+            if cid in self.inline_only:
+                return
+            self.inline_only.add(cid)
+            node = self.choices.get(cid)
+            if node is None:
+                return
+            children = node.children
+            if node.op == "load":
+                children = node.children[1:]
+            elif node.op == "store":
+                children = node.children[1:]
+            for child in children:
+                mark_subtree(child)
+
+        def visit(cid: int) -> None:
+            cid = self.egraph.find(cid)
+            if cid in seen:
+                return
+            seen.add(cid)
+            node = self.choices.get(cid)
+            if node is None:
+                return
+            if node.op in ("phi", "phi-loop"):
+                # φ values render as a variable name; their operands are not
+                # rendered as part of this expression
+                return
+            if node.op in ("load", "store"):
+                index_children = node.children[1:-1] if node.op == "store" else node.children[1:]
+                for child in index_children:
+                    mark_subtree(child)
+                if node.op == "store":
+                    visit(node.children[-1])
+                # the version operand (children[0]) carries no generated code
+                return
+            for child in node.children:
+                visit(child)
+
+        visit(root)

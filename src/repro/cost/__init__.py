@@ -1,0 +1,19 @@
+"""Cost models used by extraction (paper §V-B)."""
+
+from repro.cost.model import (
+    AccSaturatorCostModel,
+    CostModel,
+    CostWeights,
+    DEFAULT_COST_MODEL,
+    OpClass,
+    classify_op,
+)
+
+__all__ = [
+    "AccSaturatorCostModel",
+    "CostModel",
+    "CostWeights",
+    "DEFAULT_COST_MODEL",
+    "OpClass",
+    "classify_op",
+]

@@ -1,0 +1,57 @@
+"""E-graph engine: the equality-saturation substrate.
+
+A faithful, pure-Python re-implementation of the parts of the ``egg``
+library that ACC Saturator relies on:
+
+* :class:`~repro.egraph.unionfind.UnionFind` — canonical e-class ids,
+* :class:`~repro.egraph.egraph.EGraph` — hash-consed e-nodes, congruence
+  closure with deferred rebuilding, and e-class analyses,
+* :class:`~repro.egraph.pattern.Pattern` — e-matching of pattern terms,
+* :class:`~repro.egraph.rewrite.Rewrite` — rewrite rules (with optional
+  dynamic right-hand sides and guards),
+* :class:`~repro.egraph.runner.Runner` — the saturation loop with e-node,
+  iteration and wall-clock limits (paper §VII: 10,000 e-nodes, 10 rewriting
+  iterations, 10 s saturation, 30 s extraction),
+* :mod:`~repro.egraph.extract` — cost-based term extraction: greedy tree,
+  greedy DAG (shared e-classes counted once, as in the paper's CSE) and an
+  ILP formulation solved with ``scipy.optimize.milp`` standing in for CBC.
+"""
+
+from repro.egraph.analysis import Analysis, ConstantFoldingAnalysis
+from repro.egraph.egraph import EClass, EGraph, ENode
+from repro.egraph.extract import (
+    DagExtractor,
+    ExtractionResult,
+    ILPExtractor,
+    TreeExtractor,
+    extract_best,
+)
+from repro.egraph.language import Term
+from repro.egraph.pattern import Pattern, PatternVar, parse_pattern
+from repro.egraph.rewrite import Rewrite, rewrite
+from repro.egraph.runner import Runner, RunnerLimits, RunnerReport, StopReason
+from repro.egraph.unionfind import UnionFind
+
+__all__ = [
+    "Analysis",
+    "ConstantFoldingAnalysis",
+    "DagExtractor",
+    "EClass",
+    "EGraph",
+    "ENode",
+    "ExtractionResult",
+    "ILPExtractor",
+    "Pattern",
+    "PatternVar",
+    "Rewrite",
+    "Runner",
+    "RunnerLimits",
+    "RunnerReport",
+    "StopReason",
+    "Term",
+    "TreeExtractor",
+    "UnionFind",
+    "extract_best",
+    "parse_pattern",
+    "rewrite",
+]

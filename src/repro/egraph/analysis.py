@@ -1,0 +1,140 @@
+"""E-class analyses.
+
+An analysis attaches a small lattice value to every e-class and keeps it
+consistent across merges (egg's "e-class analysis" mechanism).  ACC
+Saturator uses a single analysis: constant folding over integer and
+floating-point arithmetic (paper §V-A), which both shrinks expressions and
+lets the cost model treat folded subtrees as free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+from repro.egraph.egraph import EGraph, ENode
+
+__all__ = ["Analysis", "ConstantFoldingAnalysis"]
+
+Number = Union[int, float]
+
+
+class Analysis:
+    """Interface for e-class analyses (egg-style ``make`` / ``join`` / ``modify``)."""
+
+    def make(self, egraph: EGraph, enode: ENode) -> object:
+        """Compute the analysis value of a freshly added e-node."""
+
+        raise NotImplementedError
+
+    def join(self, a: object, b: object) -> object:
+        """Combine the values of two classes being merged."""
+
+        raise NotImplementedError
+
+    def modify(self, egraph: EGraph, eclass_id: int) -> None:
+        """Optionally mutate the e-graph based on a class's value."""
+
+
+class ConstantFoldingAnalysis(Analysis):
+    """Track the constant value of an e-class, if it has one.
+
+    The analysis value is either ``None`` (not a constant) or a Python
+    ``int`` / ``float``.  When a class is found to be constant, ``modify``
+    injects the corresponding ``num`` leaf into the class so extraction can
+    select the folded literal, mirroring egg's canonical constant-folding
+    example and the paper's "constant folding of arithmetic operations with
+    integer and floating-point numbers".
+    """
+
+    #: Operators folded by the analysis.
+    _FOLDABLE = {"+", "-", "*", "/", "%", "neg", "fma",
+                 "<", ">", "<=", ">=", "==", "!=", "min", "max"}
+
+    def __init__(self, fold_division: bool = True) -> None:
+        self.fold_division = fold_division
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _value_of(egraph: EGraph, eclass_id: int) -> Optional[Number]:
+        data = egraph.data_of(eclass_id)
+        return data if isinstance(data, (int, float)) else None
+
+    def _fold(self, op: str, args: list[Number]) -> Optional[Number]:
+        try:
+            if op == "+":
+                return args[0] + args[1]
+            if op == "-":
+                return args[0] - args[1]
+            if op == "*":
+                return args[0] * args[1]
+            if op == "/":
+                if not self.fold_division or args[1] == 0:
+                    return None
+                if isinstance(args[0], int) and isinstance(args[1], int):
+                    # C integer division truncates toward zero
+                    quotient = abs(args[0]) // abs(args[1])
+                    sign = 1 if (args[0] >= 0) == (args[1] >= 0) else -1
+                    return sign * quotient
+                return args[0] / args[1]
+            if op == "%":
+                if args[1] == 0 or not all(isinstance(a, int) for a in args):
+                    return None
+                return int(math.fmod(args[0], args[1]))
+            if op == "neg":
+                return -args[0]
+            if op == "fma":
+                return args[0] + args[1] * args[2]
+            if op == "min":
+                return min(args)
+            if op == "max":
+                return max(args)
+            if op in ("<", ">", "<=", ">=", "==", "!="):
+                table = {
+                    "<": args[0] < args[1],
+                    ">": args[0] > args[1],
+                    "<=": args[0] <= args[1],
+                    ">=": args[0] >= args[1],
+                    "==": args[0] == args[1],
+                    "!=": args[0] != args[1],
+                }
+                return int(table[op])
+        except (OverflowError, ValueError):  # pragma: no cover - defensive
+            return None
+        return None
+
+    # -- Analysis interface ---------------------------------------------------
+
+    def make(self, egraph: EGraph, enode: ENode) -> Optional[Number]:
+        if enode.op == "num":
+            return enode.payload  # type: ignore[return-value]
+        if enode.op not in self._FOLDABLE or not enode.children:
+            return None
+        args: list[Number] = []
+        for child in enode.children:
+            value = self._value_of(egraph, child)
+            if value is None:
+                return None
+            args.append(value)
+        folded = self._fold(enode.op, args)
+        if isinstance(folded, float) and (math.isnan(folded) or math.isinf(folded)):
+            return None
+        return folded
+
+    def join(self, a: Optional[Number], b: Optional[Number]) -> Optional[Number]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        # Two constants claimed for the same class: they must agree (up to FP
+        # noise introduced by reassociation); keep the first deterministically.
+        return a
+
+    def modify(self, egraph: EGraph, eclass_id: int) -> None:
+        value = self._value_of(egraph, eclass_id)
+        if value is None:
+            return
+        literal = egraph.add(ENode("num", (), value))
+        if not egraph.is_equal(literal, eclass_id):
+            egraph.merge(literal, eclass_id)

@@ -1,0 +1,386 @@
+"""The e-graph data structure with congruence closure.
+
+The implementation follows the ``egg`` design (Willsey et al., POPL 2021)
+that the paper builds on:
+
+* e-nodes are hash-consed: an :class:`ENode` whose children are canonical
+  e-class ids appears at most once in the graph,
+* :meth:`EGraph.merge` only records the union; congruence closure is
+  restored lazily by :meth:`EGraph.rebuild` (deferred rebuilding), which is
+  what makes batch rule application cheap,
+* e-class analyses (:mod:`repro.egraph.analysis`) propagate per-class facts
+  such as constant values, enabling constant folding during saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.egraph.language import Payload, Term
+from repro.egraph.unionfind import UnionFind
+
+__all__ = ["ENode", "EClass", "EGraph"]
+
+
+@dataclass(frozen=True, eq=False)
+class ENode:
+    """An operator applied to e-class ids (not to terms).
+
+    Like :class:`~repro.egraph.language.Term`, equality is payload-type
+    aware so integer and floating-point literals never share an e-class
+    (C assigns them different division/modulo semantics).
+    """
+
+    op: str
+    children: Tuple[int, ...] = ()
+    payload: Payload = None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ENode):
+            return NotImplemented
+        return (
+            self.op == other.op
+            and self.payload == other.payload
+            and type(self.payload) is type(other.payload)
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.payload, type(self.payload).__name__, self.children))
+
+    def canonicalize(self, uf: UnionFind) -> "ENode":
+        """Return this e-node with every child id replaced by its root."""
+
+        if not self.children:
+            return self
+        return ENode(self.op, tuple(uf.find(c) for c in self.children), self.payload)
+
+    def map_children(self, fn) -> "ENode":
+        return ENode(self.op, tuple(fn(c) for c in self.children), self.payload)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        label = self.op if self.payload is None else f"{self.op}:{self.payload}"
+        if not self.children:
+            return label
+        return f"({label} {' '.join(str(c) for c in self.children)})"
+
+
+@dataclass
+class EClass:
+    """A set of equal e-nodes plus bookkeeping for congruence closure."""
+
+    id: int
+    nodes: Set[ENode] = field(default_factory=set)
+    #: (parent e-node, e-class id the parent lives in) pairs; used to find
+    #: congruent parents after a merge.
+    parents: List[Tuple[ENode, int]] = field(default_factory=list)
+    #: Analysis data attached to this class (semantics defined by the
+    #: :class:`~repro.egraph.analysis.Analysis` instance in use).
+    data: object = None
+
+
+class EGraph:
+    """A congruence-closed e-graph."""
+
+    def __init__(self, analysis: Optional["object"] = None) -> None:
+        self.uf = UnionFind()
+        self.classes: Dict[int, EClass] = {}
+        self.hashcons: Dict[ENode, int] = {}
+        #: e-class ids whose parents must be re-canonicalised on rebuild.
+        self._dirty: List[int] = []
+        #: e-class ids whose analysis data changed and must be re-propagated.
+        self._analysis_dirty: List[int] = []
+        self.analysis = analysis
+        #: Running counter of merges (useful for saturation detection).
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of (canonical) e-nodes in the graph."""
+
+        return sum(len(cls.nodes) for cls in self.classes.values())
+
+    @property
+    def num_classes(self) -> int:
+        """Number of live e-classes."""
+
+        return len(self.classes)
+
+    def find(self, eclass_id: int) -> int:
+        """Canonical id of *eclass_id*."""
+
+        return self.uf.find(eclass_id)
+
+    def eclasses(self) -> Iterator[EClass]:
+        """Iterate over the live (canonical) e-classes."""
+
+        return iter(self.classes.values())
+
+    def nodes_of(self, eclass_id: int) -> Set[ENode]:
+        """The e-nodes contained in the class of *eclass_id*."""
+
+        return self.classes[self.find(eclass_id)].nodes
+
+    def data_of(self, eclass_id: int) -> object:
+        """Analysis data of the class of *eclass_id*."""
+
+        return self.classes[self.find(eclass_id)].data
+
+    def is_equal(self, a: int, b: int) -> bool:
+        """True if the two e-class ids denote the same class."""
+
+        return self.uf.same(a, b)
+
+    # ------------------------------------------------------------------
+    # Adding
+    # ------------------------------------------------------------------
+
+    def add(self, enode: ENode) -> int:
+        """Add an e-node, returning the id of its e-class (hash-consed)."""
+
+        enode = enode.canonicalize(self.uf)
+        existing = self.hashcons.get(enode)
+        if existing is not None:
+            return self.uf.find(existing)
+
+        eclass_id = self.uf.make_set()
+        eclass = EClass(eclass_id, {enode}, [])
+        self.classes[eclass_id] = eclass
+        self.hashcons[enode] = eclass_id
+        for child in enode.children:
+            self.classes[self.uf.find(child)].parents.append((enode, eclass_id))
+
+        if self.analysis is not None:
+            eclass.data = self.analysis.make(self, enode)
+            self.analysis.modify(self, eclass_id)
+        self.version += 1
+        return eclass_id
+
+    def add_term(self, term: Term) -> int:
+        """Recursively add a whole term; returns the e-class of its root."""
+
+        child_ids = tuple(self.add_term(child) for child in term.children)
+        return self.add(ENode(term.op, child_ids, term.payload))
+
+    def add_leaf(self, op: str, payload: Payload = None) -> int:
+        """Add a leaf e-node (``num``/``sym``-style)."""
+
+        return self.add(ENode(op, (), payload))
+
+    # ------------------------------------------------------------------
+    # Merging and rebuilding
+    # ------------------------------------------------------------------
+
+    def merge(self, a: int, b: int) -> int:
+        """Assert that the classes of *a* and *b* are equal.
+
+        The union is recorded immediately; congruence closure and hashcons
+        canonicalisation are deferred to :meth:`rebuild`.
+        """
+
+        ra, rb = self.uf.find(a), self.uf.find(b)
+        if ra == rb:
+            return ra
+
+        root = self.uf.union(ra, rb)
+        other = rb if root == ra else ra
+        winner, loser = self.classes[root], self.classes[other]
+
+        winner.nodes |= loser.nodes
+        winner.parents.extend(loser.parents)
+
+        if self.analysis is not None:
+            winner.data = self.analysis.join(winner.data, loser.data)
+            self._analysis_dirty.append(root)
+
+        del self.classes[other]
+        self._dirty.append(root)
+        self.version += 1
+        return root
+
+    def union_terms(self, a: Term, b: Term) -> int:
+        """Add both terms and merge their classes (convenience for tests)."""
+
+        ia, ib = self.add_term(a), self.add_term(b)
+        root = self.merge(ia, ib)
+        self.rebuild()
+        return root
+
+    def rebuild(self) -> int:
+        """Restore the hashcons and congruence invariants.
+
+        Returns the number of follow-up merges performed (congruent parents
+        discovered while re-canonicalising).
+        """
+
+        n_repairs = 0
+        while self._dirty or self._analysis_dirty:
+            todo = {self.uf.find(i) for i in self._dirty}
+            self._dirty.clear()
+            for eclass_id in todo:
+                n_repairs += self._repair(eclass_id)
+
+            analysis_todo = {self.uf.find(i) for i in self._analysis_dirty}
+            self._analysis_dirty.clear()
+            for eclass_id in analysis_todo:
+                self._repair_analysis(eclass_id)
+        return n_repairs
+
+    def _repair(self, eclass_id: int) -> int:
+        """Re-canonicalise the parents of one e-class, merging congruent ones."""
+
+        eclass_id = self.uf.find(eclass_id)
+        eclass = self.classes.get(eclass_id)
+        if eclass is None:
+            return 0
+
+        repairs = 0
+        old_parents = eclass.parents
+        eclass.parents = []
+        seen: Dict[ENode, int] = {}
+        for parent_node, parent_class in old_parents:
+            # drop the stale hashcons entry before re-canonicalising
+            self.hashcons.pop(parent_node, None)
+            canon = parent_node.canonicalize(self.uf)
+            parent_class = self.uf.find(parent_class)
+            existing = seen.get(canon)
+            if existing is not None:
+                if not self.uf.same(existing, parent_class):
+                    self.merge(existing, parent_class)
+                    repairs += 1
+                parent_class = self.uf.find(parent_class)
+            else:
+                prior = self.hashcons.get(canon)
+                if prior is not None and not self.uf.same(prior, parent_class):
+                    self.merge(prior, parent_class)
+                    repairs += 1
+                    parent_class = self.uf.find(parent_class)
+            self.hashcons[canon] = self.uf.find(parent_class)
+            seen[canon] = self.uf.find(parent_class)
+            eclass.parents.append((canon, self.uf.find(parent_class)))
+            # keep the parent's own node set canonical too, otherwise the
+            # stale spelling lingers there while the hashcons moves on
+            if canon != parent_node:
+                owner = self.classes.get(self.uf.find(parent_class))
+                if owner is not None:
+                    owner.nodes.discard(parent_node)
+                    owner.nodes.add(canon)
+
+        # canonicalise the nodes stored in the class itself
+        eclass = self.classes.get(self.uf.find(eclass_id))
+        if eclass is not None:
+            eclass.nodes = {node.canonicalize(self.uf) for node in eclass.nodes}
+            for node in eclass.nodes:
+                self.hashcons[node] = eclass.id
+        return repairs
+
+    def _repair_analysis(self, eclass_id: int) -> None:
+        """Propagate changed analysis data to parents."""
+
+        if self.analysis is None:
+            return
+        eclass_id = self.uf.find(eclass_id)
+        eclass = self.classes.get(eclass_id)
+        if eclass is None:
+            return
+        self.analysis.modify(self, eclass_id)
+        for parent_node, parent_class in list(eclass.parents):
+            parent_class = self.uf.find(parent_class)
+            parent = self.classes.get(parent_class)
+            if parent is None:
+                continue
+            new_data = self.analysis.make(self, parent_node.canonicalize(self.uf))
+            joined = self.analysis.join(parent.data, new_data)
+            if joined != parent.data:
+                parent.data = joined
+                self._analysis_dirty.append(parent_class)
+
+    # ------------------------------------------------------------------
+    # Queries used by e-matching and extraction
+    # ------------------------------------------------------------------
+
+    def canonical_nodes(self) -> Iterator[Tuple[int, ENode]]:
+        """Yield ``(eclass_id, enode)`` for every canonical e-node."""
+
+        for eclass in self.classes.values():
+            for node in eclass.nodes:
+                yield eclass.id, node
+
+    def lookup_term(self, term: Term) -> Optional[int]:
+        """Return the e-class containing *term*, or None if absent.
+
+        Unlike :meth:`add_term` this never grows the graph.
+        """
+
+        child_ids: List[int] = []
+        for child in term.children:
+            cid = self.lookup_term(child)
+            if cid is None:
+                return None
+            child_ids.append(cid)
+        enode = ENode(term.op, tuple(child_ids), term.payload).canonicalize(self.uf)
+        found = self.hashcons.get(enode)
+        return None if found is None else self.uf.find(found)
+
+    def equivalent_terms(self, a: Term, b: Term) -> bool:
+        """True if both terms are present and live in the same e-class."""
+
+        ia, ib = self.lookup_term(a), self.lookup_term(b)
+        return ia is not None and ib is not None and self.uf.same(ia, ib)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used heavily by the test-suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the hashcons/congruence invariants; raises AssertionError."""
+
+        for enode, eclass_id in self.hashcons.items():
+            canon = enode.canonicalize(self.uf)
+            assert canon == enode, f"hashcons key not canonical: {enode}"
+            root = self.uf.find(eclass_id)
+            assert root in self.classes, f"hashcons maps to dead class {eclass_id}"
+            assert enode in self.classes[root].nodes, (
+                f"hashcons entry {enode} missing from class {root}"
+            )
+        seen: Dict[ENode, int] = {}
+        for eclass in self.classes.values():
+            assert self.uf.find(eclass.id) == eclass.id, "non-canonical class id"
+            for node in eclass.nodes:
+                canon = node.canonicalize(self.uf)
+                assert canon in self.hashcons, f"node {node} missing from hashcons"
+                prior = seen.get(canon)
+                assert prior is None or prior == eclass.id, (
+                    f"congruence violation: {canon} in classes {prior} and {eclass.id}"
+                )
+                seen[canon] = eclass.id
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "EGraph":
+        """A structural copy sharing no mutable state with the original."""
+
+        dup = EGraph(self.analysis)
+        dup.uf = self.uf.copy()
+        dup.hashcons = dict(self.hashcons)
+        dup.classes = {
+            cid: EClass(cls.id, set(cls.nodes), list(cls.parents), cls.data)
+            for cid, cls in self.classes.items()
+        }
+        dup._dirty = list(self._dirty)
+        dup._analysis_dirty = list(self._analysis_dirty)
+        dup.version = self.version
+        return dup
+
+    def dump(self) -> str:  # pragma: no cover - debugging helper
+        lines = []
+        for eclass in sorted(self.classes.values(), key=lambda c: c.id):
+            nodes = ", ".join(sorted(str(n) for n in eclass.nodes))
+            lines.append(f"e{eclass.id}: {{{nodes}}}")
+        return "\n".join(lines)

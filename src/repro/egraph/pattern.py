@@ -1,0 +1,236 @@
+"""Patterns and e-matching.
+
+A pattern is a term whose leaves may be *pattern variables* (spelled ``?x``
+in the textual syntax).  E-matching finds, for a given e-class, every
+substitution of pattern variables to e-class ids such that the pattern is
+represented in the class.  This is the search half of a rewrite rule.
+
+The textual syntax accepted by :func:`parse_pattern` is a tiny s-expression
+language, e.g. the FMA1 rule of the paper (Table I) is written::
+
+    (+ ?a (* ?b ?c))   ->   (fma ?a ?b ?c)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.language import Term
+
+__all__ = ["PatternVar", "Pattern", "parse_pattern", "Substitution"]
+
+
+@dataclass(frozen=True)
+class PatternVar:
+    """A pattern variable, e.g. ``?a``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A substitution maps pattern-variable names to e-class ids.
+Substitution = Dict[str, int]
+
+PatternNode = Union["Pattern", PatternVar]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A pattern term: an operator applied to sub-patterns or variables."""
+
+    op: str
+    children: Tuple[PatternNode, ...] = ()
+    payload: object = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_term(term: Term) -> "Pattern":
+        """Lift a ground term into a (variable-free) pattern."""
+
+        return Pattern(
+            term.op,
+            tuple(Pattern.from_term(c) for c in term.children),
+            term.payload,
+        )
+
+    def variables(self) -> List[str]:
+        """Names of the pattern variables, in first-occurrence order."""
+
+        names: List[str] = []
+
+        def visit(node: PatternNode) -> None:
+            if isinstance(node, PatternVar):
+                if node.name not in names:
+                    names.append(node.name)
+                return
+            for child in node.children:
+                visit(child)
+
+        visit(self)
+        return names
+
+    # ------------------------------------------------------------------
+    # E-matching
+    # ------------------------------------------------------------------
+
+    def match_class(self, egraph: EGraph, eclass_id: int) -> Iterator[Substitution]:
+        """Yield every substitution under which this pattern is in the class."""
+
+        yield from _match_pattern(egraph, self, egraph.find(eclass_id), {})
+
+    def search(self, egraph: EGraph) -> List[Tuple[int, Substitution]]:
+        """Search the whole e-graph; returns ``(eclass_id, substitution)`` pairs."""
+
+        matches: List[Tuple[int, Substitution]] = []
+        for eclass in list(egraph.eclasses()):
+            for subst in self.match_class(egraph, eclass.id):
+                matches.append((eclass.id, subst))
+        return matches
+
+    # ------------------------------------------------------------------
+    # Instantiation (used by the applier half of rewrites)
+    # ------------------------------------------------------------------
+
+    def instantiate(self, egraph: EGraph, subst: Substitution) -> int:
+        """Add this pattern to the e-graph under *subst*; return the class id."""
+
+        if self.op == "?" and len(self.children) == 1 and isinstance(self.children[0], PatternVar):
+            # a bare-variable right-hand side (e.g. the `(+ ?a 0) => ?a`
+            # identity): the result is simply the bound class
+            return egraph.find(subst[self.children[0].name])
+        child_ids: List[int] = []
+        for child in self.children:
+            if isinstance(child, PatternVar):
+                child_ids.append(subst[child.name])
+            else:
+                child_ids.append(child.instantiate(egraph, subst))
+        return egraph.add(ENode(self.op, tuple(child_ids), self.payload))
+
+    def to_term(self, bindings: Dict[str, Term]) -> Term:
+        """Instantiate into a plain term given variable-to-term bindings."""
+
+        children: List[Term] = []
+        for child in self.children:
+            if isinstance(child, PatternVar):
+                children.append(bindings[child.name])
+            else:
+                children.append(child.to_term(bindings))
+        return Term(self.op, tuple(children), self.payload)
+
+    def __str__(self) -> str:
+        label = self.op if self.payload is None else f"{self.op}:{self.payload}"
+        if not self.children:
+            if self.op == "num":
+                return repr(self.payload)
+            if self.op == "sym":
+                return str(self.payload)
+            return f"({label})"
+        return f"({label} {' '.join(str(c) for c in self.children)})"
+
+
+def _match_pattern(
+    egraph: EGraph,
+    pattern: PatternNode,
+    eclass_id: int,
+    subst: Substitution,
+) -> Iterator[Substitution]:
+    """Backtracking e-matcher."""
+
+    eclass_id = egraph.find(eclass_id)
+
+    if isinstance(pattern, PatternVar):
+        bound = subst.get(pattern.name)
+        if bound is None:
+            new_subst = dict(subst)
+            new_subst[pattern.name] = eclass_id
+            yield new_subst
+        elif egraph.find(bound) == eclass_id:
+            yield subst
+        return
+
+    for enode in egraph.nodes_of(eclass_id):
+        if enode.op != pattern.op:
+            continue
+        if pattern.payload is not None and enode.payload != pattern.payload:
+            continue
+        if len(enode.children) != len(pattern.children):
+            continue
+        yield from _match_children(egraph, pattern.children, enode.children, 0, subst)
+
+
+def _match_children(
+    egraph: EGraph,
+    patterns: Sequence[PatternNode],
+    child_ids: Sequence[int],
+    index: int,
+    subst: Substitution,
+) -> Iterator[Substitution]:
+    if index == len(patterns):
+        yield subst
+        return
+    for new_subst in _match_pattern(egraph, patterns[index], child_ids[index], subst):
+        yield from _match_children(egraph, patterns, child_ids, index + 1, new_subst)
+
+
+# ---------------------------------------------------------------------------
+# Textual pattern syntax
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"\(|\)|[^\s()]+")
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse the s-expression pattern syntax.
+
+    Leaves: ``?x`` is a pattern variable, a number literal is a ``num``
+    term, and any other atom is a ``sym`` leaf.  ``(op child...)`` builds an
+    operator node; ``call:sqrt`` style atoms set the payload.
+    """
+
+    tokens = _TOKEN_RE.findall(text)
+    if not tokens:
+        raise ValueError("empty pattern")
+    pos = 0
+
+    def parse_node() -> PatternNode:
+        nonlocal pos
+        token = tokens[pos]
+        pos += 1
+        if token == "(":
+            head = tokens[pos]
+            pos += 1
+            op, _, payload = head.partition(":")
+            children: List[PatternNode] = []
+            while tokens[pos] != ")":
+                children.append(parse_node())
+            pos += 1  # consume ")"
+            return Pattern(op, tuple(children), payload or None)
+        if token == ")":
+            raise ValueError("unexpected ')' in pattern")
+        return _parse_atom(token)
+
+    node = parse_node()
+    if pos != len(tokens):
+        raise ValueError(f"trailing tokens in pattern: {tokens[pos:]}")
+    if isinstance(node, PatternVar):
+        return Pattern("?", (node,))  # degenerate single-variable pattern
+    return node
+
+
+def _parse_atom(token: str) -> PatternNode:
+    if token.startswith("?"):
+        return PatternVar(token[1:])
+    try:
+        if "." in token or "e" in token.lower():
+            return Pattern("num", (), float(token))
+        return Pattern("num", (), int(token))
+    except ValueError:
+        return Pattern("sym", (), token)

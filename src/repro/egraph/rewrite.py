@@ -1,0 +1,101 @@
+"""Rewrite rules over e-graphs.
+
+A rewrite is a named pair *(searcher, applier)*: the searcher is a
+:class:`~repro.egraph.pattern.Pattern` whose matches are collected across
+the whole e-graph, and the applier either instantiates a right-hand-side
+pattern (the common case — every rule in the paper's Table I is of this
+form) or runs an arbitrary callable for dynamic rewrites.  An optional
+guard filters matches before application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.pattern import Pattern, Substitution, parse_pattern
+
+__all__ = ["Rewrite", "rewrite"]
+
+#: A guard receives (egraph, matched class id, substitution) and may veto.
+Guard = Callable[[EGraph, int, Substitution], bool]
+
+#: A dynamic applier returns the e-class id to merge with the match, or None.
+DynamicApplier = Callable[[EGraph, int, Substitution], Optional[int]]
+
+
+@dataclass
+class Rewrite:
+    """A named rewrite rule ``lhs => rhs``."""
+
+    name: str
+    searcher: Pattern
+    applier: Union[Pattern, DynamicApplier]
+    guard: Optional[Guard] = None
+    #: Set False for expansive rules that should only fire once per pair
+    #: (not needed by the paper's rule set but useful for experimentation).
+    bidirectional: bool = False
+
+    # ------------------------------------------------------------------
+
+    def search(self, egraph: EGraph) -> List[Tuple[int, Substitution]]:
+        """Find all matches of the left-hand side."""
+
+        matches = self.searcher.search(egraph)
+        if self.guard is None:
+            return matches
+        return [
+            (eclass_id, subst)
+            for eclass_id, subst in matches
+            if self.guard(egraph, eclass_id, subst)
+        ]
+
+    def apply(
+        self, egraph: EGraph, matches: List[Tuple[int, Substitution]]
+    ) -> int:
+        """Apply the right-hand side to every match; returns #unions made."""
+
+        applied = 0
+        for eclass_id, subst in matches:
+            if isinstance(self.applier, Pattern):
+                new_id = self.applier.instantiate(egraph, subst)
+            else:
+                new_id = self.applier(egraph, eclass_id, subst)
+                if new_id is None:
+                    continue
+            if not egraph.is_equal(new_id, eclass_id):
+                egraph.merge(new_id, eclass_id)
+                applied += 1
+        return applied
+
+    def run(self, egraph: EGraph) -> int:
+        """Search and apply in one step (rebuild is the caller's job)."""
+
+        return self.apply(egraph, self.search(egraph))
+
+    def __str__(self) -> str:
+        rhs = self.applier if isinstance(self.applier, Pattern) else "<dynamic>"
+        return f"{self.name}: {self.searcher} => {rhs}"
+
+
+def rewrite(
+    name: str,
+    lhs: Union[str, Pattern],
+    rhs: Union[str, Pattern, DynamicApplier],
+    guard: Optional[Guard] = None,
+) -> Rewrite:
+    """Build a :class:`Rewrite`, parsing textual patterns when given strings.
+
+    Example — the paper's FMA1 rule::
+
+        rewrite("fma1", "(+ ?a (* ?b ?c))", "(fma ?a ?b ?c)")
+    """
+
+    searcher = parse_pattern(lhs) if isinstance(lhs, str) else lhs
+    applier: Union[Pattern, DynamicApplier]
+    if isinstance(rhs, str):
+        applier = parse_pattern(rhs)
+    else:
+        applier = rhs
+    return Rewrite(name, searcher, applier, guard)

@@ -1,0 +1,163 @@
+"""The equality-saturation loop.
+
+The :class:`Runner` repeatedly searches every rewrite, applies all matches,
+and rebuilds the e-graph, until one of the stopping conditions is reached:
+
+* **saturation** — an iteration produces no new union (the e-graph is a
+  fixed point of the rule set),
+* **node limit** — the e-graph grew past ``node_limit`` e-nodes,
+* **iteration limit** — ``iter_limit`` iterations executed,
+* **time limit** — wall-clock budget exhausted.
+
+The defaults mirror the paper's §VII settings: 10,000 e-nodes, 10
+iterations and 10 seconds of saturation time.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import Rewrite
+
+__all__ = ["StopReason", "RunnerLimits", "IterationReport", "RunnerReport", "Runner"]
+
+
+class StopReason(enum.Enum):
+    """Why the saturation loop stopped."""
+
+    SATURATED = "saturated"
+    NODE_LIMIT = "node_limit"
+    ITER_LIMIT = "iter_limit"
+    TIME_LIMIT = "time_limit"
+
+
+@dataclass(frozen=True)
+class RunnerLimits:
+    """Resource limits for one saturation run (paper §VII defaults)."""
+
+    node_limit: int = 10_000
+    iter_limit: int = 10
+    time_limit: float = 10.0
+
+    def validate(self) -> None:
+        if self.node_limit <= 0:
+            raise ValueError("node_limit must be positive")
+        if self.iter_limit <= 0:
+            raise ValueError("iter_limit must be positive")
+        if self.time_limit <= 0:
+            raise ValueError("time_limit must be positive")
+
+
+@dataclass
+class IterationReport:
+    """Statistics for a single saturation iteration."""
+
+    index: int
+    applied: int
+    egraph_nodes: int
+    egraph_classes: int
+    search_time: float
+    apply_time: float
+    rebuild_time: float
+
+
+@dataclass
+class RunnerReport:
+    """Aggregate statistics for a whole saturation run."""
+
+    stop_reason: StopReason
+    iterations: List[IterationReport] = field(default_factory=list)
+    total_time: float = 0.0
+    egraph_nodes: int = 0
+    egraph_classes: int = 0
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_applied(self) -> int:
+        return sum(it.applied for it in self.iterations)
+
+    def summary(self) -> str:
+        return (
+            f"stop={self.stop_reason.value} iters={self.num_iterations} "
+            f"applied={self.total_applied} nodes={self.egraph_nodes} "
+            f"classes={self.egraph_classes} time={self.total_time:.3f}s"
+        )
+
+
+class Runner:
+    """Drive equality saturation of an :class:`EGraph` with a rule set."""
+
+    def __init__(
+        self,
+        egraph: EGraph,
+        rewrites: Sequence[Rewrite],
+        limits: Optional[RunnerLimits] = None,
+    ) -> None:
+        self.egraph = egraph
+        self.rewrites = list(rewrites)
+        self.limits = limits or RunnerLimits()
+        self.limits.validate()
+
+    def run(self) -> RunnerReport:
+        """Run until saturation or a limit is hit; returns the report."""
+
+        start = time.perf_counter()
+        report = RunnerReport(StopReason.SATURATED)
+
+        for iteration in range(self.limits.iter_limit):
+            elapsed = time.perf_counter() - start
+            if elapsed > self.limits.time_limit:
+                report.stop_reason = StopReason.TIME_LIMIT
+                break
+            if len(self.egraph) > self.limits.node_limit:
+                report.stop_reason = StopReason.NODE_LIMIT
+                break
+
+            # Search every rule against the same pre-iteration e-graph so the
+            # result does not depend on rule order within an iteration.
+            t0 = time.perf_counter()
+            all_matches = [(rule, rule.search(self.egraph)) for rule in self.rewrites]
+            t1 = time.perf_counter()
+
+            applied = 0
+            for rule, matches in all_matches:
+                applied += rule.apply(self.egraph, matches)
+                if len(self.egraph) > self.limits.node_limit:
+                    break
+            t2 = time.perf_counter()
+
+            self.egraph.rebuild()
+            t3 = time.perf_counter()
+
+            report.iterations.append(
+                IterationReport(
+                    index=iteration,
+                    applied=applied,
+                    egraph_nodes=len(self.egraph),
+                    egraph_classes=self.egraph.num_classes,
+                    search_time=t1 - t0,
+                    apply_time=t2 - t1,
+                    rebuild_time=t3 - t2,
+                )
+            )
+
+            if applied == 0:
+                report.stop_reason = StopReason.SATURATED
+                break
+            if len(self.egraph) > self.limits.node_limit:
+                report.stop_reason = StopReason.NODE_LIMIT
+                break
+        else:
+            report.stop_reason = StopReason.ITER_LIMIT
+
+        report.total_time = time.perf_counter() - start
+        report.egraph_nodes = len(self.egraph)
+        report.egraph_classes = self.egraph.num_classes
+        return report

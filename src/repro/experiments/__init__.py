@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module is runnable (``python -m repro.experiments.figure2``) and
+exposes a ``run()`` function returning the structured data the paper
+reports, so the pytest-benchmark harness under ``benchmarks/`` and the
+EXPERIMENTS.md generator can share them.
+"""
+
+from repro.experiments.common import (
+    EvaluationSettings,
+    characterize_kernel,
+    evaluate_benchmark,
+    evaluate_kernel,
+)
+
+__all__ = [
+    "EvaluationSettings",
+    "characterize_kernel",
+    "evaluate_benchmark",
+    "evaluate_kernel",
+]

@@ -1,0 +1,38 @@
+"""Table I — ACC Saturator's rewriting rules.
+
+Prints the rule table verbatim and checks that the implemented rule set
+matches it one-for-one.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rules import RULE_TABLE, default_ruleset
+from repro.rules.rulesets import RuleSpec
+
+__all__ = ["run", "format_table"]
+
+
+def run() -> List[RuleSpec]:
+    """Return the rule table after verifying it matches the implementation."""
+
+    implemented = {rule.name.replace("-", "").lower() for rule in default_ruleset()}
+    for spec in RULE_TABLE:
+        key = spec.name.replace("-", "").replace("1", "1").lower()
+        # FMA1 -> fma1, COMM-ADD -> commadd, ASSOC-ADD1 -> assocadd1
+        if key not in implemented:
+            raise AssertionError(f"rule {spec.name} missing from the default rule set")
+    return list(RULE_TABLE)
+
+
+def format_table(rows: List[RuleSpec]) -> str:
+    lines = [f"{'Name':<12} {'Pattern':<16} {'Result':<18}", "-" * 46]
+    for spec in rows:
+        lines.append(f"{spec.name:<12} {spec.pattern:<16} {spec.result:<18}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print("Table I — rewriting rules")
+    print(format_table(run()))

@@ -1,0 +1,223 @@
+"""Tokenizer for the C subset + ``#pragma`` lines.
+
+The lexer is line-aware so that preprocessor-style directives (``#pragma``)
+can be captured as single tokens including continuation lines ending in a
+backslash, which is how OpenACC kernels commonly spell long directives::
+
+    #pragma acc parallel loop gang num_gangs(ksize-1)\\
+            num_workers(4) vector_length(32)
+
+Comments (``//`` and ``/* */``) are skipped.  Numeric literals keep their
+original spelling so the printer can round-trip suffixes such as ``0.f``.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["TokenKind", "Token", "Lexer", "LexerError", "tokenize"]
+
+
+class LexerError(ValueError):
+    """Raised when the input contains a character sequence we cannot lex."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class TokenKind(enum.Enum):
+    """Classification of a lexical token."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    PUNCT = "punct"
+    PRAGMA = "pragma"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+#: Multi-character punctuators, longest first so maximal munch works.
+_PUNCTUATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", ".",
+]
+
+_NUMBER_RE = re.compile(
+    r"""
+    (?:
+        0[xX][0-9a-fA-F]+[uUlL]*            # hexadecimal
+      | (?:\d+\.\d*|\.\d+|\d+)              # decimal / float mantissa
+        (?:[eE][+-]?\d+)?                   # optional exponent
+        [fFlLuU]*                           # optional suffixes
+    )
+    """,
+    re.VERBOSE,
+)
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+class Lexer:
+    """Convert C source text into a list of :class:`Token`."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, self.line, self.column)
+
+    # -- skipping ----------------------------------------------------------
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    # -- token producers ---------------------------------------------------
+
+    def _lex_pragma(self) -> Token:
+        line, column = self.line, self.column
+        pieces: List[str] = []
+        while True:
+            start = self.pos
+            while self.pos < len(self.source) and self._peek() != "\n":
+                self._advance()
+            segment = self.source[start : self.pos]
+            if self.pos < len(self.source):
+                self._advance()  # consume newline
+            stripped = segment.rstrip()
+            if stripped.endswith("\\"):
+                pieces.append(stripped[:-1])
+                continue
+            pieces.append(stripped)
+            break
+        text = " ".join(piece.strip() for piece in pieces)
+        return Token(TokenKind.PRAGMA, text, line, column)
+
+    def _lex_string(self, quote: str) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        self._advance()  # opening quote
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch == "\\":
+                self._advance(2)
+                continue
+            if ch == quote:
+                self._advance()
+                text = self.source[start : self.pos]
+                kind = TokenKind.STRING if quote == '"' else TokenKind.CHAR
+                return Token(kind, text, line, column)
+            if ch == "\n":
+                break
+            self._advance()
+        raise self._error("unterminated string literal")
+
+    # -- main loop ----------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token in the source, terminated by an EOF token."""
+
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                yield Token(TokenKind.EOF, "", self.line, self.column)
+                return
+
+            ch = self._peek()
+            line, column = self.line, self.column
+
+            if ch == "#":
+                yield self._lex_pragma()
+                continue
+
+            if ch == '"' or ch == "'":
+                yield self._lex_string(ch)
+                continue
+
+            match = _NUMBER_RE.match(self.source, self.pos)
+            if match and (ch.isdigit() or (ch == "." and self._peek(1).isdigit())):
+                text = match.group(0)
+                self._advance(len(text))
+                yield Token(TokenKind.NUMBER, text, line, column)
+                continue
+
+            match = _IDENT_RE.match(self.source, self.pos)
+            if match:
+                text = match.group(0)
+                self._advance(len(text))
+                yield Token(TokenKind.IDENT, text, line, column)
+                continue
+
+            for punct in _PUNCTUATORS:
+                if self.source.startswith(punct, self.pos):
+                    self._advance(len(punct))
+                    yield Token(TokenKind.PUNCT, punct, line, column)
+                    break
+            else:
+                raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source* and return the full token list (including EOF)."""
+
+    return list(Lexer(source).tokens())

@@ -1,0 +1,46 @@
+"""AST normalisation used before SSA construction.
+
+The only transformation is structural: every loop body and branch of an
+``if`` becomes a :class:`~repro.frontend.cast.Block`, so that later passes
+(SSA construction and temporary-variable insertion) always have a real
+statement list to splice generated declarations into.  The printed code is
+semantically identical; only braces are added.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import cast as C
+
+__all__ = ["normalize_blocks"]
+
+
+def _as_block(stmt: C.Stmt) -> C.Block:
+    if isinstance(stmt, C.Block):
+        return stmt
+    return C.Block([stmt], getattr(stmt, "line", 0))
+
+
+def normalize_blocks(node: C.Node) -> C.Node:
+    """Wrap loop/branch bodies in blocks, in place; returns *node*."""
+
+    for child in list(node.children()):
+        normalize_blocks(child)
+
+    if isinstance(node, C.If):
+        node.then = _as_block(node.then)
+        normalize_blocks(node.then)
+        if node.otherwise is not None:
+            node.otherwise = _as_block(node.otherwise)
+            normalize_blocks(node.otherwise)
+    elif isinstance(node, C.For):
+        node.body = _as_block(node.body)
+        normalize_blocks(node.body)
+    elif isinstance(node, C.While):
+        node.body = _as_block(node.body)
+        normalize_blocks(node.body)
+    elif isinstance(node, C.DoWhile):
+        node.body = _as_block(node.body)
+        normalize_blocks(node.body)
+    elif isinstance(node, C.Pragma) and node.stmt is not None:
+        normalize_blocks(node.stmt)
+    return node

@@ -1,0 +1,225 @@
+"""Parsing of OpenACC / OpenMP ``#pragma`` directives.
+
+ACC Saturator never rewrites directives — it only needs to *understand* them
+well enough to find parallel loops (and in particular the innermost parallel
+loop whose body is packed into an e-graph) and to reprint them verbatim.
+This module therefore parses the directive family (``acc`` / ``omp``), the
+directive name words (``parallel loop``, ``kernels``, ``target teams
+distribute`` ...) and the clause list (``gang``, ``vector_length(128)``,
+``reduction(+:sum)`` ...), keeping the original spelling for regeneration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "DirectiveKind",
+    "DirectiveClause",
+    "Directive",
+    "parse_pragma",
+    "PARALLEL_LOOP_CLAUSES",
+]
+
+
+class DirectiveKind(enum.Enum):
+    """The programming model the directive belongs to."""
+
+    ACC = "acc"
+    OMP = "omp"
+    OTHER = "other"
+
+
+#: Clause names that mark a loop directive as expressing parallelism.
+PARALLEL_LOOP_CLAUSES = frozenset(
+    {
+        "gang",
+        "worker",
+        "vector",
+        "independent",
+        "seq",
+        "collapse",
+        "num_gangs",
+        "num_workers",
+        "vector_length",
+        "simd",
+        "parallel",
+        "distribute",
+        "teams",
+        "for",
+    }
+)
+
+#: OpenACC directive names that start an offloaded compute construct.
+_ACC_COMPUTE = {"parallel", "kernels", "serial"}
+
+#: OpenMP directive names that start an offloaded compute construct.
+_OMP_COMPUTE = {"target", "teams", "parallel", "distribute", "for", "simd"}
+
+
+@dataclass(frozen=True)
+class DirectiveClause:
+    """A single clause: a name plus the raw text of its parenthesised argument."""
+
+    name: str
+    argument: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.argument is None:
+            return self.name
+        return f"{self.name}({self.argument})"
+
+
+@dataclass
+class Directive:
+    """A parsed ``#pragma acc``/``#pragma omp`` directive."""
+
+    kind: DirectiveKind
+    #: Leading directive-name words, e.g. ``("parallel", "loop")`` or
+    #: ``("target", "teams", "distribute")``.
+    names: tuple[str, ...] = ()
+    clauses: List[DirectiveClause] = field(default_factory=list)
+    #: Original pragma text (without the ``#pragma`` prefix normalisation).
+    raw: str = ""
+
+    # -- queries -----------------------------------------------------------
+
+    def has_clause(self, name: str) -> bool:
+        """Return True if a clause with the given name is present."""
+
+        return any(clause.name == name for clause in self.clauses)
+
+    def clause(self, name: str) -> Optional[DirectiveClause]:
+        """Return the first clause with the given name, or None."""
+
+        for clause in self.clauses:
+            if clause.name == name:
+                return clause
+        return None
+
+    @property
+    def is_compute_construct(self) -> bool:
+        """True if this directive opens an offloaded compute region."""
+
+        if self.kind is DirectiveKind.ACC:
+            return bool(_ACC_COMPUTE.intersection(self.names))
+        if self.kind is DirectiveKind.OMP:
+            return "target" in self.names or "teams" in self.names
+        return False
+
+    @property
+    def is_loop_directive(self) -> bool:
+        """True if this directive applies to the loop that follows it."""
+
+        if self.kind is DirectiveKind.ACC:
+            return "loop" in self.names or "kernels" in self.names or "parallel" in self.names
+        if self.kind is DirectiveKind.OMP:
+            return bool({"for", "distribute", "simd", "loop"}.intersection(self.names))
+        return False
+
+    @property
+    def parallelism_levels(self) -> tuple[str, ...]:
+        """The parallelism levels named on this directive, coarse to fine."""
+
+        levels = []
+        order = ("gang", "worker", "vector", "simd")
+        present = {clause.name for clause in self.clauses} | set(self.names)
+        for level in order:
+            if level in present:
+                levels.append(level)
+        return tuple(levels)
+
+    def __str__(self) -> str:
+        parts = ["#pragma", self.kind.value if self.kind is not DirectiveKind.OTHER else ""]
+        parts = [p for p in parts if p]
+        parts.extend(self.names)
+        parts.extend(str(clause) for clause in self.clauses)
+        return " ".join(parts)
+
+
+def _split_clauses(text: str) -> List[str]:
+    """Split the clause region of a pragma on whitespace outside parentheses."""
+
+    pieces: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+            current.append(ch)
+        elif ch == ")":
+            depth -= 1
+            current.append(ch)
+        elif ch.isspace() and depth == 0:
+            if current:
+                pieces.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+    if current:
+        pieces.append("".join(current))
+    return pieces
+
+
+def _parse_clause(piece: str) -> DirectiveClause:
+    """Parse one clause token, e.g. ``num_gangs(ksize-1)`` or ``gang``."""
+
+    if "(" in piece and piece.endswith(")"):
+        name, _, rest = piece.partition("(")
+        return DirectiveClause(name.strip(), rest[:-1].strip())
+    return DirectiveClause(piece.strip())
+
+
+#: Words that are part of the directive name rather than a clause, per model.
+_NAME_WORDS = {
+    DirectiveKind.ACC: {"parallel", "kernels", "serial", "loop", "data", "enter",
+                        "exit", "update", "routine", "declare", "atomic", "wait",
+                        "host_data", "cache"},
+    DirectiveKind.OMP: {"target", "teams", "distribute", "parallel", "for", "simd",
+                        "loop", "data", "enter", "exit", "update", "declare",
+                        "atomic", "critical", "barrier", "single", "master",
+                        "sections", "section", "task"},
+}
+
+
+def parse_pragma(text: str) -> Directive:
+    """Parse the text of a ``#pragma`` line into a :class:`Directive`.
+
+    *text* may or may not include the leading ``#pragma`` keyword.  Pragmas
+    of families other than ``acc``/``omp`` yield a Directive with kind
+    :attr:`DirectiveKind.OTHER` and the raw text preserved.
+    """
+
+    raw = text.strip()
+    body = raw
+    if body.startswith("#"):
+        body = body[1:].strip()
+    if body.startswith("pragma"):
+        body = body[len("pragma"):].strip()
+
+    words = _split_clauses(body)
+    if not words:
+        return Directive(DirectiveKind.OTHER, (), [], raw)
+
+    family = words[0]
+    if family == "acc":
+        kind = DirectiveKind.ACC
+    elif family == "omp":
+        kind = DirectiveKind.OMP
+    else:
+        return Directive(DirectiveKind.OTHER, (family,), [], raw)
+
+    names: List[str] = []
+    clauses: List[DirectiveClause] = []
+    name_words = _NAME_WORDS[kind]
+    in_names = True
+    for piece in words[1:]:
+        plain = "(" not in piece
+        if in_names and plain and piece in name_words:
+            names.append(piece)
+            continue
+        in_names = False
+        clauses.append(_parse_clause(piece))
+    return Directive(kind, tuple(names), clauses, raw)

@@ -1,0 +1,91 @@
+"""GPU hardware configurations (paper §II-A and §VII).
+
+The two configurations used in the evaluation are the A100-PCIE-40GB
+(Figures 2–4, Tables II–IV) and the A100-SXM4-80GB (Figures 5–6), whose
+memory bandwidth is 1.31× higher (paper §VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUConfig", "A100_PCIE_40GB", "A100_SXM4_80GB"]
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Architectural parameters of one GPU model."""
+
+    name: str
+    num_sms: int = 108
+    #: FP64 cores per SM (A100 whitepaper: 32).
+    fp64_cores_per_sm: int = 32
+    clock_ghz: float = 1.41
+    #: Achievable global-memory bandwidth in GB/s.
+    mem_bandwidth_gbps: float = 1555.0
+    #: Global-memory access latency in cycles.
+    mem_latency_cycles: float = 480.0
+    #: Maximum resident threads per SM.
+    max_threads_per_sm: int = 2048
+    #: Warp size.
+    warp_size: int = 32
+    #: Register file per SM (32-bit registers).
+    registers_per_sm: int = 65536
+    #: Maximum registers addressable per thread (beyond this, spills).
+    max_registers_per_thread: int = 255
+    #: L1/shared hit ratio assumed for spilled accesses and reused lines.
+    l1_hit_ratio: float = 0.5
+    #: L2 latency in cycles (spill traffic mostly hits L2).
+    l2_latency_cycles: float = 200.0
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Device-wide memory bytes per GPU core clock cycle."""
+
+        return self.mem_bandwidth_gbps / self.clock_ghz
+
+    @property
+    def bytes_per_cycle_per_sm(self) -> float:
+        return self.bytes_per_cycle / self.num_sms
+
+    @property
+    def fp64_flops_per_cycle_per_sm(self) -> float:
+        """FP64 operations per cycle per SM (FMA counted as one instruction)."""
+
+        return float(self.fp64_cores_per_sm)
+
+    def scaled_bandwidth(self, factor: float) -> "GPUConfig":
+        """A copy of this GPU with memory bandwidth scaled by *factor*."""
+
+        return GPUConfig(
+            name=f"{self.name}-bw{factor:g}x",
+            num_sms=self.num_sms,
+            fp64_cores_per_sm=self.fp64_cores_per_sm,
+            clock_ghz=self.clock_ghz,
+            mem_bandwidth_gbps=self.mem_bandwidth_gbps * factor,
+            mem_latency_cycles=self.mem_latency_cycles,
+            max_threads_per_sm=self.max_threads_per_sm,
+            warp_size=self.warp_size,
+            registers_per_sm=self.registers_per_sm,
+            max_registers_per_thread=self.max_registers_per_thread,
+            l1_hit_ratio=self.l1_hit_ratio,
+            l2_latency_cycles=self.l2_latency_cycles,
+        )
+
+
+#: The GPU of Figures 2–4 and Tables II–IV.
+A100_PCIE_40GB = GPUConfig(
+    name="A100-PCIE-40GB",
+    mem_bandwidth_gbps=1555.0,
+)
+
+#: The GPU of Figures 5–6 (1.31x higher memory bandwidth, paper §VIII).
+A100_SXM4_80GB = GPUConfig(
+    name="A100-SXM4-80GB",
+    mem_bandwidth_gbps=2039.0,
+    mem_latency_cycles=460.0,
+)

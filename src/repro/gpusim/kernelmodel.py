@@ -1,0 +1,182 @@
+"""Lowering of kernel statistics into a machine-level characterisation.
+
+:func:`compile_kernel` plays the role of the backend compiler: given the
+operation counts of a kernel body (original or one of the generated
+variants) it produces a :class:`CompiledKernel` — the per-thread instruction
+mix, the register demand, the achievable memory-level parallelism and any
+spill traffic — which :func:`repro.gpusim.launch.simulate_kernel` then turns
+into an execution-time estimate on a specific GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.codegen.generator import KernelCodeStats
+from repro.gpusim.compilers import CompilerModel
+from repro.gpusim.gpu import GPUConfig
+
+__all__ = ["KernelCharacterization", "CompiledKernel", "compile_kernel"]
+
+
+@dataclass(frozen=True)
+class KernelCharacterization:
+    """Source-level description of one kernel variant.
+
+    ``original`` carries the operation counts of the unoptimized loop body
+    (every textual occurrence counted); ``generated`` the counts of the code
+    actually fed to the compiler (equal to ``original`` for the baseline
+    build, or the output of the code generator for CSE/SAT/BULK/ACCSAT).
+    """
+
+    name: str
+    original: KernelCodeStats
+    generated: KernelCodeStats
+    #: True when the generated code hoists loads (bulk load layout).
+    bulk_load: bool = False
+    #: True when this characterisation is the untouched original source.
+    is_original: bool = True
+    #: Number of simultaneously live temporaries (0 for the original).
+    live_temporaries: int = 0
+    #: The shipped kernel source stands for a `scale`x larger real kernel
+    #: (see KernelSpec.statement_scale); operation counts and register
+    #: pressure are multiplied by this factor in the machine model.
+    scale: float = 1.0
+    #: True when the kernel is offloaded with the OpenACC `kernels`
+    #: directive (rather than `parallel`); affects the parallel efficiency
+    #: of compilers whose `kernels` support is immature.
+    uses_kernels_directive: bool = False
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """Machine-level view of one kernel variant under one compiler."""
+
+    name: str
+    compiler: CompilerModel
+    #: Per-thread, per-iteration operation counts after compiler optimization.
+    loads: float
+    stores: float
+    fp_ops: float
+    fmas: float
+    int_ops: float
+    divs: float
+    calls: float
+    #: Registers per thread (clamped to the hardware maximum by the launcher).
+    registers: float
+    #: Spilled values per thread per iteration (beyond the register limit).
+    spills: float
+    #: Memory-level parallelism: independent outstanding loads per thread.
+    mlp: float
+    #: Fraction of hardware parallelism exposed by the compiler for this
+    #: kernel's directive form (parallel vs kernels).
+    parallel_efficiency: float = 1.0
+
+    @property
+    def instructions(self) -> float:
+        """Executed instructions per thread per iteration."""
+
+        return (
+            self.loads + self.stores + self.fp_ops + self.fmas
+            + self.int_ops + self.divs + self.calls + 2.0 * self.spills
+        )
+
+    @property
+    def dram_bytes(self) -> float:
+        """Global-memory traffic per thread per iteration (bytes)."""
+
+        return 8.0 * (self.loads + self.stores)
+
+
+def compile_kernel(
+    characterization: KernelCharacterization,
+    compiler: CompilerModel,
+    gpu: Optional[GPUConfig] = None,
+) -> CompiledKernel:
+    """Lower a kernel characterisation through a compiler model."""
+
+    original = characterization.original
+    generated = characterization.generated
+    scale = max(1.0, characterization.scale)
+
+    if characterization.is_original:
+        # The compiler sees the redundant source and removes part of the
+        # redundancy itself, depending on its optimisation strength.
+        loads = compiler.effective_loads(original.loads, _min_loads(original, generated))
+        arith = compiler.effective_arith(
+            original.flops + original.fmas, generated.flops + generated.fmas
+        )
+        fmas = (original.fmas + (arith - original.fmas) * 0.4) if compiler.contract_fma else original.fmas
+        fmas = min(fmas, arith)
+        fp_ops = max(0.0, arith - fmas)
+        int_ops = float(original.int_ops)
+        divs = float(original.divs)
+        calls = float(original.calls)
+        stores = float(original.stores)
+        mlp = compiler.scheduled_mlp
+        # the working set of the original code grows with the kernel size
+        live = max(2.0, (loads * 0.5 + arith * 0.1) * scale)
+    else:
+        # Generated code: the temporaries pin the schedule, the compiler
+        # keeps the source-level structure (paper §VI-A).
+        loads = float(generated.loads)
+        stores = float(generated.stores)
+        fmas = float(generated.fmas) if compiler.contract_fma else 0.0
+        fp_ops = float(generated.flops) + (0.0 if compiler.contract_fma else float(generated.fmas))
+        int_ops = float(generated.int_ops)
+        divs = float(generated.divs)
+        calls = float(generated.calls)
+        if characterization.bulk_load:
+            # every hoisted load is live at once: maximum MLP, maximum
+            # register pressure (Table IV: +~100 registers on BT)
+            mlp = min(compiler.bulk_mlp, max(1.0, float(generated.loads) * scale))
+            live = max(float(characterization.live_temporaries) * 0.5,
+                       float(generated.loads)) * scale
+        else:
+            mlp = min(compiler.scheduled_mlp, max(1.0, float(generated.loads)))
+            live = max(2.0, (loads * 0.5 + (fp_ops + fmas) * 0.1) * scale)
+
+    loads *= scale
+    stores *= scale
+    fp_ops *= scale
+    fmas *= scale
+    int_ops *= scale
+    divs *= scale
+    calls *= scale
+
+    registers = compiler.base_registers + compiler.registers_per_live_value * live
+
+    spills = 0.0
+    if gpu is not None and registers > gpu.max_registers_per_thread:
+        spills = registers - gpu.max_registers_per_thread
+        registers = float(gpu.max_registers_per_thread)
+
+    efficiency = (
+        compiler.kernels_efficiency
+        if characterization.uses_kernels_directive
+        else compiler.parallel_efficiency
+    )
+    return CompiledKernel(
+        name=characterization.name,
+        compiler=compiler,
+        loads=loads,
+        stores=stores,
+        fp_ops=fp_ops,
+        fmas=fmas,
+        int_ops=int_ops,
+        divs=divs,
+        calls=calls,
+        registers=registers,
+        spills=spills,
+        mlp=max(1.0, mlp),
+        parallel_efficiency=efficiency,
+    )
+
+
+def _min_loads(original: KernelCodeStats, generated: KernelCodeStats) -> int:
+    """The irreducible number of loads (what perfect CSE would keep)."""
+
+    if generated.loads > 0:
+        return min(original.loads, generated.loads)
+    return original.loads

@@ -1,0 +1,66 @@
+"""Aggregation helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.gpusim.launch import KernelPerformance
+
+__all__ = ["KernelMeasurement", "VariantComparison", "speedup", "geomean"]
+
+
+@dataclass
+class KernelMeasurement:
+    """One kernel's performance under every generated-code variant."""
+
+    kernel: str
+    #: variant name ("original", "cse", "cse+sat", "cse+bulk", "accsat") ->
+    #: modelled performance.
+    by_variant: Dict[str, KernelPerformance] = field(default_factory=dict)
+
+    def time(self, variant: str) -> float:
+        return self.by_variant[variant].time_s
+
+    def speedup(self, variant: str, baseline: str = "original") -> float:
+        return speedup(self.time(baseline), self.time(variant))
+
+
+@dataclass
+class VariantComparison:
+    """Benchmark-level comparison: total time per variant + speedups."""
+
+    benchmark: str
+    compiler: str
+    gpu: str
+    total_time: Dict[str, float] = field(default_factory=dict)
+    kernels: List[KernelMeasurement] = field(default_factory=list)
+
+    def speedup(self, variant: str, baseline: str = "original") -> float:
+        return speedup(self.total_time[baseline], self.total_time[variant])
+
+    def speedups(self, baseline: str = "original") -> Dict[str, float]:
+        return {
+            variant: self.speedup(variant, baseline)
+            for variant in self.total_time
+            if variant != baseline
+        }
+
+
+def speedup(baseline_time: float, variant_time: float) -> float:
+    """Speedup of *variant* over *baseline* (>1 means faster)."""
+
+    if variant_time <= 0:
+        return float("inf")
+    return baseline_time / variant_time
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the usual way to average speedups)."""
+
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return 1.0
+    return float(np.exp(np.mean(np.log(array))))

@@ -1,0 +1,33 @@
+"""Reference interpreter for the C subset.
+
+The interpreter gives the reproduction an executable semantics: the test
+suite runs the *original* and the *optimized* kernel on identical random
+inputs and checks that every array and scalar agrees (within floating-point
+tolerance — reassociation and FMA contraction legitimately change the last
+few ulps, exactly as ``-ffast-math``/``-gpu=fastmath`` do in the paper's
+experimental setup).
+"""
+
+from repro.interp.values import Environment, CBreak, CContinue, CReturn
+from repro.interp.interpreter import InterpreterError, Interpreter, evaluate_expression, execute
+from repro.interp.verify import (
+    VerificationResult,
+    make_random_environment,
+    infer_kernel_inputs,
+    verify_equivalence,
+)
+
+__all__ = [
+    "CBreak",
+    "CContinue",
+    "CReturn",
+    "Environment",
+    "Interpreter",
+    "InterpreterError",
+    "VerificationResult",
+    "evaluate_expression",
+    "execute",
+    "infer_kernel_inputs",
+    "make_random_environment",
+    "verify_equivalence",
+]

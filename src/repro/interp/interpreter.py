@@ -1,0 +1,405 @@
+"""Tree-walking interpreter for the C subset.
+
+Semantics follow C where it matters for the kernels: integer division
+truncates toward zero, integer variables stay integers, ``&&``/``||``
+short-circuit, and the math intrinsics (``sqrt``, ``exp``, ``pow``, ...)
+map onto :mod:`math`.  Loops are bounded by ``max_iterations`` so that a
+malformed kernel cannot hang the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.frontend import cast as C
+from repro.interp.values import CBreak, CContinue, CReturn, Environment
+
+__all__ = ["InterpreterError", "Interpreter", "execute", "evaluate_expression"]
+
+Scalar = Union[int, float]
+
+
+class InterpreterError(RuntimeError):
+    """Raised for constructs outside the supported subset or runtime errors."""
+
+
+#: Math intrinsics available to kernels.
+_MATH_FUNCTIONS: Dict[str, Callable[..., float]] = {
+    "sqrt": math.sqrt,
+    "sqrtf": math.sqrt,
+    "fabs": abs,
+    "fabsf": abs,
+    "abs": abs,
+    "exp": math.exp,
+    "expf": math.exp,
+    "log": math.log,
+    "logf": math.log,
+    "log2": math.log2,
+    "log10": math.log10,
+    "pow": math.pow,
+    "powf": math.pow,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "fmin": min,
+    "fmax": max,
+    "min": min,
+    "max": max,
+    "fma": lambda x, y, z: x * y + z,
+    "rsqrt": lambda x: 1.0 / math.sqrt(x),
+    "hypot": math.hypot,
+    "atan": math.atan,
+    "atan2": math.atan2,
+}
+
+_INT_TYPES = ("int", "long", "short", "unsigned", "size_t", "int32_t", "int64_t",
+              "uint32_t", "uint64_t", "char", "bool", "_Bool", "ssize_t")
+
+
+def _is_int_type(type_name: str) -> bool:
+    words = type_name.replace("*", " ").split()
+    return any(word in _INT_TYPES for word in words) and "double" not in words \
+        and "float" not in words
+
+
+class Interpreter:
+    """Execute statements of the C subset against an :class:`Environment`."""
+
+    def __init__(self, env: Environment, max_iterations: int = 10_000_000) -> None:
+        self.env = env
+        self.max_iterations = max_iterations
+        self._iterations = 0
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def execute(self, stmt: C.Stmt) -> None:
+        """Execute one statement."""
+
+        if isinstance(stmt, C.Block):
+            for inner in stmt.stmts:
+                self.execute(inner)
+            return
+        if isinstance(stmt, C.Pragma):
+            if stmt.stmt is not None:
+                self.execute(stmt.stmt)
+            return
+        if isinstance(stmt, C.Decl):
+            value: Scalar = 0
+            if stmt.init is not None:
+                value = self.eval(stmt.init)
+            if stmt.array_dims:
+                dims = tuple(int(self.eval(d)) for d in stmt.array_dims)
+                dtype = np.int64 if _is_int_type(stmt.type_name) else np.float64
+                self.env.arrays[stmt.name] = np.zeros(dims, dtype=dtype)
+                return
+            if _is_int_type(stmt.type_name):
+                value = int(value)
+            else:
+                value = float(value)
+            self.env.scalars[stmt.name] = value
+            return
+        if isinstance(stmt, C.ExprStmt):
+            self.eval(stmt.expr)
+            return
+        if isinstance(stmt, C.If):
+            if self._truth(self.eval(stmt.cond)):
+                self.execute(stmt.then)
+            elif stmt.otherwise is not None:
+                self.execute(stmt.otherwise)
+            return
+        if isinstance(stmt, C.For):
+            self._execute_for(stmt)
+            return
+        if isinstance(stmt, C.While):
+            while self._truth(self.eval(stmt.cond)):
+                self._tick()
+                try:
+                    self.execute(stmt.body)
+                except CBreak:
+                    break
+                except CContinue:
+                    continue
+            return
+        if isinstance(stmt, C.DoWhile):
+            while True:
+                self._tick()
+                try:
+                    self.execute(stmt.body)
+                except CBreak:
+                    break
+                except CContinue:
+                    pass
+                if not self._truth(self.eval(stmt.cond)):
+                    break
+            return
+        if isinstance(stmt, C.Return):
+            raise CReturn(self.eval(stmt.value) if stmt.value is not None else None)
+        if isinstance(stmt, C.Break):
+            raise CBreak()
+        if isinstance(stmt, C.Continue):
+            raise CContinue()
+        raise InterpreterError(f"cannot execute statement {type(stmt).__name__}")
+
+    def _execute_for(self, stmt: C.For) -> None:
+        if stmt.init is not None:
+            self.execute(stmt.init)
+        while stmt.cond is None or self._truth(self.eval(stmt.cond)):
+            self._tick()
+            try:
+                self.execute(stmt.body)
+            except CBreak:
+                break
+            except CContinue:
+                pass
+            if stmt.step is not None:
+                self.eval(stmt.step)
+        else:  # pragma: no cover - loop always exits via condition/break
+            pass
+
+    def _tick(self) -> None:
+        self._iterations += 1
+        if self._iterations > self.max_iterations:
+            raise InterpreterError(
+                f"iteration budget exceeded ({self.max_iterations})"
+            )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def eval(self, expr: C.Expr) -> Scalar:
+        """Evaluate an expression and return its value."""
+
+        if isinstance(expr, C.Number):
+            return expr.value
+        if isinstance(expr, C.Ident):
+            return self.env.read_scalar(expr.name)
+        if isinstance(expr, C.Member):
+            return self._read_lvalue(expr)
+        if isinstance(expr, C.ArraySub):
+            return self._read_lvalue(expr)
+        if isinstance(expr, C.UnaryOp):
+            return self._eval_unary(expr)
+        if isinstance(expr, C.BinOp):
+            return self._eval_binop(expr)
+        if isinstance(expr, C.Ternary):
+            if self._truth(self.eval(expr.cond)):
+                return self.eval(expr.then)
+            return self.eval(expr.otherwise)
+        if isinstance(expr, C.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, C.Cast):
+            value = self.eval(expr.operand)
+            if _is_int_type(expr.type_name):
+                return int(value)
+            return float(value)
+        if isinstance(expr, C.Assign):
+            return self._eval_assign(expr)
+        if isinstance(expr, C.StringLit):
+            raise InterpreterError("string literals have no scalar value")
+        raise InterpreterError(f"cannot evaluate expression {type(expr).__name__}")
+
+    # -- lvalues --------------------------------------------------------
+
+    def _lvalue_path(self, expr: C.Expr):
+        """Resolve an lvalue to (kind, ...) where kind is 'scalar' or 'array'."""
+
+        if isinstance(expr, C.Ident):
+            return ("scalar", expr.name)
+        if isinstance(expr, C.Member):
+            if isinstance(expr.base, C.ArraySub):
+                # array-of-structs access such as kValues[i].Kx: modelled as
+                # a struct-of-arrays named "kValues.Kx"
+                base_path = self._lvalue_path(expr.base)
+                _, name, indices = base_path
+                return ("array", f"{name}.{expr.field_name}", indices)
+            base = self._member_name(expr)
+            return ("scalar", base)
+        if isinstance(expr, C.ArraySub):
+            indices = []
+            node = expr
+            while isinstance(node, C.ArraySub):
+                indices.append(int(self.eval(node.index)))
+                node = node.base
+            indices.reverse()
+            if isinstance(node, C.Ident):
+                name = node.name
+            elif isinstance(node, C.Member):
+                name = self._member_name(node)
+            else:
+                raise InterpreterError(
+                    f"unsupported array base {type(node).__name__}"
+                )
+            return ("array", name, tuple(indices))
+        if isinstance(expr, C.UnaryOp) and expr.op == "*" and not expr.postfix:
+            # *p — model a pointer as a 1-element array named p
+            if isinstance(expr.operand, C.Ident):
+                return ("array", expr.operand.name, (0,))
+        raise InterpreterError(f"unsupported lvalue {type(expr).__name__}")
+
+    def _member_name(self, expr: C.Member) -> str:
+        parts = []
+        node: C.Expr = expr
+        while isinstance(node, C.Member):
+            parts.append(node.field_name)
+            node = node.base
+        if not isinstance(node, C.Ident):
+            raise InterpreterError("unsupported member base")
+        parts.append(node.name)
+        return ".".join(reversed(parts))
+
+    def _read_lvalue(self, expr: C.Expr) -> Scalar:
+        path = self._lvalue_path(expr)
+        if path[0] == "scalar":
+            return self.env.read_scalar(path[1])
+        _, name, indices = path
+        array = self.env.read_array(name)
+        value = array[indices]
+        return int(value) if np.issubdtype(array.dtype, np.integer) else float(value)
+
+    def _write_lvalue(self, expr: C.Expr, value: Scalar) -> None:
+        path = self._lvalue_path(expr)
+        if path[0] == "scalar":
+            name = path[1]
+            old = self.env.scalars.get(name)
+            if isinstance(old, int) and not isinstance(old, bool) and isinstance(value, float):
+                # keep ints integral only if the value is integral, matching
+                # what assignment to an int variable does in C (truncation)
+                value = int(value)
+            self.env.scalars[name] = value
+            return
+        _, name, indices = path
+        array = self.env.read_array(name)
+        try:
+            array[indices] = value
+        except IndexError as exc:
+            raise InterpreterError(f"index {indices} out of bounds for {name!r}") from exc
+
+    # -- operators -------------------------------------------------------
+
+    def _eval_unary(self, expr: C.UnaryOp) -> Scalar:
+        if expr.op in ("++", "--"):
+            old = self._read_lvalue(expr.operand)
+            new = old + 1 if expr.op == "++" else old - 1
+            self._write_lvalue(expr.operand, new)
+            return old if expr.postfix else new
+        if expr.op == "*" and not expr.postfix:
+            return self._read_lvalue(expr)
+        value = self.eval(expr.operand)
+        if expr.op == "-":
+            return -value
+        if expr.op == "+":
+            return value
+        if expr.op == "!":
+            return 0 if self._truth(value) else 1
+        if expr.op == "~":
+            return ~int(value)
+        if expr.op == "&":
+            raise InterpreterError("address-of is not supported by the interpreter")
+        raise InterpreterError(f"unsupported unary operator {expr.op}")
+
+    def _eval_binop(self, expr: C.BinOp) -> Scalar:
+        op = expr.op
+        if op == "&&":
+            return 1 if self._truth(self.eval(expr.lhs)) and self._truth(self.eval(expr.rhs)) else 0
+        if op == "||":
+            return 1 if self._truth(self.eval(expr.lhs)) or self._truth(self.eval(expr.rhs)) else 0
+        if op == ",":
+            self.eval(expr.lhs)
+            return self.eval(expr.rhs)
+        lhs = self.eval(expr.lhs)
+        rhs = self.eval(expr.rhs)
+        return _apply_binop(op, lhs, rhs)
+
+    def _eval_call(self, expr: C.Call) -> Scalar:
+        if not isinstance(expr.func, C.Ident):
+            raise InterpreterError("indirect calls are not supported")
+        name = expr.func.name
+        fn = _MATH_FUNCTIONS.get(name)
+        if fn is None:
+            raise InterpreterError(f"unknown function {name!r}")
+        args = [self.eval(a) for a in expr.args]
+        return fn(*args)
+
+    def _eval_assign(self, expr: C.Assign) -> Scalar:
+        value = self.eval(expr.value)
+        if expr.op != "=":
+            old = self._read_lvalue(expr.target)
+            value = _apply_binop(expr.op[:-1], old, value)
+        self._write_lvalue(expr.target, value)
+        return value
+
+    @staticmethod
+    def _truth(value: Scalar) -> bool:
+        return bool(value)
+
+
+def _apply_binop(op: str, lhs: Scalar, rhs: Scalar) -> Scalar:
+    both_int = isinstance(lhs, int) and isinstance(rhs, int)
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if both_int:
+            if rhs == 0:
+                raise InterpreterError("integer division by zero")
+            quotient = abs(lhs) // abs(rhs)
+            return quotient if (lhs >= 0) == (rhs >= 0) else -quotient
+        if rhs == 0:
+            return math.inf if lhs > 0 else (-math.inf if lhs < 0 else math.nan)
+        return lhs / rhs
+    if op == "%":
+        if rhs == 0:
+            raise InterpreterError("modulo by zero")
+        return int(math.fmod(int(lhs), int(rhs)))
+    if op == "<":
+        return int(lhs < rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    if op == "<<":
+        return int(lhs) << int(rhs)
+    if op == ">>":
+        return int(lhs) >> int(rhs)
+    if op == "&":
+        return int(lhs) & int(rhs)
+    if op == "|":
+        return int(lhs) | int(rhs)
+    if op == "^":
+        return int(lhs) ^ int(rhs)
+    raise InterpreterError(f"unsupported binary operator {op}")
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+
+def execute(stmt: C.Stmt, env: Environment, max_iterations: int = 10_000_000) -> Environment:
+    """Execute *stmt* against *env* (mutated in place and returned)."""
+
+    Interpreter(env, max_iterations).execute(stmt)
+    return env
+
+
+def evaluate_expression(expr: C.Expr, env: Optional[Environment] = None) -> Scalar:
+    """Evaluate a standalone expression."""
+
+    return Interpreter(env or Environment()).eval(expr)

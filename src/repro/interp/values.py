@@ -1,0 +1,94 @@
+"""Runtime values and environments for the reference interpreter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = ["Environment", "CBreak", "CContinue", "CReturn"]
+
+Scalar = Union[int, float]
+
+
+class CBreak(Exception):
+    """Signals a ``break`` statement."""
+
+
+class CContinue(Exception):
+    """Signals a ``continue`` statement."""
+
+
+class CReturn(Exception):
+    """Signals a ``return`` statement (carries the returned value)."""
+
+    def __init__(self, value: Optional[Scalar] = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+@dataclass
+class Environment:
+    """Scalar variables and arrays visible to a kernel.
+
+    Arrays are NumPy arrays indexed with C-style row-major subscripts.
+    Struct-member scalars are stored under their printed name (``p.x``);
+    struct-of-array members under ``name.field`` in :attr:`arrays`.
+    """
+
+    scalars: Dict[str, Scalar] = field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def copy(self) -> "Environment":
+        """A deep copy (arrays are copied, not aliased)."""
+
+        return Environment(
+            scalars=dict(self.scalars),
+            arrays={name: np.array(arr, copy=True) for name, arr in self.arrays.items()},
+        )
+
+    def read_scalar(self, name: str) -> Scalar:
+        try:
+            return self.scalars[name]
+        except KeyError:
+            raise KeyError(f"undefined scalar variable {name!r}") from None
+
+    def read_array(self, name: str) -> np.ndarray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise KeyError(f"undefined array {name!r}") from None
+
+    def allclose(self, other: "Environment", rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        """True if every scalar and array matches within tolerance."""
+
+        if set(self.arrays) != set(other.arrays):
+            return False
+        for name, array in self.arrays.items():
+            if not np.allclose(array, other.arrays[name], rtol=rtol, atol=atol, equal_nan=True):
+                return False
+        common = set(self.scalars) & set(other.scalars)
+        for name in common:
+            a, b = self.scalars[name], other.scalars[name]
+            if isinstance(a, float) or isinstance(b, float):
+                if not np.isclose(a, b, rtol=rtol, atol=atol, equal_nan=True):
+                    return False
+            elif a != b:
+                return False
+        return True
+
+    def max_difference(self, other: "Environment") -> float:
+        """Largest absolute elementwise difference across shared arrays."""
+
+        worst = 0.0
+        for name in set(self.arrays) & set(other.arrays):
+            diff = np.abs(self.arrays[name] - other.arrays[name])
+            if diff.size:
+                worst = max(worst, float(np.nanmax(diff)))
+        for name in set(self.scalars) & set(other.scalars):
+            try:
+                worst = max(worst, abs(float(self.scalars[name]) - float(other.scalars[name])))
+            except (TypeError, ValueError):  # pragma: no cover - defensive
+                continue
+        return worst

@@ -1,0 +1,24 @@
+"""Rewriting rule sets (paper Table I + constant folding)."""
+
+from repro.rules.fma import fma_rules
+from repro.rules.arithmetic import associativity_rules, commutativity_rules
+from repro.rules.constfold import constant_folding_analysis
+from repro.rules.rulesets import (
+    RULE_TABLE,
+    RuleSpec,
+    default_ruleset,
+    extended_ruleset,
+    ruleset_by_name,
+)
+
+__all__ = [
+    "RULE_TABLE",
+    "RuleSpec",
+    "associativity_rules",
+    "commutativity_rules",
+    "constant_folding_analysis",
+    "default_ruleset",
+    "extended_ruleset",
+    "fma_rules",
+    "ruleset_by_name",
+]

@@ -1,0 +1,55 @@
+"""Commutativity / associativity rules (paper Table I).
+
+These rules are what lets equality saturation *reorder computation*: they
+expose new common subexpressions (``B = D + E`` and ``C = E + D`` become the
+same e-class) and create new FMA opportunities.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.egraph.rewrite import Rewrite, rewrite
+
+__all__ = ["commutativity_rules", "associativity_rules", "identity_rules"]
+
+
+def commutativity_rules() -> List[Rewrite]:
+    """COMM-ADD and COMM-MUL."""
+
+    return [
+        rewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+        rewrite("comm-mul", "(* ?a ?b)", "(* ?b ?a)"),
+    ]
+
+
+def associativity_rules() -> List[Rewrite]:
+    """ASSOC-ADD1/2 and ASSOC-MUL1/2."""
+
+    return [
+        rewrite("assoc-add1", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)"),
+        rewrite("assoc-add2", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+        rewrite("assoc-mul1", "(* ?a (* ?b ?c))", "(* (* ?a ?b) ?c)"),
+        rewrite("assoc-mul2", "(* (* ?a ?b) ?c)", "(* ?a (* ?b ?c))"),
+    ]
+
+
+def identity_rules() -> List[Rewrite]:
+    """Algebraic identities kept out of the paper's default set.
+
+    The paper notes that extra rules (subtraction, division, ...) blow up the
+    e-graph; these are provided for the *extended* rule set exercised by the
+    ablation benchmarks, not enabled by default.
+    """
+
+    return [
+        rewrite("add-zero", "(+ ?a 0)", "?a"),
+        rewrite("mul-one", "(* ?a 1)", "?a"),
+        rewrite("mul-zero", "(* ?a 0)", "0"),
+        rewrite("sub-self", "(- ?a ?a)", "0"),
+        rewrite("sub-to-add", "(- ?a ?b)", "(+ ?a (neg ?b))"),
+        rewrite("add-neg-to-sub", "(+ ?a (neg ?b))", "(- ?a ?b)"),
+        rewrite("neg-neg", "(neg (neg ?a))", "?a"),
+        rewrite("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
+        rewrite("factor", "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))"),
+    ]

@@ -1,0 +1,21 @@
+"""Constant folding.
+
+The paper folds "arithmetic operations with integer and floating-point
+numbers" during saturation.  Folding is implemented as an e-class analysis
+(:class:`repro.egraph.analysis.ConstantFoldingAnalysis`) rather than as
+rewrite rules, which is both how egg recommends it and asymptotically
+cheaper: the folded literal is injected into the e-class the moment the
+class is discovered to be constant.
+"""
+
+from __future__ import annotations
+
+from repro.egraph.analysis import ConstantFoldingAnalysis
+
+__all__ = ["constant_folding_analysis"]
+
+
+def constant_folding_analysis(fold_division: bool = True) -> ConstantFoldingAnalysis:
+    """Build the constant-folding analysis used by the default pipeline."""
+
+    return ConstantFoldingAnalysis(fold_division=fold_division)

@@ -1,0 +1,34 @@
+"""Fused multiply-add introduction rules (paper Table I, FMA1-3).
+
+``fma(a, b, c)`` denotes ``a + b * c`` — the convention used throughout the
+term language, the interpreter, and the code generator (which prints it as
+the C ``fma`` intrinsic operand order ``fma(b, c, a)`` when emitting code,
+see :mod:`repro.codegen.generator`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.egraph.rewrite import Rewrite, rewrite
+
+__all__ = ["fma_rules"]
+
+
+def fma_rules() -> List[Rewrite]:
+    """The three FMA-introduction rules of Table I.
+
+    ========  =====================  =========================
+    name      pattern                result
+    ========  =====================  =========================
+    FMA1      ``A + B * C``          ``FMA(A, B, C)``
+    FMA2      ``A - B * C``          ``FMA(A, -B, C)``
+    FMA3      ``B * C - A``          ``FMA(-A, B, C)``
+    ========  =====================  =========================
+    """
+
+    return [
+        rewrite("fma1", "(+ ?a (* ?b ?c))", "(fma ?a ?b ?c)"),
+        rewrite("fma2", "(- ?a (* ?b ?c))", "(fma ?a (neg ?b) ?c)"),
+        rewrite("fma3", "(- (* ?b ?c) ?a)", "(fma (neg ?a) ?b ?c)"),
+    ]

@@ -1,0 +1,84 @@
+"""Configuration of the ACC Saturator pipeline."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.egraph.runner import RunnerLimits
+
+__all__ = ["Variant", "SaturatorConfig"]
+
+
+class Variant(enum.Enum):
+    """The four generated-code variants of the paper's evaluation (§VIII).
+
+    ======== =================== =========
+    variant  equality saturation bulk load
+    ======== =================== =========
+    CSE      no                  no
+    CSE_SAT  yes                 no
+    CSE_BULK no                  yes
+    ACCSAT   yes                 yes
+    ======== =================== =========
+
+    Every variant goes through the e-graph round trip, so common
+    subexpressions (in particular redundant loads) are always eliminated —
+    that is what the paper calls the *CSE* baseline.
+    """
+
+    CSE = "cse"
+    CSE_SAT = "cse+sat"
+    CSE_BULK = "cse+bulk"
+    ACCSAT = "accsat"
+
+    @property
+    def saturate(self) -> bool:
+        return self in (Variant.CSE_SAT, Variant.ACCSAT)
+
+    @property
+    def bulk_load(self) -> bool:
+        return self in (Variant.CSE_BULK, Variant.ACCSAT)
+
+    @staticmethod
+    def from_name(name: str) -> "Variant":
+        normalized = name.strip().lower().replace("_", "+").replace(" ", "")
+        for variant in Variant:
+            if variant.value == normalized or variant.name.lower() == name.strip().lower():
+                return variant
+        raise ValueError(f"unknown variant {name!r}; expected one of "
+                         f"{[v.value for v in Variant]}")
+
+
+@dataclass
+class SaturatorConfig:
+    """All knobs of the pipeline, with the paper's defaults."""
+
+    #: Which generated-code variant to produce.
+    variant: Variant = Variant.ACCSAT
+    #: Rule set name (see :func:`repro.rules.ruleset_by_name`).
+    ruleset: str = "default"
+    #: Extraction method: ``dag-greedy`` (default), ``tree`` or ``ilp``.
+    extraction: str = "dag-greedy"
+    #: Saturation limits (10k e-nodes / 10 iterations / 10 s, §VII).
+    limits: RunnerLimits = field(default_factory=RunnerLimits)
+    #: Extraction time limit in seconds (30 s, §VII) — only the ILP
+    #: extractor enforces it.
+    extraction_time_limit: float = 30.0
+    #: Enable constant folding (as an e-class analysis).
+    constant_folding: bool = True
+    #: Prefix of generated temporaries.
+    temp_prefix: str = "_v"
+
+    def with_variant(self, variant: Variant) -> "SaturatorConfig":
+        """A copy of this config with a different variant."""
+
+        return SaturatorConfig(
+            variant=variant,
+            ruleset=self.ruleset,
+            extraction=self.extraction,
+            limits=self.limits,
+            extraction_time_limit=self.extraction_time_limit,
+            constant_folding=self.constant_folding,
+            temp_prefix=self.temp_prefix,
+        )

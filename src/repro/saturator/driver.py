@@ -1,0 +1,60 @@
+"""Whole-source driver: parse, optimize every kernel, regenerate C."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.frontend import cast as C
+from repro.frontend.normalize import normalize_blocks
+from repro.frontend.parser import parse, parse_statement
+from repro.frontend.printer import print_c
+from repro.saturator.config import SaturatorConfig
+from repro.saturator.kernel import find_parallel_kernels
+from repro.saturator.pipeline import optimize_kernel
+from repro.saturator.report import OptimizationResult
+
+__all__ = ["optimize_source", "optimize_ast"]
+
+
+def optimize_ast(
+    root: C.Node,
+    config: Optional[SaturatorConfig] = None,
+    name_prefix: str = "kernel",
+) -> OptimizationResult:
+    """Optimize every kernel found under *root*, mutating the AST."""
+
+    config = config or SaturatorConfig()
+    normalize_blocks(root)
+    kernels = find_parallel_kernels(root, name_prefix)
+    reports = []
+    for kernel in kernels:
+        _, report = optimize_kernel(kernel, config)
+        reports.append(report)
+    return OptimizationResult(
+        code=print_c(root),
+        kernels=reports,
+        variant=config.variant.value,
+    )
+
+
+def optimize_source(
+    source: str,
+    config: Optional[SaturatorConfig] = None,
+    name_prefix: str = "kernel",
+) -> OptimizationResult:
+    """Optimize OpenACC/OpenMP C *source* and return the regenerated code.
+
+    The input may be a whole translation unit (functions and globals) or a
+    bare statement/loop nest, which is how the benchmark suite stores its
+    kernels.
+    """
+
+    config = config or SaturatorConfig()
+    root: C.Node
+    try:
+        root = parse(source)
+        if not root.decls:
+            root = parse_statement(source)
+    except Exception:
+        root = parse_statement(source)
+    return optimize_ast(root, config, name_prefix)

@@ -1,0 +1,142 @@
+"""Discovery of offloaded kernels and their innermost parallel loops.
+
+ACC Saturator optimizes "the sequential parts of parallel loops": for each
+compute construct it locates the innermost loop that still carries
+parallelism (``gang``/``worker``/``vector``/``simd`` or an OpenMP
+work-sharing directive) and hands its body to the SSA builder.  Loops
+nested *inside* that body are sequential (e.g. the ``l`` reduction loop of
+the matrix-multiplication example in Listing 1) and are optimized as part
+of the body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.frontend import cast as C
+from repro.frontend.pragma import Directive, DirectiveKind
+
+__all__ = ["ParallelKernel", "find_parallel_kernels", "innermost_parallel_loop"]
+
+
+@dataclass
+class ParallelKernel:
+    """One offloaded kernel: a directive and its loop nest."""
+
+    #: The pragma node that opens the compute construct.
+    pragma: C.Pragma
+    #: The outermost loop of the kernel.
+    loop: C.For
+    #: The innermost parallel loop (its body is what gets optimized).
+    innermost: C.For
+    #: Every directive seen on the way down (outermost first).
+    directives: List[Directive] = field(default_factory=list)
+    #: Kernel name (assigned by the caller, e.g. ``bt_kernel_3``).
+    name: str = ""
+
+    @property
+    def body(self) -> C.Block:
+        """The body block of the innermost parallel loop."""
+
+        body = self.innermost.body
+        if isinstance(body, C.Block):
+            return body
+        raise TypeError("kernel loop body has not been normalised to a block")
+
+
+def _first_loop(stmt: Optional[C.Stmt]) -> Optional[C.For]:
+    """The first ``for`` loop found under *stmt* (skipping pragmas/blocks)."""
+
+    if stmt is None:
+        return None
+    if isinstance(stmt, C.For):
+        return stmt
+    if isinstance(stmt, C.Pragma):
+        return _first_loop(stmt.stmt)
+    if isinstance(stmt, C.Block):
+        for inner in stmt.stmts:
+            loop = _first_loop(inner)
+            if loop is not None:
+                return loop
+    return None
+
+
+def _directive_of(stmt: C.Stmt) -> Optional[Directive]:
+    if isinstance(stmt, C.Pragma) and isinstance(stmt.directive, Directive):
+        return stmt.directive
+    return None
+
+
+def innermost_parallel_loop(loop: C.For, directives: List[Directive]) -> C.For:
+    """Descend a loop nest and return the innermost loop that is parallel.
+
+    A nested loop continues the descent when it is annotated with a loop
+    directive expressing parallelism (OpenACC ``loop`` with gang/worker/
+    vector, OpenMP ``for``/``simd``/``distribute``) or, for the ``kernels``
+    construct, when it is the only statement of the parent body (NVHPC
+    auto-parallelises such nests).
+    """
+
+    body = loop.body
+    stmts = body.stmts if isinstance(body, C.Block) else [body]
+
+    # Strip leading pragmas attached to the next statement.
+    meaningful = [s for s in stmts if not (isinstance(s, C.Pragma) and s.stmt is None)]
+
+    if len(meaningful) != 1:
+        return loop
+    only = meaningful[0]
+
+    directive = _directive_of(only)
+    if directive is not None and isinstance(only, C.Pragma):
+        inner = _first_loop(only.stmt)
+        if inner is not None and directive.is_loop_directive:
+            directives.append(directive)
+            return innermost_parallel_loop(inner, directives)
+        return loop
+
+    if isinstance(only, C.For):
+        # unannotated nested loop: under a `kernels` construct compilers
+        # parallelise these too; under `parallel` they are sequential.
+        in_kernels = any("kernels" in d.names for d in directives)
+        if in_kernels:
+            return innermost_parallel_loop(only, directives)
+        return loop
+
+    return loop
+
+
+def find_parallel_kernels(node: C.Node, name_prefix: str = "kernel") -> List[ParallelKernel]:
+    """Find every offloaded kernel under *node* (a translation unit,
+    function, or statement)."""
+
+    kernels: List[ParallelKernel] = []
+
+    def visit(stmt: C.Node) -> None:
+        if isinstance(stmt, C.Pragma):
+            directive = _directive_of(stmt)
+            if directive is not None and directive.kind in (DirectiveKind.ACC, DirectiveKind.OMP) \
+                    and directive.is_compute_construct:
+                loop = _first_loop(stmt.stmt)
+                if loop is not None:
+                    directives = [directive]
+                    innermost = innermost_parallel_loop(loop, directives)
+                    kernels.append(
+                        ParallelKernel(
+                            pragma=stmt,
+                            loop=loop,
+                            innermost=innermost,
+                            directives=directives,
+                            name=f"{name_prefix}_{len(kernels)}",
+                        )
+                    )
+                    return  # do not descend into an already-captured kernel
+            if stmt.stmt is not None:
+                visit(stmt.stmt)
+            return
+        for child in stmt.children():
+            visit(child)
+
+    visit(node)
+    return kernels

@@ -1,0 +1,100 @@
+"""Report structures returned by the pipeline.
+
+These mirror the numbers the paper reports in §VII (SSA/codegen time,
+saturation time, e-node counts) and §VIII (instruction and memory-access
+deltas), so the experiment harness can regenerate the evaluation tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.codegen.generator import KernelCodeStats
+from repro.egraph.runner import RunnerReport
+
+__all__ = ["KernelReport", "OptimizationResult"]
+
+
+@dataclass
+class KernelReport:
+    """Per-kernel statistics gathered along the pipeline."""
+
+    name: str = ""
+    #: SSA construction + code generation time (seconds) — the paper's
+    #: "91.8 ms per kernel" metric.
+    ssa_codegen_time: float = 0.0
+    #: Equality-saturation time (seconds) — the paper's "0.63 s" metric.
+    saturation_time: float = 0.0
+    extraction_time: float = 0.0
+    #: Saturation statistics (None when the variant does not saturate).
+    runner: Optional[RunnerReport] = None
+    #: E-graph size after (optional) saturation.
+    egraph_nodes: int = 0
+    egraph_classes: int = 0
+    #: Number of SSA assignments / groups.
+    assignments: int = 0
+    groups: int = 0
+    #: Operation counts before optimization (original code).
+    original: KernelCodeStats = field(default_factory=KernelCodeStats)
+    #: Operation counts after optimization (generated code).
+    optimized: KernelCodeStats = field(default_factory=KernelCodeStats)
+    #: DAG cost of the extracted solution under the paper's cost model.
+    extracted_cost: float = 0.0
+
+    @property
+    def load_reduction(self) -> float:
+        """Fractional reduction in memory loads (0.5 == 50% fewer loads)."""
+
+        if self.original.loads == 0:
+            return 0.0
+        return 1.0 - self.optimized.loads / self.original.loads
+
+    @property
+    def instruction_reduction(self) -> float:
+        if self.original.instructions == 0:
+            return 0.0
+        return 1.0 - self.optimized.instructions / self.original.instructions
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "ssa_codegen_time": self.ssa_codegen_time,
+            "saturation_time": self.saturation_time,
+            "extraction_time": self.extraction_time,
+            "egraph_nodes": self.egraph_nodes,
+            "egraph_classes": self.egraph_classes,
+            "assignments": self.assignments,
+            "groups": self.groups,
+            "original": self.original.as_dict(),
+            "optimized": self.optimized.as_dict(),
+            "extracted_cost": self.extracted_cost,
+            "load_reduction": self.load_reduction,
+            "instruction_reduction": self.instruction_reduction,
+        }
+
+
+@dataclass
+class OptimizationResult:
+    """Result of optimizing a source file (or a single kernel)."""
+
+    #: Regenerated C source (directives and structure preserved).
+    code: str
+    #: Per-kernel reports, in source order.
+    kernels: List[KernelReport] = field(default_factory=list)
+    #: The variant that produced this code.
+    variant: str = ""
+
+    @property
+    def total_ssa_codegen_time(self) -> float:
+        return sum(k.ssa_codegen_time for k in self.kernels)
+
+    @property
+    def total_saturation_time(self) -> float:
+        return sum(k.saturation_time for k in self.kernels)
+
+    def kernel(self, name: str) -> KernelReport:
+        for report in self.kernels:
+            if report.name == name:
+                return report
+        raise KeyError(name)

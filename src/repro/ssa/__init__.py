@@ -1,0 +1,28 @@
+"""Static single-assignment construction for directive-based kernels.
+
+The SSA builder (paper §IV) converts the body of an innermost parallel loop
+into a sequence of *assignments in SSA form*, expressed as terms of the
+e-graph language:
+
+* every scalar assignment / array store gets a fresh SSA value,
+* loads refer to the latest reaching definition along the data flow,
+* ``if`` joins introduce gated φ terms and loops introduce loop-φ terms,
+* array stores become ``store`` terms threading an array *version*, so
+  loads before and after a store never alias incorrectly.
+
+The output (:class:`KernelSSA`) keeps a precise link back to the original
+AST statements so that the code generator can rewrite right-hand sides in
+place while preserving the loop structure and the directives.
+"""
+
+from repro.ssa.form import AssignmentInfo, KernelSSA, StraightLineGroup
+from repro.ssa.builder import SSABuilder, build_ssa, expression_to_term
+
+__all__ = [
+    "AssignmentInfo",
+    "KernelSSA",
+    "SSABuilder",
+    "StraightLineGroup",
+    "build_ssa",
+    "expression_to_term",
+]

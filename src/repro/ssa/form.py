@@ -1,0 +1,126 @@
+"""Data structures produced by SSA construction.
+
+The three classes form a hierarchy:
+
+``KernelSSA``  — the SSA form of one innermost-parallel-loop body; owns
+``StraightLineGroup`` — a maximal run of consecutive simple assignment
+statements inside one block (control flow starts a new group); owns
+``AssignmentInfo`` — one original assignment statement together with its
+SSA right-hand-side term and enough location information for the code
+generator to rewrite it in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.egraph.language import Term
+from repro.frontend import cast as C
+
+__all__ = ["AssignmentInfo", "StraightLineGroup", "KernelSSA"]
+
+
+@dataclass
+class AssignmentInfo:
+    """One original assignment statement in SSA form."""
+
+    #: The original AST statement (:class:`ExprStmt` or :class:`Decl`).
+    stmt: C.Stmt
+    #: Index of the statement inside its owning block's ``stmts`` list.
+    stmt_index: int
+    #: Printable template of the left-hand side, e.g. ``lhsZ[{0}][{1}]`` for
+    #: array stores (the ``{i}`` holes are the index sub-terms) or a plain
+    #: variable name for scalar assignments.
+    lhs_template: str
+    #: Index terms of the left-hand side (empty for scalars).
+    lhs_indices: List[Term] = field(default_factory=list)
+    #: SSA right-hand-side term.
+    term: Optional[Term] = None
+    #: Sequential SSA id (unique within the kernel).
+    ssa_id: int = 0
+    #: True for array/member/pointer stores, False for scalar assignments.
+    is_store: bool = False
+    #: True when the statement is a declaration with initializer.
+    is_decl: bool = False
+    #: Name of the scalar variable defined (None for stores).
+    var_name: Optional[str] = None
+    #: For store assignments, the full ``store(...)`` term (the new array
+    #: version); used by the code generator to anchor load dependencies.
+    store_term: Optional[Term] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"AssignmentInfo(#{self.ssa_id} {self.lhs_template} := {self.term})"
+
+
+@dataclass
+class StraightLineGroup:
+    """A maximal run of consecutive simple assignments within one block.
+
+    All statements of a group execute unconditionally and in order, so the
+    code generator is free to insert temporaries anywhere inside the group
+    and to reorder loads (bulk load) without changing semantics.
+    """
+
+    #: The block whose ``stmts`` list contains this group's statements.
+    block: C.Block
+    #: Index of the first statement of the group within the block.
+    start_index: int = 0
+    assignments: List[AssignmentInfo] = field(default_factory=list)
+    #: Nesting depth relative to the innermost parallel loop body (0 = the
+    #: body itself); used by reports and by scope-aware temp declaration.
+    depth: int = 0
+
+    @property
+    def end_index(self) -> int:
+        """Index one past the last statement of the group."""
+
+        if not self.assignments:
+            return self.start_index
+        return self.assignments[-1].stmt_index + 1
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+
+@dataclass
+class KernelSSA:
+    """The SSA form of one innermost-parallel-loop body."""
+
+    #: The loop body block this SSA form was built from.
+    body: C.Block
+    groups: List[StraightLineGroup] = field(default_factory=list)
+    #: φ terms created at control-flow joins, keyed by their payload id.
+    phis: Dict[str, Term] = field(default_factory=dict)
+    #: Total number of SSA assignments (including ones in nested groups).
+    num_assignments: int = 0
+    #: Wall-clock seconds spent building the SSA form.
+    build_time: float = 0.0
+
+    def all_assignments(self) -> List[AssignmentInfo]:
+        """All assignments of all groups, in program order."""
+
+        result: List[AssignmentInfo] = []
+        for group in self.groups:
+            result.extend(group.assignments)
+        return result
+
+    def terms(self) -> List[Term]:
+        """The right-hand-side terms of every assignment, in program order."""
+
+        return [a.term for a in self.all_assignments() if a.term is not None]
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics used by the saturation report."""
+
+        terms = self.terms()
+        return {
+            "groups": len(self.groups),
+            "assignments": len(terms),
+            "phis": len(self.phis),
+            "term_nodes": sum(t.size() for t in terms),
+            "loads": sum(
+                1 for t in terms for node in t.walk() if node.op == "load"
+            ),
+            "stores": sum(1 for a in self.all_assignments() if a.is_store),
+        }

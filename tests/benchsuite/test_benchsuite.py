@@ -1,0 +1,116 @@
+"""Tests for the benchmark suite: metadata, parsing, and semantics.
+
+Every shipped kernel must (a) parse, (b) contain a discoverable parallel
+kernel, and (c) survive the full ACCSAT pipeline with semantics preserved.
+"""
+
+import pytest
+
+from repro.benchsuite import (
+    NPB_BENCHMARKS,
+    SPEC_ACC_BENCHMARKS,
+    SPEC_OMP_BENCHMARKS,
+    acc_to_omp_source,
+    all_benchmarks,
+    get_benchmark,
+)
+from repro.frontend import parse_statement
+from repro.frontend.cast import clone
+from repro.frontend.normalize import normalize_blocks
+from repro.interp import verify_equivalence
+from repro.saturator import SaturatorConfig, Variant, find_parallel_kernels
+from repro.saturator.driver import optimize_ast
+from repro.egraph.runner import RunnerLimits
+
+ALL_KERNELS = [
+    pytest.param(bench, spec, id=f"{bench.name}:{spec.name}")
+    for bench in NPB_BENCHMARKS + SPEC_ACC_BENCHMARKS
+    for spec in bench.kernels
+]
+
+FAST_CONFIG = SaturatorConfig(
+    variant=Variant.ACCSAT, limits=RunnerLimits(1500, 3, 3.0)
+)
+
+
+class TestRegistry:
+    def test_table2_metadata_matches_paper(self):
+        by_name = {b.name: b for b in NPB_BENCHMARKS}
+        assert by_name["BT"].num_kernels == 46
+        assert by_name["CG"].num_kernels == 16
+        assert by_name["EP"].num_kernels == 4
+        assert by_name["FT"].num_kernels == 12
+        assert by_name["LU"].num_kernels == 59
+        assert by_name["MG"].num_kernels == 16
+        assert by_name["SP"].num_kernels == 65
+        assert by_name["BT"].paper_original_time["nvhpc"] == pytest.approx(14.85)
+        assert by_name["BT"].paper_original_time["gcc"] == pytest.approx(28.04)
+
+    def test_table3_metadata_matches_paper(self):
+        by_name = {b.name: b for b in SPEC_ACC_BENCHMARKS}
+        assert by_name["csp"].num_kernels == 68
+        assert by_name["bt"].num_kernels == 50
+        assert by_name["cg"].paper_original_time["gcc"] == pytest.approx(662.58)
+
+    def test_omp_versions_have_p_names_and_paper_times(self):
+        names = {b.name for b in SPEC_OMP_BENCHMARKS}
+        assert names == {"postencil", "polbm", "pomriq", "pep", "pcg", "pcsp", "pbt"}
+        pbt = get_benchmark("pbt")
+        assert pbt.paper_original_time["clang"] == pytest.approx(562.83)
+
+    def test_get_benchmark_prefers_exact_match(self):
+        assert get_benchmark("bt").suite == "spec"
+        assert get_benchmark("BT").suite == "npb"
+        assert get_benchmark("olbm").suite == "spec"
+        with pytest.raises(KeyError):
+            get_benchmark("unknown")
+
+    def test_all_benchmarks_count(self):
+        assert len(all_benchmarks()) == 7 + 7 + 7
+
+
+class TestDirectiveTranslation:
+    def test_acc_to_omp_swaps_outer_directive(self):
+        source = "#pragma acc parallel loop gang\nfor (i = 0; i < n; i++) a[i] = 0.0;"
+        converted = acc_to_omp_source(source)
+        assert "#pragma omp target teams distribute" in converted
+        assert "acc" not in converted
+
+    def test_omp_sources_still_contain_kernels(self):
+        for bench in SPEC_OMP_BENCHMARKS:
+            for spec in bench.kernels:
+                assert "#pragma omp" in spec.source
+                root = parse_statement(spec.source)
+                normalize_blocks(root)
+                assert find_parallel_kernels(root), f"{bench.name}:{spec.name}"
+
+
+@pytest.mark.parametrize("bench,spec", ALL_KERNELS)
+def test_kernel_parses_and_is_discoverable(bench, spec):
+    root = parse_statement(spec.source)
+    normalize_blocks(root)
+    kernels = find_parallel_kernels(root)
+    assert kernels, f"no parallel kernel found in {bench.name}:{spec.name}"
+
+
+@pytest.mark.parametrize("bench,spec", ALL_KERNELS)
+def test_kernel_pipeline_preserves_semantics(bench, spec):
+    original = parse_statement(spec.source)
+    normalize_blocks(original)
+    work = clone(original)
+    optimize_ast(work, FAST_CONFIG)
+    result = verify_equivalence(original, work, trials=1, rtol=1e-6, atol=1e-8)
+    assert result.passed, f"{bench.name}:{spec.name}: {result.message}"
+
+
+@pytest.mark.parametrize(
+    "bench", NPB_BENCHMARKS + SPEC_ACC_BENCHMARKS,
+    ids=lambda b: b.name,
+)
+def test_kernel_specs_have_sane_launch_parameters(bench):
+    for spec in bench.kernels:
+        assert spec.iterations_per_launch > 0
+        assert spec.launches > 0
+        assert spec.repeat >= 1
+        assert 0 < spec.parallel_fraction <= 1.0
+        assert spec.statement_scale >= 1.0

@@ -1,0 +1,65 @@
+"""Tests for the paper's cost model (§V-B)."""
+
+import pytest
+
+from repro.cost import AccSaturatorCostModel, CostWeights, DEFAULT_COST_MODEL, OpClass, classify_op
+from repro.egraph.egraph import ENode
+from repro.egraph.language import num, op, sym
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "enode,expected",
+        [
+            (ENode("num", (), 3.0), OpClass.CONSTANT),
+            (ENode("sym", (), "x"), OpClass.VARIABLE),
+            (ENode("phi", (0, 1, 2), "x@phi1"), OpClass.PHI),
+            (ENode("phi-loop", (0, 1, 2), "s@loop1"), OpClass.PHI),
+            (ENode("+", (0, 1)), OpClass.COMPUTE),
+            (ENode("fma", (0, 1, 2)), OpClass.COMPUTE),
+            (ENode("load", (0, 1), "a[{0}]"), OpClass.EXPENSIVE),
+            (ENode("store", (0, 1, 2), "a[{0}]"), OpClass.EXPENSIVE),
+            (ENode("/", (0, 1)), OpClass.EXPENSIVE),
+            (ENode("%", (0, 1)), OpClass.EXPENSIVE),
+            (ENode("call", (0,), "sqrt"), OpClass.EXPENSIVE),
+            (ENode("cast", (0,), "double"), OpClass.STRUCTURAL),
+        ],
+    )
+    def test_operator_classes(self, enode, expected):
+        assert classify_op(enode) is expected
+
+
+class TestPaperWeights:
+    def test_paper_cost_values(self):
+        model = DEFAULT_COST_MODEL
+        assert model.enode_cost(ENode("num", (), 1.0)) == 0.0
+        assert model.enode_cost(ENode("sym", (), "x")) == 1.0
+        assert model.enode_cost(ENode("phi", (0, 1, 2), "p")) == 1.0
+        assert model.enode_cost(ENode("*", (0, 1))) == 10.0
+        assert model.enode_cost(ENode("load", (0, 1), "a[{0}]")) == 100.0
+        assert model.enode_cost(ENode("/", (0, 1))) == 100.0
+        assert model.enode_cost(ENode("call", (0,), "sqrt")) == 100.0
+
+    def test_custom_weights(self):
+        model = AccSaturatorCostModel(CostWeights(compute=3.0, expensive=7.0))
+        assert model.enode_cost(ENode("+", (0, 1))) == 3.0
+        assert model.enode_cost(ENode("load", (0,), "a")) == 7.0
+
+    def test_term_cost_counts_every_occurrence(self):
+        shared = op("*", sym("a"), sym("b"))
+        term = op("+", shared, shared)
+        model = DEFAULT_COST_MODEL
+        # + (10), two * (20), four syms (4) = 34
+        assert model.term_cost(term) == 34.0
+
+    def test_term_dag_cost_counts_shared_once(self):
+        shared = op("*", sym("a"), sym("b"))
+        term = op("+", shared, shared)
+        # + (10), one * (10), two syms (2) = 22
+        assert DEFAULT_COST_MODEL.term_dag_cost(term) == 22.0
+
+    def test_fma_cheaper_than_mul_plus_add(self):
+        model = DEFAULT_COST_MODEL
+        fused = model.term_cost(op("fma", sym("a"), sym("b"), sym("c")))
+        split = model.term_cost(op("+", sym("a"), op("*", sym("b"), sym("c"))))
+        assert fused < split

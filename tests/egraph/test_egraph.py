@@ -1,0 +1,97 @@
+"""Unit tests for the e-graph core (hashcons, merge, congruence closure)."""
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.language import num, op, sym
+
+
+class TestAdd:
+    def test_hashcons_deduplicates_identical_nodes(self):
+        eg = EGraph()
+        a1 = eg.add_term(op("+", sym("x"), sym("y")))
+        a2 = eg.add_term(op("+", sym("x"), sym("y")))
+        assert eg.find(a1) == eg.find(a2)
+
+    def test_different_terms_get_different_classes(self):
+        eg = EGraph()
+        a = eg.add_term(op("+", sym("x"), sym("y")))
+        b = eg.add_term(op("*", sym("x"), sym("y")))
+        assert eg.find(a) != eg.find(b)
+
+    def test_payload_distinguishes_leaves(self):
+        eg = EGraph()
+        assert eg.find(eg.add_leaf("sym", "x")) != eg.find(eg.add_leaf("sym", "y"))
+        assert eg.find(eg.add_leaf("num", 1)) != eg.find(eg.add_leaf("num", 2))
+
+    def test_len_counts_enodes(self):
+        eg = EGraph()
+        eg.add_term(op("+", sym("x"), num(1)))
+        assert len(eg) == 3
+        assert eg.num_classes == 3
+
+
+class TestMergeAndRebuild:
+    def test_merge_unifies_classes(self):
+        eg = EGraph()
+        a = eg.add_term(sym("a"))
+        b = eg.add_term(sym("b"))
+        eg.merge(a, b)
+        eg.rebuild()
+        assert eg.is_equal(a, b)
+        eg.check_invariants()
+
+    def test_congruence_closure_merges_parents(self):
+        """f(a) and f(b) must merge once a = b (upward congruence)."""
+
+        eg = EGraph()
+        a, b = eg.add_term(sym("a")), eg.add_term(sym("b"))
+        fa = eg.add(ENode("f", (a,)))
+        fb = eg.add(ENode("f", (b,)))
+        assert not eg.is_equal(fa, fb)
+        eg.merge(a, b)
+        eg.rebuild()
+        assert eg.is_equal(fa, fb)
+        eg.check_invariants()
+
+    def test_nested_congruence(self):
+        eg = EGraph()
+        a, b = eg.add_term(sym("a")), eg.add_term(sym("b"))
+        ga = eg.add(ENode("g", (eg.add(ENode("f", (a,))),)))
+        gb = eg.add(ENode("g", (eg.add(ENode("f", (b,))),)))
+        eg.merge(a, b)
+        eg.rebuild()
+        assert eg.is_equal(ga, gb)
+
+    def test_union_terms_convenience(self):
+        eg = EGraph()
+        eg.union_terms(op("+", sym("a"), sym("b")), op("+", sym("b"), sym("a")))
+        assert eg.equivalent_terms(
+            op("+", sym("a"), sym("b")), op("+", sym("b"), sym("a"))
+        )
+
+    def test_lookup_term_does_not_grow_graph(self):
+        eg = EGraph()
+        eg.add_term(op("+", sym("x"), sym("y")))
+        before = len(eg)
+        assert eg.lookup_term(op("*", sym("x"), sym("y"))) is None
+        assert len(eg) == before
+
+    def test_copy_is_independent(self):
+        eg = EGraph()
+        a = eg.add_term(sym("a"))
+        b = eg.add_term(sym("b"))
+        dup = eg.copy()
+        eg.merge(a, b)
+        eg.rebuild()
+        assert eg.is_equal(a, b)
+        assert not dup.is_equal(a, b)
+        dup.check_invariants()
+
+    def test_version_increases_on_changes(self):
+        eg = EGraph()
+        v0 = eg.version
+        a = eg.add_term(sym("a"))
+        assert eg.version > v0
+        b = eg.add_term(sym("b"))
+        v1 = eg.version
+        eg.merge(a, b)
+        assert eg.version > v1

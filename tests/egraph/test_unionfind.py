@@ -1,0 +1,77 @@
+"""Unit + property tests for the union-find."""
+
+from hypothesis import given, strategies as st
+
+from repro.egraph.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_make_set_returns_sequential_ids(self):
+        uf = UnionFind()
+        assert [uf.make_set() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_find_of_fresh_set_is_itself(self):
+        uf = UnionFind()
+        a = uf.make_set()
+        assert uf.find(a) == a
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        uf.union(a, b)
+        assert uf.same(a, b)
+        assert uf.find(a) == uf.find(b)
+
+    def test_union_is_idempotent(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        first = uf.union(a, b)
+        second = uf.union(a, b)
+        assert first == second
+
+    def test_roots_after_unions(self):
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(5)]
+        uf.union(ids[0], ids[1])
+        uf.union(ids[2], ids[3])
+        assert len(uf.roots()) == 3
+
+    def test_copy_is_independent(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        dup = uf.copy()
+        uf.union(a, b)
+        assert uf.same(a, b)
+        assert not dup.same(a, b)
+
+
+@given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
+def test_property_union_find_equivalence_closure(pairs):
+    """After arbitrary unions: reflexive, symmetric, transitive via roots."""
+
+    uf = UnionFind()
+    ids = [uf.make_set() for _ in range(20)]
+    for a, b in pairs:
+        uf.union(ids[a], ids[b])
+
+    # every element's root is a fixpoint of find
+    for element in ids:
+        root = uf.find(element)
+        assert uf.find(root) == root
+
+    # symmetric: same(a, b) == same(b, a)
+    for a, b in pairs:
+        assert uf.same(ids[a], ids[b])
+        assert uf.same(ids[b], ids[a])
+
+
+@given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40))
+def test_property_roots_count_decreases_with_unions(pairs):
+    uf = UnionFind()
+    ids = [uf.make_set() for _ in range(15)]
+    previous = len(uf.roots())
+    for a, b in pairs:
+        uf.union(ids[a], ids[b])
+        current = len(uf.roots())
+        assert current <= previous
+        previous = current

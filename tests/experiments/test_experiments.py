@@ -1,0 +1,115 @@
+"""Tests for the experiment harness (tables and figures).
+
+These run the real pipeline + GPU model on a reduced setting and check the
+qualitative claims of the paper's evaluation (who wins, and roughly where).
+"""
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.experiments import table1
+from repro.experiments.common import (
+    EvaluationSettings,
+    VARIANT_ORDER,
+    characterize_kernel,
+    evaluate_benchmark,
+    format_speedup_table,
+)
+from repro.gpusim import A100_PCIE_40GB, A100_SXM4_80GB
+
+FAST = EvaluationSettings(node_limit=1500, iter_limit=3, time_limit=3.0)
+
+
+class TestTable1:
+    def test_rule_table_consistent_with_implementation(self):
+        rows = table1.run()
+        assert len(rows) == 9
+        assert "FMA1" in table1.format_table(rows)
+
+
+class TestCharacterization:
+    def test_cse_reduces_loads_on_olbm(self):
+        """Paper §VIII: CSE removes ~50% of olbm's loads."""
+
+        olbm = get_benchmark("olbm").kernels[0]
+        char = characterize_kernel(olbm, "cse", FAST)
+        assert char.generated.loads < 0.6 * char.original.loads
+
+    def test_saturation_introduces_fmas_on_bt(self):
+        bt = get_benchmark("BT").kernels[0]
+        char = characterize_kernel(bt, "accsat", FAST)
+        assert char.generated.fmas > 0
+
+    def test_bulk_flag_set_only_for_bulk_variants(self):
+        bt = get_benchmark("BT").kernels[0]
+        assert not characterize_kernel(bt, "cse", FAST).bulk_load
+        assert characterize_kernel(bt, "cse+bulk", FAST).bulk_load
+        assert characterize_kernel(bt, "accsat", FAST).bulk_load
+
+
+class TestFigure2Shape:
+    """Qualitative checks of Figure 2 (NPB, A100-PCIE-40GB)."""
+
+    @pytest.fixture(scope="class")
+    def bt_results(self):
+        bench = get_benchmark("BT")
+        return {
+            compiler: evaluate_benchmark(bench, compiler, A100_PCIE_40GB, settings=FAST)
+            for compiler in ("nvhpc", "gcc")
+        }
+
+    def test_accsat_speeds_up_bt_on_both_compilers(self, bt_results):
+        assert bt_results["nvhpc"].speedup("accsat") > 1.05
+        assert bt_results["gcc"].speedup("accsat") > 1.3
+
+    def test_gcc_gains_more_than_nvhpc(self, bt_results):
+        assert bt_results["gcc"].speedup("accsat") > bt_results["nvhpc"].speedup("accsat")
+
+    def test_bulk_load_is_the_dominant_contribution(self, bt_results):
+        for compiler in ("nvhpc", "gcc"):
+            comparison = bt_results[compiler]
+            assert comparison.speedup("cse+bulk") > comparison.speedup("cse+sat")
+
+    def test_no_variant_causes_large_slowdown(self, bt_results):
+        for comparison in bt_results.values():
+            for variant in VARIANT_ORDER:
+                assert comparison.speedup(variant) > 0.85
+
+    def test_neutral_benchmark_stays_flat(self):
+        ft = evaluate_benchmark(get_benchmark("FT"), "nvhpc", A100_PCIE_40GB, settings=FAST)
+        for variant in VARIANT_ORDER:
+            assert 0.9 < ft.speedup(variant) < 1.15
+
+
+class TestFigure5Shape:
+    def test_sxm_is_faster_in_absolute_terms(self):
+        bench = get_benchmark("BT")
+        pcie = evaluate_benchmark(bench, "nvhpc", A100_PCIE_40GB, settings=FAST)
+        sxm = evaluate_benchmark(bench, "nvhpc", A100_SXM4_80GB, settings=FAST)
+        assert sxm.total_time["original"] < pcie.total_time["original"]
+        assert sxm.speedup("accsat") > 1.0
+
+
+class TestFigure4Shape:
+    def test_spec_bt_kernels_directive_hurts_gcc_original(self):
+        """Table III: GCC's original spec-bt is far slower than NVHPC's."""
+
+        bench = get_benchmark("bt")
+        gcc = evaluate_benchmark(bench, "gcc", A100_PCIE_40GB, ("original",), FAST)
+        nvhpc = evaluate_benchmark(bench, "nvhpc", A100_PCIE_40GB, ("original",), FAST)
+        assert gcc.total_time["original"] > 2.0 * nvhpc.total_time["original"]
+
+    def test_olbm_gains_from_cse_on_gcc(self):
+        comparison = evaluate_benchmark(get_benchmark("olbm"), "gcc", A100_PCIE_40GB,
+                                        settings=FAST)
+        assert comparison.speedup("cse") > 1.2
+
+
+class TestReporting:
+    def test_format_speedup_table_layout(self):
+        comparison = evaluate_benchmark(get_benchmark("MG"), "nvhpc", A100_PCIE_40GB,
+                                        settings=FAST)
+        text = format_speedup_table([comparison])
+        assert "MG" in text
+        assert "accsat" in text
+        assert "x" in text

@@ -1,0 +1,88 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.frontend.lexer import LexerError, Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_numbers(self):
+        assert texts("foo bar42 _x") == ["foo", "bar42", "_x"]
+        assert kinds("foo 42") == [TokenKind.IDENT, TokenKind.NUMBER]
+
+    def test_float_literals_keep_spelling(self):
+        assert texts("0.f 1.0e-3 3.14 1e10") == ["0.f", "1.0e-3", "3.14", "1e10"]
+
+    def test_hex_literal(self):
+        assert texts("0xFF") == ["0xFF"]
+
+    def test_integer_suffixes(self):
+        assert texts("42u 42UL 7L") == ["42u", "42UL", "7L"]
+
+    def test_multichar_punctuators_are_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a->b") == ["a", "->", "b"]
+        assert texts("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+    def test_all_punctuators_tokenize(self):
+        source = "+ - * / % << >> < > <= >= == != & | ^ && || = += -= *= /= ( ) [ ] { } , ; : ? ."
+        assert all(k is TokenKind.PUNCT for k in kinds(source))
+
+    def test_string_and_char_literals(self):
+        tokens = tokenize('"hello" \'c\'')
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[1].kind is TokenKind.CHAR
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+        assert tokenize("x")[-1].kind is TokenKind.EOF
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* oops")
+
+
+class TestPragmas:
+    def test_pragma_is_single_token(self):
+        tokens = tokenize("#pragma acc parallel loop gang\nfor (;;) x;")
+        assert tokens[0].kind is TokenKind.PRAGMA
+        assert tokens[0].text == "#pragma acc parallel loop gang"
+
+    def test_pragma_backslash_continuation(self):
+        source = "#pragma acc parallel loop gang num_gangs(4)\\\n  vector_length(32)\nx;"
+        tokens = tokenize(source)
+        assert tokens[0].kind is TokenKind.PRAGMA
+        assert "vector_length(32)" in tokens[0].text
+        assert "\\" not in tokens[0].text
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\n  c")
+        a, b, c = tokens[0], tokens[1], tokens[2]
+        assert (a.line, b.line, c.line) == (1, 2, 3)
+        assert c.column == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("a @ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize('"never closed')

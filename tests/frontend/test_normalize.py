@@ -1,0 +1,49 @@
+"""Tests for block normalisation."""
+
+from repro.frontend import cast as C
+from repro.frontend.normalize import normalize_blocks
+from repro.frontend.parser import parse_statement
+from repro.frontend.printer import print_c
+from repro.interp import Environment, execute
+import numpy as np
+
+
+def test_single_statement_loop_body_becomes_block():
+    stmt = parse_statement("for (i = 0; i < n; i++) a[i] = 0.0;")
+    normalize_blocks(stmt)
+    assert isinstance(stmt.body, C.Block)
+
+
+def test_if_branches_become_blocks():
+    stmt = parse_statement("if (x > 0) y = 1.0; else y = 2.0;")
+    normalize_blocks(stmt)
+    assert isinstance(stmt.then, C.Block)
+    assert isinstance(stmt.otherwise, C.Block)
+
+
+def test_nested_loops_normalised_recursively():
+    stmt = parse_statement("for (i = 0; i < n; i++) for (j = 0; j < n; j++) a[i][j] = 0.0;")
+    normalize_blocks(stmt)
+    assert isinstance(stmt.body, C.Block)
+    inner = stmt.body.stmts[0]
+    assert isinstance(inner.body, C.Block)
+
+
+def test_normalisation_preserves_semantics():
+    source = "for (i = 0; i < n; i++) if (a[i] > 0.0) a[i] = a[i] * 2.0; else a[i] = 0.0;"
+    original = parse_statement(source)
+    normalized = parse_statement(source)
+    normalize_blocks(normalized)
+
+    env1 = Environment(scalars={"n": 6}, arrays={"a": np.linspace(-1, 1, 8)})
+    env2 = env1.copy()
+    execute(original, env1)
+    execute(normalized, env2)
+    assert env1.allclose(env2)
+
+
+def test_already_normalised_is_idempotent():
+    stmt = parse_statement("for (i = 0; i < n; i++) { a[i] = 0.0; }")
+    once = print_c(normalize_blocks(stmt))
+    twice = print_c(normalize_blocks(stmt))
+    assert once == twice

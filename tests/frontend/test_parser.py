@@ -1,0 +1,146 @@
+"""Unit tests for the recursive-descent parser."""
+
+import pytest
+
+from repro.frontend import cast as C
+from repro.frontend.parser import ParseError, parse, parse_expression, parse_statement
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, C.BinOp) and expr.op == "+"
+        assert isinstance(expr.rhs, C.BinOp) and expr.rhs.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("(a + b) * c")
+        assert isinstance(expr, C.BinOp) and expr.op == "*"
+        assert isinstance(expr.lhs, C.BinOp) and expr.lhs.op == "+"
+
+    def test_unary_minus_binds_tighter_than_mul(self):
+        expr = parse_expression("-a * b")
+        assert isinstance(expr, C.BinOp) and expr.op == "*"
+        assert isinstance(expr.lhs, C.UnaryOp) and expr.lhs.op == "-"
+
+    def test_multidim_array_subscript(self):
+        expr = parse_expression("a[i][j][k]")
+        assert isinstance(expr, C.ArraySub)
+        assert isinstance(expr.base, C.ArraySub)
+        assert isinstance(expr.base.base, C.ArraySub)
+        assert isinstance(expr.base.base.base, C.Ident)
+
+    def test_member_access_dot_and_arrow(self):
+        dot = parse_expression("s.field")
+        arrow = parse_expression("p->field")
+        assert isinstance(dot, C.Member) and not dot.arrow
+        assert isinstance(arrow, C.Member) and arrow.arrow
+
+    def test_call_with_arguments(self):
+        expr = parse_expression("pow(x, 2.0)")
+        assert isinstance(expr, C.Call)
+        assert isinstance(expr.func, C.Ident) and expr.func.name == "pow"
+        assert len(expr.args) == 2
+
+    def test_ternary(self):
+        expr = parse_expression("a > 0 ? b : c")
+        assert isinstance(expr, C.Ternary)
+
+    def test_cast(self):
+        expr = parse_expression("(double)x")
+        assert isinstance(expr, C.Cast) and expr.type_name == "double"
+
+    def test_cast_vs_parenthesised_expression(self):
+        expr = parse_expression("(x) + 1")
+        assert isinstance(expr, C.BinOp) and expr.op == "+"
+
+    def test_assignment_right_associative(self):
+        expr = parse_expression("a = b = c")
+        assert isinstance(expr, C.Assign)
+        assert isinstance(expr.value, C.Assign)
+
+    def test_compound_assignment(self):
+        expr = parse_expression("x += y * 2")
+        assert isinstance(expr, C.Assign) and expr.op == "+="
+
+    def test_number_values(self):
+        assert parse_expression("42").value == 42
+        assert parse_expression("3.5").value == 3.5
+        assert parse_expression("1e3").value == 1000.0
+        assert parse_expression("0.f").is_float
+
+    def test_logical_operators(self):
+        expr = parse_expression("a && b || c")
+        assert isinstance(expr, C.BinOp) and expr.op == "||"
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b extra")
+
+
+class TestStatements:
+    def test_for_loop_with_declaration_init(self):
+        stmt = parse_statement("for (int i = 0; i < n; i++) x = i;")
+        assert isinstance(stmt, C.For)
+        assert isinstance(stmt.init, C.Decl)
+        assert stmt.cond is not None and stmt.step is not None
+
+    def test_if_else(self):
+        stmt = parse_statement("if (a > b) x = 1; else x = 2;")
+        assert isinstance(stmt, C.If)
+        assert stmt.otherwise is not None
+
+    def test_while_and_do_while(self):
+        assert isinstance(parse_statement("while (x) x = x - 1;"), C.While)
+        assert isinstance(parse_statement("do x = x - 1; while (x);"), C.DoWhile)
+
+    def test_block_with_declarations(self):
+        stmt = parse_statement("{ double a = 1.0; int i; a = a + i; }")
+        assert isinstance(stmt, C.Block)
+        assert isinstance(stmt.stmts[0], C.Decl)
+        assert stmt.stmts[0].init is not None
+
+    def test_multi_declarator_split(self):
+        stmt = parse_statement("{ int i, j, k; }")
+        decls = [s for s in stmt.stmts if isinstance(s, C.Decl)]
+        assert [d.name for d in decls] == ["i", "j", "k"]
+
+    def test_array_declaration(self):
+        stmt = parse_statement("{ double q[5]; }")
+        decl = stmt.stmts[0]
+        assert isinstance(decl, C.Decl) and len(decl.array_dims) == 1
+
+    def test_break_continue_return(self):
+        block = parse_statement("{ break; continue; return x; }")
+        assert isinstance(block.stmts[0], C.Break)
+        assert isinstance(block.stmts[1], C.Continue)
+        assert isinstance(block.stmts[2], C.Return)
+
+    def test_pragma_attaches_to_following_loop(self):
+        stmt = parse_statement("#pragma acc loop vector\nfor (i = 0; i < n; i++) x = i;")
+        assert isinstance(stmt, C.Pragma)
+        assert isinstance(stmt.stmt, C.For)
+
+
+class TestTranslationUnit:
+    def test_function_definition(self):
+        unit = parse("void foo(double *a, int n) { a[0] = n; }")
+        assert len(unit.decls) == 1
+        func = unit.decls[0]
+        assert isinstance(func, C.FuncDef)
+        assert func.name == "foo"
+        assert len(func.params) == 2
+
+    def test_global_declaration(self):
+        unit = parse("double alpha = 1.5;")
+        assert isinstance(unit.decls[0], C.Decl)
+
+    def test_kernel_with_pragma_at_top_level(self):
+        unit = parse(
+            "#pragma acc parallel loop\nfor (int i = 0; i < n; i++) a[i] = b[i];"
+        )
+        assert isinstance(unit.decls[0], C.Pragma)
+        assert isinstance(unit.decls[0].stmt, C.For)
+
+    def test_parse_error_reports_location(self):
+        with pytest.raises(ParseError):
+            parse("void foo( {")

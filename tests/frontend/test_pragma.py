@@ -1,0 +1,66 @@
+"""Tests for OpenACC/OpenMP directive parsing."""
+
+from repro.frontend.pragma import DirectiveKind, parse_pragma
+
+
+class TestOpenACC:
+    def test_parallel_loop_with_clauses(self):
+        d = parse_pragma(
+            "#pragma acc parallel loop gang num_gangs(ksize-1) num_workers(4) vector_length(32)"
+        )
+        assert d.kind is DirectiveKind.ACC
+        assert d.names == ("parallel", "loop")
+        assert d.has_clause("gang")
+        assert d.clause("num_gangs").argument == "ksize-1"
+        assert d.clause("vector_length").argument == "32"
+        assert d.is_compute_construct
+        assert d.is_loop_directive
+
+    def test_kernels_directive(self):
+        d = parse_pragma("#pragma acc kernels loop independent")
+        assert d.names == ("kernels", "loop")
+        assert d.has_clause("independent")
+        assert d.is_compute_construct
+
+    def test_loop_only_directive_is_not_compute(self):
+        d = parse_pragma("#pragma acc loop vector(128)")
+        assert not d.is_compute_construct
+        assert d.is_loop_directive
+        assert d.parallelism_levels == ("vector",)
+
+    def test_parallelism_levels_ordered(self):
+        d = parse_pragma("#pragma acc loop vector worker gang")
+        assert d.parallelism_levels == ("gang", "worker", "vector")
+
+    def test_str_roundtrip_contains_clauses(self):
+        d = parse_pragma("#pragma acc loop gang(16) vector(256)")
+        assert "gang(16)" in str(d)
+        assert "vector(256)" in str(d)
+
+
+class TestOpenMP:
+    def test_target_teams_distribute(self):
+        d = parse_pragma("#pragma omp target teams distribute")
+        assert d.kind is DirectiveKind.OMP
+        assert d.names == ("target", "teams", "distribute")
+        assert d.is_compute_construct
+
+    def test_parallel_for_simd(self):
+        d = parse_pragma("#pragma omp parallel for simd")
+        assert d.is_loop_directive
+        assert not d.is_compute_construct
+
+    def test_reduction_clause_argument(self):
+        d = parse_pragma("#pragma omp parallel for reduction(+:sum)")
+        assert d.clause("reduction").argument == "+:sum"
+
+
+class TestOther:
+    def test_unknown_pragma_family(self):
+        d = parse_pragma("#pragma unroll 4")
+        assert d.kind is DirectiveKind.OTHER
+
+    def test_without_hash_pragma_prefix(self):
+        d = parse_pragma("acc loop seq")
+        assert d.kind is DirectiveKind.ACC
+        assert d.has_clause("seq") or "seq" in d.names

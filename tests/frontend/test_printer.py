@@ -1,0 +1,75 @@
+"""Printer tests: regenerated C must re-parse to an equivalent AST."""
+
+import pytest
+
+from repro.frontend import cast as C
+from repro.frontend.parser import parse_expression, parse_statement
+from repro.frontend.printer import print_c, print_expr
+
+
+ROUNDTRIP_EXPRESSIONS = [
+    "a + b * c",
+    "(a + b) * c",
+    "-x * y",
+    "a[i][j] + b[j][i]",
+    "alpha * tmp + beta * c[i][j]",
+    "x > 0 ? x : -x",
+    "sqrt(x * x + y * y)",
+    "(double)n / 2.0",
+    "p->value + s.field",
+    "a && b || !c",
+    "i % 4 + (n << 2)",
+]
+
+
+@pytest.mark.parametrize("source", ROUNDTRIP_EXPRESSIONS)
+def test_expression_roundtrip_is_stable(source):
+    """print(parse(x)) re-parses and re-prints to the same text (fixpoint)."""
+
+    once = print_expr(parse_expression(source))
+    twice = print_expr(parse_expression(once))
+    assert once == twice
+
+
+ROUNDTRIP_STATEMENTS = [
+    "{ double tmp = 0.0; tmp += a[i] * b[i]; r[i] = tmp; }",
+    "for (int i = 0; i < n; i++) { a[i] = b[i] + 1.0; }",
+    "if (x > 0) { y = 1.0; } else { y = -1.0; }",
+    "while (k < n) { s += a[k]; k++; }",
+    "do { x = x * 0.5; } while (x > eps);",
+    "#pragma acc parallel loop gang\nfor (i = 0; i < n; i++) a[i] = 0.0;",
+]
+
+
+@pytest.mark.parametrize("source", ROUNDTRIP_STATEMENTS)
+def test_statement_roundtrip_is_stable(source):
+    once = print_c(parse_statement(source))
+    twice = print_c(parse_statement(once))
+    assert once == twice
+
+
+def test_pragma_text_is_preserved_verbatim():
+    source = "#pragma acc parallel loop gang num_gangs(ksize-1) vector_length(32)\nfor (k = 0; k < n; k++) x = k;"
+    printed = print_c(parse_statement(source))
+    assert "#pragma acc parallel loop gang num_gangs(ksize-1) vector_length(32)" in printed
+
+
+def test_minimal_parentheses_for_precedence():
+    expr = parse_expression("a + b * c")
+    assert print_expr(expr) == "a + b * c"
+    expr = parse_expression("(a + b) * c")
+    assert print_expr(expr) == "(a + b) * c"
+
+
+def test_nested_blocks_indent():
+    printed = print_c(parse_statement("{ { x = 1; } }"))
+    assert "  {" in printed
+
+
+def test_print_function_definition():
+    from repro.frontend.parser import parse
+
+    unit = parse("double scale(double x, double f) { return x * f; }")
+    printed = print_c(unit)
+    assert "double scale(double x, double f)" in printed
+    assert "return x * f;" in printed

@@ -1,0 +1,153 @@
+"""Tests for the GPU / compiler performance model."""
+
+import pytest
+
+from repro.codegen.generator import KernelCodeStats
+from repro.gpusim import (
+    A100_PCIE_40GB,
+    A100_SXM4_80GB,
+    CLANG_OMP,
+    GCC_ACC,
+    GCC_OMP,
+    NVHPC_ACC,
+    KernelCharacterization,
+    LaunchConfig,
+    compile_kernel,
+    compiler_model,
+    simulate_kernel,
+)
+from repro.gpusim.metrics import geomean, speedup
+
+
+def make_stats(loads=10, stores=5, flops=20, fmas=0, divs=0, calls=0):
+    return KernelCodeStats(loads=loads, stores=stores, flops=flops, fmas=fmas,
+                           divs=divs, calls=calls)
+
+
+def characterization(loads=10, bulk=False, original=False, scale=1.0, temps=0,
+                     kernels_directive=False):
+    stats = make_stats(loads=loads)
+    return KernelCharacterization(
+        name="k",
+        original=make_stats(loads=loads * 2, flops=40),
+        generated=stats,
+        bulk_load=bulk,
+        is_original=original,
+        live_temporaries=temps or loads,
+        scale=scale,
+        uses_kernels_directive=kernels_directive,
+    )
+
+
+class TestGPUConfig:
+    def test_sxm_has_higher_bandwidth(self):
+        assert A100_SXM4_80GB.mem_bandwidth_gbps > A100_PCIE_40GB.mem_bandwidth_gbps
+        ratio = A100_SXM4_80GB.mem_bandwidth_gbps / A100_PCIE_40GB.mem_bandwidth_gbps
+        assert ratio == pytest.approx(1.31, abs=0.02)
+
+    def test_derived_quantities(self):
+        assert A100_PCIE_40GB.max_warps_per_sm == 64
+        assert A100_PCIE_40GB.bytes_per_cycle_per_sm > 0
+
+    def test_scaled_bandwidth(self):
+        faster = A100_PCIE_40GB.scaled_bandwidth(2.0)
+        assert faster.mem_bandwidth_gbps == pytest.approx(2 * A100_PCIE_40GB.mem_bandwidth_gbps)
+
+
+class TestCompilerModels:
+    def test_lookup(self):
+        assert compiler_model("nvhpc", "acc") is NVHPC_ACC
+        assert compiler_model("GCC", "OMP") is GCC_OMP
+        with pytest.raises(ValueError):
+            compiler_model("icc", "acc")
+
+    def test_nvhpc_removes_more_redundancy_than_gcc(self):
+        assert NVHPC_ACC.effective_loads(100, 20) < GCC_ACC.effective_loads(100, 20)
+
+    def test_effective_loads_bounded_by_original_and_optimized(self):
+        for model in (NVHPC_ACC, GCC_ACC, GCC_OMP, CLANG_OMP):
+            eff = model.effective_loads(100, 20)
+            assert 20 <= eff <= 100
+
+
+class TestCompileKernel:
+    def test_bulk_load_increases_mlp_and_registers(self):
+        lazy = compile_kernel(characterization(loads=40, bulk=False, original=False), GCC_ACC)
+        bulk = compile_kernel(characterization(loads=40, bulk=True, original=False), GCC_ACC)
+        assert bulk.mlp > lazy.mlp
+        assert bulk.registers > lazy.registers
+
+    def test_register_limit_causes_spills(self):
+        huge = compile_kernel(
+            characterization(loads=120, bulk=True, original=False, scale=4.0),
+            GCC_ACC, A100_PCIE_40GB,
+        )
+        assert huge.registers == A100_PCIE_40GB.max_registers_per_thread
+        assert huge.spills > 0
+
+    def test_original_code_keeps_compiler_residual_redundancy(self):
+        original = compile_kernel(characterization(loads=10, original=True), GCC_ACC)
+        optimized = compile_kernel(characterization(loads=10, original=False), GCC_ACC)
+        assert original.loads >= optimized.loads
+
+    def test_statement_scale_multiplies_work(self):
+        one = compile_kernel(characterization(loads=10, scale=1.0), NVHPC_ACC)
+        four = compile_kernel(characterization(loads=10, scale=4.0), NVHPC_ACC)
+        assert four.loads == pytest.approx(4 * one.loads)
+
+    def test_kernels_directive_lowers_parallel_efficiency_for_gcc(self):
+        parallel = compile_kernel(characterization(kernels_directive=False), GCC_ACC)
+        kernels = compile_kernel(characterization(kernels_directive=True), GCC_ACC)
+        assert kernels.parallel_efficiency < parallel.parallel_efficiency
+
+
+class TestSimulateKernel:
+    LAUNCH = LaunchConfig(iterations_per_launch=1e7, launches=10)
+
+    def test_time_monotone_in_memory_traffic(self):
+        small = simulate_kernel(compile_kernel(characterization(loads=5), NVHPC_ACC,
+                                               A100_PCIE_40GB), A100_PCIE_40GB, self.LAUNCH)
+        large = simulate_kernel(compile_kernel(characterization(loads=50), NVHPC_ACC,
+                                               A100_PCIE_40GB), A100_PCIE_40GB, self.LAUNCH)
+        assert large.time_s > small.time_s
+
+    def test_sxm_never_slower_than_pcie(self):
+        kernel = compile_kernel(characterization(loads=30), NVHPC_ACC, A100_PCIE_40GB)
+        pcie = simulate_kernel(kernel, A100_PCIE_40GB, self.LAUNCH)
+        sxm = simulate_kernel(kernel, A100_SXM4_80GB, self.LAUNCH)
+        assert sxm.time_s <= pcie.time_s * 1.0001
+
+    def test_bulk_load_speeds_up_latency_bound_kernel_on_gcc(self):
+        launch = LaunchConfig(iterations_per_launch=1e7, launches=10)
+        lazy = compile_kernel(
+            characterization(loads=40, bulk=False, scale=3.0, kernels_directive=True),
+            GCC_ACC, A100_PCIE_40GB)
+        bulk = compile_kernel(
+            characterization(loads=40, bulk=True, scale=3.0, kernels_directive=True),
+            GCC_ACC, A100_PCIE_40GB)
+        t_lazy = simulate_kernel(lazy, A100_PCIE_40GB, launch).time_s
+        t_bulk = simulate_kernel(bulk, A100_PCIE_40GB, launch).time_s
+        assert t_bulk < t_lazy
+
+    def test_occupancy_within_bounds(self):
+        perf = simulate_kernel(compile_kernel(characterization(), NVHPC_ACC, A100_PCIE_40GB),
+                               A100_PCIE_40GB, self.LAUNCH)
+        assert 0.0 < perf.occupancy <= 1.0
+        assert 0.0 <= perf.memory_utilization <= 1.0
+        assert perf.bound in ("compute", "bandwidth", "latency")
+
+    def test_launch_overhead_included(self):
+        kernel = compile_kernel(characterization(loads=1), NVHPC_ACC, A100_PCIE_40GB)
+        tiny = LaunchConfig(iterations_per_launch=1.0, launches=1000)
+        perf = simulate_kernel(kernel, A100_PCIE_40GB, tiny)
+        assert perf.time_s >= 1000 * NVHPC_ACC.launch_overhead_us * 1e-6
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+        assert speedup(10.0, 0.0) == float("inf")
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 1.0

@@ -1,0 +1,138 @@
+"""Tests for the reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import parse_expression, parse_statement
+from repro.interp import Environment, InterpreterError, evaluate_expression, execute
+from repro.interp.interpreter import Interpreter
+
+
+def env_with(**kwargs):
+    scalars = {k: v for k, v in kwargs.items() if not isinstance(v, np.ndarray)}
+    arrays = {k: v for k, v in kwargs.items() if isinstance(v, np.ndarray)}
+    return Environment(scalars=scalars, arrays=arrays)
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert evaluate_expression(parse_expression("2 + 3 * 4")) == 14
+        assert evaluate_expression(parse_expression("(2 + 3) * 4")) == 20
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert evaluate_expression(parse_expression("7 / 2")) == 3
+        assert evaluate_expression(parse_expression("-7 / 2")) == -3
+
+    def test_float_division(self):
+        assert evaluate_expression(parse_expression("7.0 / 2")) == 3.5
+
+    def test_modulo(self):
+        assert evaluate_expression(parse_expression("7 % 3")) == 1
+
+    def test_comparisons_yield_ints(self):
+        assert evaluate_expression(parse_expression("3 > 2")) == 1
+        assert evaluate_expression(parse_expression("3 < 2")) == 0
+
+    def test_short_circuit_and_or(self):
+        env = env_with(x=0)
+        # 1/x would fault; && must not evaluate it when x == 0
+        expr = parse_expression("x != 0 && 1 / x > 0")
+        assert Interpreter(env).eval(expr) == 0
+
+    def test_ternary(self):
+        env = env_with(x=-2.0)
+        assert Interpreter(env).eval(parse_expression("x > 0 ? x : -x")) == 2.0
+
+    def test_math_calls(self):
+        assert evaluate_expression(parse_expression("sqrt(16.0)")) == 4.0
+        assert evaluate_expression(parse_expression("pow(2.0, 10.0)")) == 1024.0
+        assert evaluate_expression(parse_expression("fma(2.0, 3.0, 1.0)")) == 7.0
+
+    def test_cast(self):
+        assert evaluate_expression(parse_expression("(int)3.9")) == 3
+        assert evaluate_expression(parse_expression("(double)3")) == 3.0
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(InterpreterError):
+            evaluate_expression(parse_expression("frobnicate(1)"))
+
+    def test_bitwise_and_shifts(self):
+        assert evaluate_expression(parse_expression("(1 << 4) | 3")) == 19
+        assert evaluate_expression(parse_expression("6 & 3")) == 2
+
+
+class TestStatements:
+    def test_scalar_assignment_and_types(self):
+        env = env_with()
+        execute(parse_statement("{ int i = 3; double x = i / 2; }"), env)
+        assert env.scalars["i"] == 3
+        assert env.scalars["x"] == 1.0  # integer division then float conversion
+
+    def test_array_store_and_load(self):
+        env = env_with(a=np.zeros((4, 4)), i=1, j=2)
+        execute(parse_statement("{ a[i][j] = 5.0; a[i][j] += 2.0; }"), env)
+        assert env.arrays["a"][1, 2] == 7.0
+
+    def test_for_loop_sum(self):
+        env = env_with(a=np.arange(6, dtype=float), n=6)
+        execute(parse_statement("{ s = 0.0; for (int k = 0; k < n; k++) s += a[k]; }"), env)
+        assert env.scalars["s"] == 15.0
+
+    def test_while_and_break(self):
+        env = env_with(x=10)
+        execute(parse_statement("{ while (1) { x = x - 1; if (x == 3) break; } }"), env)
+        assert env.scalars["x"] == 3
+
+    def test_continue_skips(self):
+        env = env_with(n=5)
+        execute(parse_statement(
+            "{ s = 0; for (int i = 0; i < n; i++) { if (i % 2 == 1) continue; s += i; } }"), env)
+        assert env.scalars["s"] == 6
+
+    def test_do_while_runs_at_least_once(self):
+        env = env_with(x=0)
+        execute(parse_statement("{ do { x = x + 1; } while (0); }"), env)
+        assert env.scalars["x"] == 1
+
+    def test_local_array_declaration(self):
+        env = env_with()
+        execute(parse_statement("{ double q[5]; q[2] = 1.5; r = q[2]; }"), env)
+        assert env.scalars["r"] == 1.5
+
+    def test_iteration_budget_guards_infinite_loops(self):
+        env = env_with()
+        with pytest.raises(InterpreterError):
+            execute(parse_statement("{ x = 0; while (1) x = x + 1; }"), env, max_iterations=100)
+
+    def test_pragma_is_transparent(self):
+        env = env_with(a=np.zeros(4), n=4)
+        execute(parse_statement(
+            "#pragma acc parallel loop\nfor (int i = 0; i < n; i++) a[i] = i;"), env)
+        assert list(env.arrays["a"]) == [0, 1, 2, 3]
+
+    def test_struct_member_scalars(self):
+        env = Environment(scalars={"p.x": 2.0, "p.y": 3.0})
+        execute(parse_statement("{ d = p.x * p.y; }"), env)
+        assert env.scalars["d"] == 6.0
+
+    def test_array_of_struct_member(self):
+        env = Environment(scalars={"k": 1},
+                          arrays={"kVals.Kx": np.array([1.0, 2.0, 3.0])})
+        execute(parse_statement("{ v = kVals[k].Kx; }"), env)
+        assert env.scalars["v"] == 2.0
+
+
+class TestEnvironment:
+    def test_copy_is_deep_for_arrays(self):
+        env = env_with(a=np.zeros(3))
+        dup = env.copy()
+        env.arrays["a"][0] = 9.0
+        assert dup.arrays["a"][0] == 0.0
+
+    def test_allclose_detects_differences(self):
+        a = env_with(a=np.ones(3), x=1.0)
+        b = a.copy()
+        assert a.allclose(b)
+        b.arrays["a"][1] = 2.0
+        assert not a.allclose(b)
+        assert a.max_difference(b) == pytest.approx(1.0)

@@ -1,0 +1,81 @@
+"""Tests for the equivalence checker and random-input generation."""
+
+import numpy as np
+
+from repro.frontend import parse_statement
+from repro.interp import (
+    infer_kernel_inputs,
+    make_random_environment,
+    verify_equivalence,
+)
+
+KERNEL = """
+for (i = 1; i < n - 1; i++) {
+  out[i] = c0 * a[i] + c1 * (a[i-1] + a[i+1]);
+}
+"""
+
+
+class TestInference:
+    def test_arrays_and_ranks_inferred(self):
+        inputs = infer_kernel_inputs(parse_statement(KERNEL))
+        assert inputs.arrays["out"][0] == 1
+        assert inputs.arrays["a"][0] == 1
+
+    def test_scalars_inferred(self):
+        inputs = infer_kernel_inputs(parse_statement(KERNEL))
+        assert {"n", "c0", "c1", "i"} <= (inputs.scalars | inputs.integer_like)
+
+    def test_literal_indices_grow_extents(self):
+        stmt = parse_statement("{ x = table[7][0]; }")
+        inputs = infer_kernel_inputs(stmt)
+        rank, extents = inputs.arrays["table"]
+        assert rank == 2
+        assert extents[0] >= 8
+
+    def test_loop_bounds_marked_integer_like(self):
+        inputs = infer_kernel_inputs(parse_statement(KERNEL))
+        assert "n" in inputs.integer_like
+
+
+class TestRandomEnvironment:
+    def test_environment_is_executable(self):
+        stmt = parse_statement(KERNEL)
+        env = make_random_environment(stmt, np.random.default_rng(1))
+        from repro.interp import execute
+
+        execute(stmt, env.copy())  # must not raise / go out of bounds
+
+    def test_offset_accesses_stay_in_bounds(self):
+        stmt = parse_statement(
+            "for (i = 1; i <= n; i++) { b[i] = a[i+1] - a[i-1]; }"
+        )
+        env = make_random_environment(stmt, np.random.default_rng(2))
+        from repro.interp import execute
+
+        execute(stmt, env.copy())
+
+    def test_deterministic_given_seed(self):
+        stmt = parse_statement(KERNEL)
+        env1 = make_random_environment(stmt, np.random.default_rng(7))
+        env2 = make_random_environment(stmt, np.random.default_rng(7))
+        assert env1.allclose(env2)
+
+
+class TestVerifyEquivalence:
+    def test_identical_kernels_pass(self):
+        a = parse_statement(KERNEL)
+        b = parse_statement(KERNEL)
+        assert verify_equivalence(a, b, trials=2).passed
+
+    def test_reassociated_kernel_passes_within_tolerance(self):
+        a = parse_statement("{ r[i] = (x + y) + z; }")
+        b = parse_statement("{ r[i] = x + (y + z); }")
+        assert verify_equivalence(a, b, trials=3).passed
+
+    def test_different_kernels_fail(self):
+        a = parse_statement("{ r[i] = x + y; }")
+        b = parse_statement("{ r[i] = x - y; }")
+        result = verify_equivalence(a, b, trials=1)
+        assert not result.passed
+        assert result.max_difference > 0

@@ -1,0 +1,87 @@
+"""Tests for the rule sets (paper Table I)."""
+
+import pytest
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.language import num, op, sym
+from repro.egraph.runner import Runner, RunnerLimits
+from repro.rules import (
+    RULE_TABLE,
+    default_ruleset,
+    extended_ruleset,
+    fma_rules,
+    ruleset_by_name,
+)
+
+
+def saturate(term, rules):
+    eg = EGraph()
+    root = eg.add_term(term)
+    Runner(eg, rules, RunnerLimits(2000, 6, 5.0)).run()
+    return eg, root
+
+
+class TestTableI:
+    def test_rule_table_has_nine_rows(self):
+        assert len(RULE_TABLE) == 9
+        assert [r.name for r in RULE_TABLE[:3]] == ["FMA1", "FMA2", "FMA3"]
+
+    def test_default_ruleset_matches_table(self):
+        names = {rule.name for rule in default_ruleset()}
+        assert names == {
+            "fma1", "fma2", "fma3",
+            "comm-add", "comm-mul",
+            "assoc-add1", "assoc-add2", "assoc-mul1", "assoc-mul2",
+        }
+
+    def test_fma1_a_plus_b_times_c(self):
+        eg, root = saturate(op("+", sym("a"), op("*", sym("b"), sym("c"))), fma_rules())
+        assert eg.lookup_term(op("fma", sym("a"), sym("b"), sym("c"))) == eg.find(root)
+
+    def test_fma2_a_minus_b_times_c(self):
+        eg, root = saturate(op("-", sym("a"), op("*", sym("b"), sym("c"))), fma_rules())
+        expected = op("fma", sym("a"), op("neg", sym("b")), sym("c"))
+        assert eg.lookup_term(expected) == eg.find(root)
+
+    def test_fma3_b_times_c_minus_a(self):
+        eg, root = saturate(op("-", op("*", sym("b"), sym("c")), sym("a")), fma_rules())
+        expected = op("fma", op("neg", sym("a")), sym("b"), sym("c"))
+        assert eg.lookup_term(expected) == eg.find(root)
+
+    def test_commutativity_of_add_and_mul(self):
+        eg, root = saturate(op("+", sym("a"), sym("b")), default_ruleset())
+        assert eg.lookup_term(op("+", sym("b"), sym("a"))) == eg.find(root)
+        eg, root = saturate(op("*", sym("a"), sym("b")), default_ruleset())
+        assert eg.lookup_term(op("*", sym("b"), sym("a"))) == eg.find(root)
+
+    def test_associativity_reorders_sums(self):
+        eg, root = saturate(
+            op("+", sym("a"), op("+", sym("b"), sym("c"))), default_ruleset()
+        )
+        assert eg.lookup_term(op("+", op("+", sym("a"), sym("b")), sym("c"))) == eg.find(root)
+
+    def test_reassociation_exposes_common_subexpression(self):
+        """(a + b) + c and a + (b + c) end up in the same class (paper §V-A)."""
+
+        eg = EGraph()
+        left = eg.add_term(op("+", op("+", sym("a"), sym("b")), sym("c")))
+        right = eg.add_term(op("+", sym("a"), op("+", sym("b"), sym("c"))))
+        Runner(eg, default_ruleset(), RunnerLimits(2000, 6, 5.0)).run()
+        assert eg.is_equal(left, right)
+
+
+class TestNamedRulesets:
+    def test_lookup_by_name(self):
+        assert len(ruleset_by_name("default")) == 9
+        assert len(ruleset_by_name("fma-only")) == 3
+        assert len(ruleset_by_name("reassoc-only")) == 6
+        assert ruleset_by_name("none") == []
+        assert len(ruleset_by_name("extended")) > 9
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            ruleset_by_name("does-not-exist")
+
+    def test_extended_rules_fold_identities(self):
+        eg, root = saturate(op("+", sym("x"), num(0)), extended_ruleset())
+        assert eg.is_equal(root, eg.add_term(sym("x")))

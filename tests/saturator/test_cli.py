@@ -1,0 +1,71 @@
+"""Tests for the accsat command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+KERNEL = """
+#pragma acc parallel loop gang
+for (int i = 0; i < n; i++) {
+#pragma acc loop vector
+  for (int j = 0; j < m; j++) {
+    c[i][j] = a[i][j] * s + b[i][j] * s;
+  }
+}
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "kernel.c"
+    path.write_text(KERNEL)
+    return path
+
+
+class TestCLI:
+    def test_default_invocation_writes_sat_file(self, kernel_file, capsys):
+        assert main([str(kernel_file)]) == 0
+        output = kernel_file.with_suffix(".sat.c")
+        assert output.exists()
+        text = output.read_text()
+        assert "#pragma acc parallel loop gang" in text
+        assert "_v0" in text
+        assert str(output) in capsys.readouterr().out
+
+    def test_compiler_wrapper_style_invocation(self, kernel_file, tmp_path):
+        out = tmp_path / "out.c"
+        assert main(["nvc", str(kernel_file), "-o", str(out), "--quiet"]) == 0
+        assert out.exists()
+
+    def test_variant_selection(self, kernel_file, tmp_path):
+        out = tmp_path / "out.c"
+        assert main(["--variant", "cse", str(kernel_file), "-o", str(out)]) == 0
+        assert "_v" in out.read_text()
+
+    def test_report_json(self, kernel_file, tmp_path):
+        report = tmp_path / "report.json"
+        assert main([str(kernel_file), "--report", str(report), "--quiet"]) == 0
+        data = json.loads(report.read_text())
+        assert data["variant"] == "accsat"
+        assert data["files"][0]["kernels"][0]["assignments"] >= 1
+
+    def test_emit_report_only(self, kernel_file, capsys):
+        assert main(["--emit-report-only", str(kernel_file)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["files"][0]["input"].endswith("kernel.c")
+
+    def test_missing_file_fails(self, tmp_path):
+        assert main([str(tmp_path / "absent.c")]) == 1
+
+    def test_bad_variant_rejected(self, kernel_file):
+        with pytest.raises(SystemExit):
+            main(["--variant", "warp-speed", str(kernel_file)])
+
+    def test_parser_has_expected_options(self):
+        parser = build_arg_parser()
+        text = parser.format_help()
+        for option in ("--variant", "--ruleset", "--extraction", "--node-limit",
+                       "--iter-limit", "--time-limit", "--report"):
+            assert option in text

@@ -1,0 +1,151 @@
+"""Tests for kernel discovery, configuration and the end-to-end pipeline."""
+
+import pytest
+
+from repro.frontend import parse_statement
+from repro.frontend.cast import clone
+from repro.frontend.normalize import normalize_blocks
+from repro.interp import verify_equivalence
+from repro.saturator import (
+    SaturatorConfig,
+    Variant,
+    find_parallel_kernels,
+    optimize_source,
+)
+from repro.saturator.driver import optimize_ast
+
+ACC_KERNEL = """
+#pragma acc parallel loop gang
+for (int i = 0; i < n; i++) {
+#pragma acc loop vector(128)
+  for (int j = 0; j < m; j++) {
+    out[i][j] = w0 * in[i][j] + w1 * (in[i][j-1] + in[i][j+1]);
+  }
+}
+"""
+
+OMP_KERNEL = """
+#pragma omp target teams distribute
+for (int i = 0; i < n; i++) {
+#pragma omp parallel for simd
+  for (int j = 0; j < m; j++) {
+    out[i][j] = w0 * in[i][j] + w1 * (in[i][j-1] + in[i][j+1]);
+  }
+}
+"""
+
+
+class TestVariant:
+    def test_flags(self):
+        assert not Variant.CSE.saturate and not Variant.CSE.bulk_load
+        assert Variant.CSE_SAT.saturate and not Variant.CSE_SAT.bulk_load
+        assert not Variant.CSE_BULK.saturate and Variant.CSE_BULK.bulk_load
+        assert Variant.ACCSAT.saturate and Variant.ACCSAT.bulk_load
+
+    def test_from_name(self):
+        assert Variant.from_name("accsat") is Variant.ACCSAT
+        assert Variant.from_name("cse+bulk") is Variant.CSE_BULK
+        assert Variant.from_name("CSE_SAT") is Variant.CSE_SAT
+        with pytest.raises(ValueError):
+            Variant.from_name("fastest")
+
+    def test_config_with_variant_copies_other_fields(self):
+        config = SaturatorConfig(ruleset="fma-only", extraction="tree")
+        derived = config.with_variant(Variant.CSE)
+        assert derived.variant is Variant.CSE
+        assert derived.ruleset == "fma-only"
+        assert derived.extraction == "tree"
+
+
+class TestKernelDiscovery:
+    def test_finds_openacc_kernel_and_innermost_loop(self):
+        root = parse_statement(ACC_KERNEL)
+        normalize_blocks(root)
+        kernels = find_parallel_kernels(root)
+        assert len(kernels) == 1
+        kernel = kernels[0]
+        # innermost parallel loop is the j loop; its body holds the stencil
+        assert kernel.innermost.init.name == "j"
+        assert len(kernel.directives) == 2
+
+    def test_finds_openmp_kernel(self):
+        root = parse_statement(OMP_KERNEL)
+        normalize_blocks(root)
+        kernels = find_parallel_kernels(root)
+        assert len(kernels) == 1
+        assert kernels[0].innermost.init.name == "j"
+
+    def test_kernels_directive_descends_unannotated_nests(self):
+        source = """
+#pragma acc kernels loop independent
+for (int i = 0; i < n; i++) {
+  for (int j = 0; j < m; j++) {
+    a[i][j] = 2.0 * b[i][j];
+  }
+}
+"""
+        root = parse_statement(source)
+        normalize_blocks(root)
+        kernels = find_parallel_kernels(root)
+        assert kernels[0].innermost.init.name == "j"
+
+    def test_sequential_code_has_no_kernels(self):
+        root = parse_statement("for (int i = 0; i < n; i++) a[i] = 0.0;")
+        assert find_parallel_kernels(root) == []
+
+    def test_multiple_kernels_found_in_order(self):
+        source = ACC_KERNEL + "\n" + ACC_KERNEL.replace("out", "out2")
+        from repro.frontend.parser import parse
+
+        root = parse(source)
+        normalize_blocks(root)
+        kernels = find_parallel_kernels(root)
+        assert len(kernels) == 2
+        assert kernels[0].name != kernels[1].name
+
+
+class TestOptimizeSource:
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_all_variants_preserve_semantics(self, variant):
+        original = parse_statement(ACC_KERNEL)
+        normalize_blocks(original)
+        work = clone(original)
+        optimize_ast(work, SaturatorConfig(variant=variant))
+        assert verify_equivalence(original, work, trials=2).passed
+
+    def test_openmp_source_supported(self):
+        result = optimize_source(OMP_KERNEL, SaturatorConfig(variant=Variant.ACCSAT))
+        assert len(result.kernels) == 1
+        assert "_v0" in result.code
+        assert "#pragma omp target teams distribute" in result.code
+
+    def test_directives_and_loops_preserved_verbatim(self):
+        result = optimize_source(ACC_KERNEL)
+        assert "#pragma acc parallel loop gang" in result.code
+        assert "#pragma acc loop vector(128)" in result.code
+        assert result.code.count("for (") == 2
+
+    def test_report_contains_timings_and_counts(self):
+        result = optimize_source(ACC_KERNEL, SaturatorConfig(variant=Variant.ACCSAT))
+        report = result.kernels[0]
+        assert report.ssa_codegen_time >= 0.0
+        assert report.saturation_time >= 0.0
+        assert report.assignments >= 1
+        assert report.egraph_nodes > 0
+        assert report.runner is not None
+
+    def test_cse_variant_skips_saturation(self):
+        result = optimize_source(ACC_KERNEL, SaturatorConfig(variant=Variant.CSE))
+        assert result.kernels[0].runner is None
+        assert result.kernels[0].saturation_time == 0.0
+
+    def test_ilp_extraction_end_to_end(self):
+        config = SaturatorConfig(variant=Variant.ACCSAT, extraction="ilp")
+        result = optimize_source(ACC_KERNEL, config)
+        assert "_v0" in result.code
+
+    def test_result_kernel_lookup(self):
+        result = optimize_source(ACC_KERNEL, name_prefix="stencil")
+        assert result.kernel("stencil_0").name == "stencil_0"
+        with pytest.raises(KeyError):
+            result.kernel("nope")
