@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Engine performance trajectory: write BENCH_engine.json.
+
+Measures the median wall-clock time of the four pipeline stages the
+throughput benchmarks track (parse+SSA, saturation, extraction, and the
+full ACC-Saturator pipeline on the LU jacld kernel), plus the rule-search
+micro-benchmark, and writes them to ``BENCH_engine.json`` at the repo
+root.  Future PRs re-run this script and compare against the committed
+figures, so perf regressions in the reproduction's own hot paths are
+attributable — the per-rule breakdown from the saturation profiler is
+included for exactly that purpose.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_engine_bench.py [-o OUT] [-n REPEATS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.benchsuite.npb.lu import LU_JACLD_SOURCE
+from repro.cost import DEFAULT_COST_MODEL
+from repro.egraph import EGraph, Runner, RunnerLimits, extract_best
+from repro.egraph.language import op, sym
+from repro.frontend import parse_statement
+from repro.frontend.normalize import normalize_blocks
+from repro.rules import constant_folding_analysis, default_ruleset
+from repro.saturator import SaturatorConfig, Variant, find_parallel_kernels, optimize_source
+from repro.ssa import build_ssa
+
+
+def _median_time(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def _bench_term():
+    term = sym("x0")
+    for i in range(1, 7):
+        term = op("+", term, op("*", sym(f"a{i}"), sym(f"b{i}")))
+    return term
+
+
+def _saturated_egraph():
+    eg = EGraph(constant_folding_analysis())
+    root = eg.add_term(_bench_term())
+    report = Runner(eg, default_ruleset(), RunnerLimits(2000, 5, 5.0)).run()
+    return eg, root, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output",
+        default=os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                             "BENCH_engine.json"),
+        help="output JSON path (default: repo-root BENCH_engine.json)",
+    )
+    parser.add_argument("-n", "--repeats", type=int, default=7,
+                        help="timed repetitions per stage (median is kept)")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    # warm every cache (pattern compilation, pyc, allocator) before timing
+    config = SaturatorConfig(variant=Variant.ACCSAT, limits=RunnerLimits(2000, 4, 5.0))
+    optimize_source(LU_JACLD_SOURCE, config)
+
+    def parse_and_ssa():
+        root = parse_statement(LU_JACLD_SOURCE)
+        normalize_blocks(root)
+        kernel = find_parallel_kernels(root)[0]
+        return build_ssa(kernel.body)
+
+    def saturation():
+        return _saturated_egraph()
+
+    eg, root, sat_report = _saturated_egraph()
+
+    def extraction():
+        return extract_best(eg, [root], DEFAULT_COST_MODEL, "dag-greedy")
+
+    rules = default_ruleset()
+
+    def rule_search():
+        return sum(len(rule.search(eg)) for rule in rules)
+
+    def full_pipeline():
+        return optimize_source(LU_JACLD_SOURCE, config)
+
+    results = {
+        "parse_ssa": _median_time(parse_and_ssa, args.repeats),
+        "saturation": _median_time(saturation, args.repeats),
+        "rule_search": _median_time(rule_search, args.repeats),
+        "extraction": _median_time(extraction, args.repeats),
+        "full_pipeline": _median_time(full_pipeline, args.repeats),
+    }
+
+    pipeline_result = optimize_source(LU_JACLD_SOURCE, config)
+    kernel_report = pipeline_result.kernels[0]
+
+    payload = {
+        "schema": "repro-engine-bench/1",
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "median_seconds": results,
+        "saturation_outcome": {
+            "stop_reason": sat_report.stop_reason.value,
+            "egraph_nodes": sat_report.egraph_nodes,
+            "egraph_classes": sat_report.egraph_classes,
+        },
+        "pipeline_outcome": {
+            "stop_reason": kernel_report.runner.stop_reason.value,
+            "egraph_nodes": kernel_report.egraph_nodes,
+            "egraph_classes": kernel_report.egraph_classes,
+        },
+        # per-rule saturation profile of the benchmark kernel, so future
+        # regressions can be pinned on a specific rule
+        "rule_stats": {
+            name: stats.as_dict()
+            for name, stats in kernel_report.runner.rule_stats.items()
+        },
+    }
+
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"wrote {args.output}")
+    for stage, seconds in results.items():
+        print(f"  {stage:14s} {1e3 * seconds:8.2f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,25 @@ def test_bench_saturation_runner(benchmark):
     assert len(eg) > 10
 
 
+def test_bench_rule_search(benchmark):
+    """Micro-benchmark of the e-matching engine alone: search every rule of
+    the default set against a saturated e-graph (no apply/rebuild)."""
+
+    eg = EGraph(constant_folding_analysis())
+    term = sym("x0")
+    for i in range(1, 7):
+        term = op("+", term, op("*", sym(f"a{i}"), sym(f"b{i}")))
+    eg.add_term(term)
+    Runner(eg, default_ruleset(), RunnerLimits(2000, 5, 5.0)).run()
+    rules = default_ruleset()
+
+    def run():
+        return sum(len(rule.search(eg)) for rule in rules)
+
+    total = benchmark(run)
+    assert total > 100
+
+
 def test_bench_extraction(benchmark):
     eg = EGraph(constant_folding_analysis())
     term = sym("x0")

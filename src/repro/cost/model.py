@@ -88,26 +88,39 @@ class CostWeights:
     structural: float = 0.0
 
     def of(self, op_class: OpClass) -> float:
-        return {
-            OpClass.CONSTANT: self.constant,
-            OpClass.VARIABLE: self.variable,
-            OpClass.PHI: self.phi,
-            OpClass.COMPUTE: self.compute,
-            OpClass.EXPENSIVE: self.expensive,
-            OpClass.STRUCTURAL: self.structural,
-        }[op_class]
+        # OpClass values are the field names, so this is a direct lookup
+        # (building a dict per call showed up in extraction profiles).
+        return getattr(self, op_class.value)
 
 
 class CostModel:
     """Base cost model: price one e-node (children are priced separately)."""
 
     def __init__(self, weights: CostWeights | None = None) -> None:
-        self.weights = weights or CostWeights()
+        self._weights = weights or CostWeights()
+        #: op -> cost memo (the classification depends only on the operator,
+        #: and extraction prices the same operators millions of times).
+        self._op_cost: dict = {}
+
+    @property
+    def weights(self) -> CostWeights:
+        return self._weights
+
+    @weights.setter
+    def weights(self, value: CostWeights) -> None:
+        # invalidate the per-op memo, or re-priced models would keep
+        # serving costs computed under the old weights
+        self._weights = value
+        self._op_cost.clear()
 
     def enode_cost(self, enode: ENode) -> float:
         """Cost contribution of *enode* itself."""
 
-        return self.weights.of(classify_op(enode))
+        cost = self._op_cost.get(enode.op)
+        if cost is None:
+            cost = self._weights.of(classify_op(enode))
+            self._op_cost[enode.op] = cost
+        return cost
 
     def term_cost(self, term) -> float:
         """DAG-unaware cost of a whole term (every node counted)."""

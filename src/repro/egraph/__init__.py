@@ -7,11 +7,14 @@ library that ACC Saturator relies on:
 * :class:`~repro.egraph.egraph.EGraph` — hash-consed e-nodes, congruence
   closure with deferred rebuilding, and e-class analyses,
 * :class:`~repro.egraph.pattern.Pattern` — e-matching of pattern terms,
+  with an op-indexed compiled engine
+  (:class:`~repro.egraph.pattern.CompiledPattern`) behind it,
 * :class:`~repro.egraph.rewrite.Rewrite` — rewrite rules (with optional
-  dynamic right-hand sides and guards),
+  dynamic right-hand sides and guards), searched incrementally,
 * :class:`~repro.egraph.runner.Runner` — the saturation loop with e-node,
   iteration and wall-clock limits (paper §VII: 10,000 e-nodes, 10 rewriting
-  iterations, 10 s saturation, 30 s extraction),
+  iterations, 10 s saturation, 30 s extraction) and per-rule profiling
+  (:class:`~repro.egraph.runner.RuleStats`),
 * :mod:`~repro.egraph.extract` — cost-based term extraction: greedy tree,
   greedy DAG (shared e-classes counted once, as in the paper's CSE) and an
   ILP formulation solved with ``scipy.optimize.milp`` standing in for CBC.
@@ -27,13 +30,26 @@ from repro.egraph.extract import (
     extract_best,
 )
 from repro.egraph.language import Term
-from repro.egraph.pattern import Pattern, PatternVar, parse_pattern
+from repro.egraph.pattern import (
+    CompiledPattern,
+    Pattern,
+    PatternVar,
+    compile_pattern,
+    parse_pattern,
+)
 from repro.egraph.rewrite import Rewrite, rewrite
-from repro.egraph.runner import Runner, RunnerLimits, RunnerReport, StopReason
+from repro.egraph.runner import (
+    Runner,
+    RunnerLimits,
+    RunnerReport,
+    RuleStats,
+    StopReason,
+)
 from repro.egraph.unionfind import UnionFind
 
 __all__ = [
     "Analysis",
+    "CompiledPattern",
     "ConstantFoldingAnalysis",
     "DagExtractor",
     "EClass",
@@ -44,6 +60,7 @@ __all__ = [
     "Pattern",
     "PatternVar",
     "Rewrite",
+    "RuleStats",
     "Runner",
     "RunnerLimits",
     "RunnerReport",
@@ -51,6 +68,7 @@ __all__ = [
     "Term",
     "TreeExtractor",
     "UnionFind",
+    "compile_pattern",
     "extract_best",
     "parse_pattern",
     "rewrite",

@@ -112,9 +112,14 @@ class ConstantFoldingAnalysis(Analysis):
         if enode.op not in self._FOLDABLE or not enode.children:
             return None
         args: list[Number] = []
+        classes = egraph.classes
+        find = egraph.uf.find
         for child in enode.children:
-            value = self._value_of(egraph, child)
-            if value is None:
+            cls = classes.get(child)
+            if cls is None:
+                cls = classes[find(child)]
+            value = cls.data
+            if not isinstance(value, (int, float)):
                 return None
             args.append(value)
         folded = self._fold(enode.op, args)

@@ -10,6 +10,24 @@ that the paper builds on:
   what makes batch rule application cheap,
 * e-class analyses (:mod:`repro.egraph.analysis`) propagate per-class facts
   such as constant values, enabling constant folding during saturation.
+
+On top of the classic structure the e-graph maintains the bookkeeping that
+the op-indexed, incremental e-matcher (:mod:`repro.egraph.pattern`) relies
+on:
+
+* an **op-index** — for every operator, the set of e-class ids whose class
+  contains an e-node with that operator.  Entries are canonicalised lazily
+  (a stale id simply ``find``s to the surviving root), so ``merge`` never
+  has to rewrite the index; :meth:`classes_with_op` compacts on read.
+* a per-class **by-op grouping** of the node set (cached, invalidated by a
+  per-class ``version`` stamp) so a sub-pattern with operator ``*`` only
+  looks at the ``*`` nodes of a candidate class,
+* a per-class **touched** stamp — the :attr:`version` at which the class
+  (or anything match-relevant below it) last changed.  :meth:`rebuild`
+  propagates touches upward through the parent lists, which is what makes
+  it sound for a rewrite to skip classes untouched since its previous scan,
+* a cached canonical-node count so ``len(egraph)`` is O(1) (it is called
+  inside the runner's per-rule apply loop).
 """
 
 from __future__ import annotations
@@ -21,6 +39,8 @@ from repro.egraph.language import Payload, Term
 from repro.egraph.unionfind import UnionFind
 
 __all__ = ["ENode", "EClass", "EGraph"]
+
+_EMPTY: Tuple = ()
 
 
 @dataclass(frozen=True, eq=False)
@@ -47,14 +67,28 @@ class ENode:
         )
 
     def __hash__(self) -> int:
-        return hash((self.op, self.payload, type(self.payload).__name__, self.children))
+        # e-nodes are hashed constantly (hashcons lookups, per-class node
+        # sets); memoise the hash on first use.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.op, self.payload, type(self.payload), self.children))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def canonicalize(self, uf: UnionFind) -> "ENode":
         """Return this e-node with every child id replaced by its root."""
 
-        if not self.children:
+        children = self.children
+        if not children:
             return self
-        return ENode(self.op, tuple(uf.find(c) for c in self.children), self.payload)
+        # inlined UnionFind.is_root (see its docstring for the contract):
+        # this avoids a method call per child on the hottest path
+        parent = uf._parent
+        for c in children:
+            if parent[c] != c:
+                find = uf.find
+                return ENode(self.op, tuple([find(c) for c in children]), self.payload)
+        return self
 
     def map_children(self, fn) -> "ENode":
         return ENode(self.op, tuple(fn(c) for c in self.children), self.payload)
@@ -78,6 +112,19 @@ class EClass:
     #: Analysis data attached to this class (semantics defined by the
     #: :class:`~repro.egraph.analysis.Analysis` instance in use).
     data: object = None
+    #: :attr:`EGraph.version` at which the node set of this class last
+    #: changed (invalidates the cached by-op grouping).
+    version: int = 0
+    #: :attr:`EGraph.version` at which this class — or a descendant class a
+    #: match rooted here could reach — last changed.  Maintained by
+    #: :meth:`EGraph.rebuild` via upward touch propagation; the incremental
+    #: searcher skips classes with ``touched <= last_scan_version``.
+    touched: int = 0
+    #: Cached ``op -> [nodes]`` grouping of :attr:`nodes` (lazily built).
+    _by_op: Optional[Dict[str, List[ENode]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _by_op_version: int = field(default=-1, repr=False, compare=False)
 
 
 class EGraph:
@@ -92,17 +139,32 @@ class EGraph:
         #: e-class ids whose analysis data changed and must be re-propagated.
         self._analysis_dirty: List[int] = []
         self.analysis = analysis
-        #: Running counter of merges (useful for saturation detection).
+        #: Running counter of adds/merges (useful for saturation detection
+        #: and the basis of the incremental-search stamps).
         self.version = 0
+        #: op -> set of e-class ids whose class contains that operator.  May
+        #: hold stale (merged-away) ids; they canonicalise to the surviving
+        #: root and are compacted on read.  Classes never *lose* an
+        #: operator, so after canonicalisation the set is exact.
+        self._op_classes: Dict[str, Set[int]] = {}
+        #: Cached number of e-nodes (sum of class node-set sizes), kept in
+        #: sync by ``add``/``merge``/``_repair`` so ``len`` is O(1).
+        self._node_count = 0
+        #: Classes mutated since the last touch propagation (see
+        #: :meth:`_propagate_touches`).
+        self._touched: List[int] = []
+        #: Stale hashcons keys can only appear after a union; lets
+        #: :meth:`_sweep_stale_keys` skip its scan on merge-free rebuilds.
+        self._merged_since_sweep = False
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        """Number of (canonical) e-nodes in the graph."""
+        """Number of (canonical) e-nodes in the graph — O(1)."""
 
-        return sum(len(cls.nodes) for cls in self.classes.values())
+        return self._node_count
 
     @property
     def num_classes(self) -> int:
@@ -136,6 +198,59 @@ class EGraph:
         return self.uf.same(a, b)
 
     # ------------------------------------------------------------------
+    # Op-indexed queries (the e-matcher's entry points)
+    # ------------------------------------------------------------------
+
+    def classes_with_op(self, op: str) -> Set[int]:
+        """Canonical ids of every live class containing an *op* e-node.
+
+        Compacts the index entry in place (stale ids from merged-away
+        classes are replaced by their roots), so repeated queries stay
+        cheap even across heavy merging.
+        """
+
+        ids = self._op_classes.get(op)
+        if not ids:
+            return set()
+        # steady-state fast path: already fully canonical -> no rebuild
+        # (inlined UnionFind.is_root, see its docstring for the contract)
+        parent = self.uf._parent
+        if all(parent[i] == i for i in ids):
+            return set(ids)
+        find = self.uf.find
+        canon = {find(i) for i in ids}
+        self._op_classes[op] = canon
+        # return a copy: handing out the live index would let callers
+        # mutate it (or trip over adds while iterating)
+        return set(canon)
+
+    def nodes_by_op(self, eclass_id: int, op: str) -> Sequence[ENode]:
+        """The e-nodes with operator *op* in the class of *eclass_id*.
+
+        Backed by a per-class grouping cache invalidated whenever the
+        class's node set changes; this is what lets a compiled sub-pattern
+        with operator ``*`` skip every non-``*`` node of a candidate class.
+        """
+
+        # callers overwhelmingly pass canonical ids (the matcher always
+        # does); the classes dict only holds canonical roots, so a hit
+        # skips the union-find walk entirely
+        cls = self.classes.get(eclass_id)
+        if cls is None:
+            cls = self.classes[self.uf.find(eclass_id)]
+        if cls._by_op_version != cls.version:
+            group: Dict[str, List[ENode]] = {}
+            for node in cls.nodes:
+                bucket = group.get(node.op)
+                if bucket is None:
+                    group[node.op] = [node]
+                else:
+                    bucket.append(node)
+            cls._by_op = group
+            cls._by_op_version = cls.version
+        return cls._by_op.get(op, _EMPTY)
+
+    # ------------------------------------------------------------------
     # Adding
     # ------------------------------------------------------------------
 
@@ -147,17 +262,26 @@ class EGraph:
         if existing is not None:
             return self.uf.find(existing)
 
+        self.version += 1
         eclass_id = self.uf.make_set()
         eclass = EClass(eclass_id, {enode}, [])
+        eclass.version = eclass.touched = self.version
         self.classes[eclass_id] = eclass
         self.hashcons[enode] = eclass_id
+        self._node_count += 1
+        ops = self._op_classes.get(enode.op)
+        if ops is None:
+            self._op_classes[enode.op] = {eclass_id}
+        else:
+            ops.add(eclass_id)
+        self._touched.append(eclass_id)
+        # children are canonical here (the e-node was just canonicalised)
         for child in enode.children:
-            self.classes[self.uf.find(child)].parents.append((enode, eclass_id))
+            self.classes[child].parents.append((enode, eclass_id))
 
         if self.analysis is not None:
             eclass.data = self.analysis.make(self, enode)
             self.analysis.modify(self, eclass_id)
-        self.version += 1
         return eclass_id
 
     def add_term(self, term: Term) -> int:
@@ -186,12 +310,20 @@ class EGraph:
         if ra == rb:
             return ra
 
+        self.version += 1
         root = self.uf.union(ra, rb)
         other = rb if root == ra else ra
         winner, loser = self.classes[root], self.classes[other]
 
+        before = len(winner.nodes) + len(loser.nodes)
         winner.nodes |= loser.nodes
+        self._node_count += len(winner.nodes) - before
         winner.parents.extend(loser.parents)
+        winner.version = winner.touched = self.version
+        self._touched.append(root)
+        self._merged_since_sweep = True
+        # No op-index update needed: the loser's index entries find() to the
+        # surviving root and are compacted on the next classes_with_op read.
 
         if self.analysis is not None:
             winner.data = self.analysis.join(winner.data, loser.data)
@@ -199,7 +331,6 @@ class EGraph:
 
         del self.classes[other]
         self._dirty.append(root)
-        self.version += 1
         return root
 
     def union_terms(self, a: Term, b: Term) -> int:
@@ -214,24 +345,113 @@ class EGraph:
         """Restore the hashcons and congruence invariants.
 
         Returns the number of follow-up merges performed (congruent parents
-        discovered while re-canonicalising).
+        discovered while re-canonicalising).  Also propagates the *touched*
+        stamps of every mutated class upward through the parent lists so
+        the incremental searcher sees new matches rooted at unchanged
+        ancestors of changed classes.
         """
 
         n_repairs = 0
-        while self._dirty or self._analysis_dirty:
-            todo = {self.uf.find(i) for i in self._dirty}
-            self._dirty.clear()
-            for eclass_id in todo:
-                n_repairs += self._repair(eclass_id)
+        while True:
+            while self._dirty or self._analysis_dirty:
+                todo = {self.uf.find(i) for i in self._dirty}
+                self._dirty.clear()
+                for eclass_id in todo:
+                    n_repairs += self._repair(eclass_id)
 
-            analysis_todo = {self.uf.find(i) for i in self._analysis_dirty}
-            self._analysis_dirty.clear()
-            for eclass_id in analysis_todo:
-                self._repair_analysis(eclass_id)
+                analysis_todo = {self.uf.find(i) for i in self._analysis_dirty}
+                self._analysis_dirty.clear()
+                for eclass_id in analysis_todo:
+                    self._repair_analysis(eclass_id)
+
+            # Parents-driven repair restores *most* of the hashcons, but a
+            # node spelling re-keyed by one class's repair is invisible to a
+            # later repair that recorded an older spelling of the same node
+            # (its pop misses), which strands the newer spelling as a stale
+            # key — and, if its value disagrees with the canonical entry, a
+            # missed congruent merge.  The closing sweep drops stale keys
+            # and loops again when it uncovers such a merge.
+            n_repairs += self._sweep_stale_keys()
+            if not self._dirty and not self._analysis_dirty:
+                break
+        self._propagate_touches()
         return n_repairs
 
+    def _sweep_stale_keys(self) -> int:
+        """Drop non-canonical hashcons keys; merge any congruence they hid.
+
+        Runs at each :meth:`rebuild` convergence.  The scan is cheap: a key
+        is stale iff one of its child ids is not a union-find root, which
+        is two array reads per child.
+        """
+
+        if not self._merged_since_sweep:
+            return 0
+        self._merged_since_sweep = False
+        uf = self.uf
+        is_root = uf.is_root
+        stale: List[ENode] = []
+        for key in self.hashcons:
+            for child in key.children:
+                if not is_root(child):
+                    stale.append(key)
+                    break
+        if not stale:
+            return 0
+        find = uf.find
+        merges = 0
+        for key in stale:
+            value = self.hashcons.pop(key)
+            canon = key.canonicalize(uf)
+            prior = self.hashcons.get(canon)
+            if prior is None:
+                self.hashcons[canon] = find(value)
+            elif find(prior) != find(value):
+                self.merge(prior, value)
+                merges += 1
+        return merges
+
+    def _propagate_touches(self) -> None:
+        """Stamp every ancestor of a mutated class as touched.
+
+        A match rooted at class ``C`` depends on the node sets of every
+        class reachable through the children of ``C``'s nodes.  Walking the
+        parent lists from each mutated class therefore marks exactly the
+        classes whose match sets may have changed (egg instead falls back
+        to a full rescan; the upward walk is cheap because the visited set
+        caps it at one pass over the ancestor cone).
+        """
+
+        if not self._touched:
+            return
+        find = self.uf.find
+        classes = self.classes
+        stamp = self.version
+        queue = [find(i) for i in self._touched]
+        self._touched.clear()
+        seen: Set[int] = set()
+        while queue:
+            cid = queue.pop()
+            if cid in seen:
+                continue
+            seen.add(cid)
+            cls = classes.get(cid)
+            if cls is None:
+                continue
+            if cls.touched < stamp:
+                cls.touched = stamp
+            for _, parent_class in cls.parents:
+                pid = find(parent_class)
+                if pid not in seen:
+                    queue.append(pid)
+
     def _repair(self, eclass_id: int) -> int:
-        """Re-canonicalise the parents of one e-class, merging congruent ones."""
+        """Re-canonicalise the parents of one e-class, merging congruent ones.
+
+        Deduplicates the parent list as it goes: merges concatenate parent
+        lists, so the same ``(e-node, class)`` pair can accumulate many
+        times across a saturation run.
+        """
 
         eclass_id = self.uf.find(eclass_id)
         eclass = self.classes.get(eclass_id)
@@ -241,41 +461,66 @@ class EGraph:
         repairs = 0
         old_parents = eclass.parents
         eclass.parents = []
+        new_parents = eclass.parents
+        hashcons = self.hashcons
+        uf = self.uf
+        find = uf.find
+        classes = self.classes
         seen: Dict[ENode, int] = {}
         for parent_node, parent_class in old_parents:
             # drop the stale hashcons entry before re-canonicalising
-            self.hashcons.pop(parent_node, None)
-            canon = parent_node.canonicalize(self.uf)
-            parent_class = self.uf.find(parent_class)
+            hashcons.pop(parent_node, None)
+            canon = parent_node.canonicalize(uf)
+            parent_class = find(parent_class)
             existing = seen.get(canon)
-            if existing is not None:
-                if not self.uf.same(existing, parent_class):
+            is_duplicate = existing is not None
+            if is_duplicate:
+                if find(existing) != parent_class:
                     self.merge(existing, parent_class)
                     repairs += 1
-                parent_class = self.uf.find(parent_class)
+                parent_class = find(parent_class)
             else:
-                prior = self.hashcons.get(canon)
-                if prior is not None and not self.uf.same(prior, parent_class):
+                prior = hashcons.get(canon)
+                if prior is not None and find(prior) != parent_class:
                     self.merge(prior, parent_class)
                     repairs += 1
-                    parent_class = self.uf.find(parent_class)
-            self.hashcons[canon] = self.uf.find(parent_class)
-            seen[canon] = self.uf.find(parent_class)
-            eclass.parents.append((canon, self.uf.find(parent_class)))
+                    parent_class = find(parent_class)
+            canon_class = find(parent_class)
+            hashcons[canon] = canon_class
+            seen[canon] = canon_class
+            if not is_duplicate:
+                new_parents.append((canon, canon_class))
             # keep the parent's own node set canonical too, otherwise the
             # stale spelling lingers there while the hashcons moves on
-            if canon != parent_node:
-                owner = self.classes.get(self.uf.find(parent_class))
+            if canon is not parent_node:
+                owner = classes.get(canon_class)
                 if owner is not None:
+                    n0 = len(owner.nodes)
                     owner.nodes.discard(parent_node)
                     owner.nodes.add(canon)
+                    self._node_count += len(owner.nodes) - n0
+                    owner.version = owner.touched = self.version
+                    self._touched.append(owner.id)
 
         # canonicalise the nodes stored in the class itself
-        eclass = self.classes.get(self.uf.find(eclass_id))
+        eclass = self.classes.get(find(eclass_id))
         if eclass is not None:
-            eclass.nodes = {node.canonicalize(self.uf) for node in eclass.nodes}
-            for node in eclass.nodes:
-                self.hashcons[node] = eclass.id
+            new_nodes = {node.canonicalize(uf) for node in eclass.nodes}
+            self._node_count += len(new_nodes) - len(eclass.nodes)
+            eclass.nodes = new_nodes
+            eclass.version = eclass.touched = self.version
+            self._touched.append(eclass.id)
+            # snapshot: a congruent merge below can grow this very set
+            for node in list(new_nodes):
+                # congruence check before re-keying: a re-spelled member
+                # node may coincide with a node of a *different* class —
+                # blindly overwriting its entry would leave the two
+                # classes unmerged
+                prior = hashcons.get(node)
+                if prior is not None and find(prior) != find(eclass.id):
+                    self.merge(prior, eclass.id)
+                    repairs += 1
+                hashcons[node] = find(eclass.id)
         return repairs
 
     def _repair_analysis(self, eclass_id: int) -> None:
@@ -298,6 +543,10 @@ class EGraph:
             if joined != parent.data:
                 parent.data = joined
                 self._analysis_dirty.append(parent_class)
+                # a data change can flip rewrite guards — make sure the
+                # incremental searcher revisits this class
+                parent.touched = self.version
+                self._touched.append(parent_class)
 
     # ------------------------------------------------------------------
     # Queries used by e-matching and extraction
@@ -359,6 +608,21 @@ class EGraph:
                 )
                 seen[canon] = eclass.id
 
+        # cached node count matches the ground truth
+        actual = sum(len(cls.nodes) for cls in self.classes.values())
+        assert self._node_count == actual, (
+            f"cached node count {self._node_count} != actual {actual}"
+        )
+        # op-index covers every (op, class) pair (it may hold extra stale
+        # ids, but after canonicalisation every live op-bearing class must
+        # be present)
+        for eclass in self.classes.values():
+            for node in eclass.nodes:
+                members = self.classes_with_op(node.op)
+                assert eclass.id in members, (
+                    f"op-index missing class {eclass.id} for op {node.op!r}"
+                )
+
     # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
@@ -369,13 +633,19 @@ class EGraph:
         dup = EGraph(self.analysis)
         dup.uf = self.uf.copy()
         dup.hashcons = dict(self.hashcons)
-        dup.classes = {
-            cid: EClass(cls.id, set(cls.nodes), list(cls.parents), cls.data)
-            for cid, cls in self.classes.items()
-        }
+        dup.classes = {}
+        for cid, cls in self.classes.items():
+            new = EClass(cls.id, set(cls.nodes), list(cls.parents), cls.data)
+            new.version = cls.version
+            new.touched = cls.touched
+            dup.classes[cid] = new
         dup._dirty = list(self._dirty)
         dup._analysis_dirty = list(self._analysis_dirty)
         dup.version = self.version
+        dup._op_classes = {op: set(ids) for op, ids in self._op_classes.items()}
+        dup._node_count = self._node_count
+        dup._touched = list(self._touched)
+        dup._merged_since_sweep = self._merged_since_sweep
         return dup
 
     def dump(self) -> str:  # pragma: no cover - debugging helper

@@ -94,32 +94,81 @@ class TreeExtractor:
             return
         egraph = self.egraph
         best = self._best
-        changed = True
-        # Iterate to fixpoint; each pass relaxes class costs monotonically, so
-        # the loop terminates in at most (#classes) passes.
-        while changed:
-            changed = False
-            for eclass in egraph.eclasses():
-                for enode in eclass.nodes:
-                    cost = self._node_tree_cost(enode)
-                    if cost is None:
-                        continue
-                    current = best.get(eclass.id)
-                    if current is None or cost < current[0] or (
-                        cost == current[0] and _node_order_key(enode) < _node_order_key(current[1])
-                    ):
-                        best[eclass.id] = (cost, enode)
-                        changed = True
-        self._computed = True
+        find = egraph.uf.find
+        cost_of = self.cost_function.enode_cost
 
-    def _node_tree_cost(self, enode: ENode) -> Optional[float]:
-        total = self.cost_function.enode_cost(enode)
-        for child in enode.children:
-            child_best = self._best.get(self.egraph.find(child))
-            if child_best is None:
-                return None
-            total += child_best[0]
-        return total
+        # Worklist relaxation instead of repeated whole-graph passes: when a
+        # class's best cost improves, only the classes whose e-nodes point at
+        # it are re-evaluated — O(edges) re-evaluations instead of
+        # O(passes * nodes).
+        #
+        # Equal-cost ties are broken by, in order: not referencing the
+        # node's own class (a self-referential choice cannot be
+        # reconstructed as a term), fewer *distinct* child classes (more
+        # sharing, which the DAG objective rewards — e.g. prefer
+        # ``(+ x x)`` over an equal-tree-cost chain), then the
+        # deterministic _node_order_key.
+        class_nodes: Dict[
+            int, List[Tuple[ENode, float, Tuple[int, ...], int, int]]
+        ] = {}
+        dependents: Dict[int, Set[int]] = {}
+        for eclass in egraph.eclasses():
+            entries = []
+            for enode in eclass.nodes:
+                children = tuple(find(c) for c in enode.children)
+                child_set = set(children)
+                entries.append(
+                    (
+                        enode,
+                        cost_of(enode),
+                        children,
+                        1 if eclass.id in child_set else 0,
+                        len(child_set),
+                    )
+                )
+                for child in child_set:
+                    dependents.setdefault(child, set()).add(eclass.id)
+            class_nodes[eclass.id] = entries
+
+        tie: Dict[int, Tuple[int, int, tuple]] = {}
+        pending = set(class_nodes)
+        while pending:
+            cid = pending.pop()
+            entry: Optional[Tuple[float, ENode]] = None
+            entry_tie: Optional[Tuple[int, int, tuple]] = None
+            for enode, base_cost, children, self_ref, n_distinct in class_nodes[cid]:
+                total = base_cost
+                feasible = True
+                for child in children:
+                    child_best = best.get(child)
+                    if child_best is None:
+                        feasible = False
+                        break
+                    total += child_best[0]
+                if not feasible:
+                    continue
+                if entry is None or total < entry[0]:
+                    entry = (total, enode)
+                    entry_tie = (self_ref, n_distinct, _node_order_key(enode))
+                elif total == entry[0]:
+                    cand_tie = (self_ref, n_distinct, _node_order_key(enode))
+                    if cand_tie < entry_tie:
+                        entry = (total, enode)
+                        entry_tie = cand_tie
+            if entry is None:
+                continue
+            current = best.get(cid)
+            if current is None or entry[0] < current[0] or (
+                entry[0] == current[0] and entry_tie < tie[cid]
+            ):
+                improved_cost = current is None or entry[0] < current[0]
+                best[cid] = entry
+                tie[cid] = entry_tie
+                if improved_cost:
+                    # tie-break-only changes don't alter this class's cost,
+                    # so parents need no re-evaluation
+                    pending.update(dependents.get(cid, ()))
+        self._computed = True
 
     # -- public API -----------------------------------------------------------
 
@@ -229,29 +278,7 @@ class DagExtractor:
         for cid in reachable:
             choices[cid] = self._tree.best_node(cid)
 
-        # Local improvement: within the selected DAG, re-pick any e-node whose
-        # children are already selected classes and whose own cost is lower —
-        # this captures reuse the pure tree objective misses.
-        improved = True
-        while improved:
-            improved = False
-            selected = set(choices)
-            for cid in list(choices):
-                current = choices[cid]
-                current_cost = self.cost_function.enode_cost(current)
-                for candidate in self.egraph.nodes_of(cid):
-                    if candidate == current:
-                        continue
-                    child_ids = {self.egraph.find(c) for c in candidate.children}
-                    if not child_ids.issubset(selected):
-                        continue
-                    if self.egraph.find(cid) in child_ids:
-                        continue  # avoid trivial self-cycles
-                    cand_cost = self.cost_function.enode_cost(candidate)
-                    if cand_cost < current_cost:
-                        choices[cid] = candidate
-                        improved = True
-                        break
+        self._improve_dag(roots, choices)
 
         # Re-derive reachability after improvement and drop unused classes.
         reachable = _reachable_from(self.egraph, roots, lambda c: choices[c])
@@ -266,6 +293,235 @@ class DagExtractor:
         return ExtractionResult(
             choices, terms, cost, time.perf_counter() - start, "dag-greedy"
         )
+
+    # -- DAG-aware local search ----------------------------------------------
+
+    def _tree_level(self, cid: int, cache: Dict[int, int]) -> int:
+        """Topological level of *cid* in the tree-best selection.
+
+        Levels strictly decrease along tree-best edges, so restricting a
+        candidate e-node's children to lower levels than its class keeps
+        any selection built from them acyclic.
+        """
+
+        cached = cache.get(cid)
+        if cached is not None:
+            return cached
+        find = self.egraph.uf.find
+        tree_best = self._tree._best
+        stack = [(cid, False)]
+        in_progress: Set[int] = set()
+        while stack:
+            current, expanded = stack.pop()
+            if expanded:
+                node = tree_best[current][1]
+                lv = 0
+                for child in node.children:
+                    lv = max(lv, cache[find(child)])
+                cache[current] = lv + 1
+                in_progress.discard(current)
+                continue
+            if current in cache:
+                continue
+            if current in in_progress:
+                raise ExtractionError(
+                    f"cyclic tree-best selection through e-class {current}"
+                )
+            entry = tree_best.get(current)
+            if entry is None:
+                raise ExtractionError(f"no finite-cost term for e-class {current}")
+            in_progress.add(current)
+            stack.append((current, True))
+            for child in entry[1].children:
+                c = find(child)
+                if c not in cache:
+                    stack.append((c, False))
+        return cache[cid]
+
+    def _improve_dag(
+        self, roots: Sequence[int], choices: Dict[int, ENode], max_passes: int = 8
+    ) -> None:
+        """Savings-aware local search over the selected DAG (in place).
+
+        The per-class tree-optimal selection is blind to sharing: an
+        equal-tree-cost e-node can pull in a chain of classes used nowhere
+        else while an alternative reuses classes the selection already
+        pays for (the paper's CSE objective).  Starting from the greedy
+        selection, repeatedly switch one class's choice when the *DAG*
+        cost strictly improves — newly required classes are priced at
+        their tree-best cost (an upper bound on their real marginal cost)
+        and classes that become unreachable are credited via a
+        reference-count cascade.  Every commit strictly decreases the DAG
+        cost, and the tree-level guard keeps the selection acyclic, so the
+        search terminates.
+        """
+
+        egraph = self.egraph
+        find = egraph.uf.find
+        cost_of = self.cost_function.enode_cost
+        tree_best = self._tree._best
+        levels: Dict[int, int] = {}
+
+        protected = set(roots)
+        refs: Dict[int, int] = {cid: 0 for cid in choices}
+        for node in choices.values():
+            for ch in {find(c) for c in node.children}:
+                refs[ch] = refs.get(ch, 0) + 1
+
+        #: None = full sweep; afterwards only classes whose selection
+        #: neighbourhood changed in the previous pass are revisited.
+        dirty: Optional[Set[int]] = None
+        for _ in range(max_passes):
+            changed_classes: Set[int] = set()
+            if dirty is None:
+                order = sorted(choices)
+            else:
+                order = sorted(c for c in dirty if c in choices)
+            for cid in order:
+                if cid not in choices:
+                    continue  # dropped by an earlier cascade this pass
+                current = choices[cid]
+                try:
+                    class_level = self._tree_level(cid, levels)
+                except ExtractionError:
+                    continue
+                cur_cost = cost_of(current)
+                cur_children = frozenset(find(c) for c in current.children)
+                # Candidate-independent upper bound on the releasable cost:
+                # cascade as if every current child lost its reference.
+                # Excluding a candidate's reused children or counting its
+                # new references only shrinks the real figure, so any
+                # candidate with cost(cand) - cur_cost >= freed_ub can
+                # never produce a negative delta (added_cost >= 0) and is
+                # rejected before the per-candidate simulation.
+                freed_ub = 0.0
+                ub_dec: Dict[int, int] = {}
+                ub_removed: Set[int] = set()
+                process = list(cur_children)
+                for ch in process:
+                    ub_dec[ch] = ub_dec.get(ch, 0) + 1
+                while process:
+                    c = process.pop()
+                    if c in ub_removed or c in protected or c not in choices:
+                        continue
+                    if refs.get(c, 0) - ub_dec.get(c, 0) > 0:
+                        continue
+                    ub_removed.add(c)
+                    freed_ub += cost_of(choices[c])
+                    for gc in {find(x) for x in choices[c].children}:
+                        ub_dec[gc] = ub_dec.get(gc, 0) + 1
+                        process.append(gc)
+                threshold = cur_cost + freed_ub - 1e-9
+                candidates = [
+                    n
+                    for n in egraph.nodes_of(cid)
+                    if n != current and cost_of(n) < threshold
+                ]
+                if not candidates:
+                    continue
+                best = None
+                for cand in sorted(candidates, key=_node_order_key):
+                    cand_children = frozenset(find(c) for c in cand.children)
+                    if cid in cand_children:
+                        continue
+                    try:
+                        if any(
+                            self._tree_level(ch, levels) >= class_level
+                            for ch in cand_children
+                        ):
+                            continue
+                    except ExtractionError:
+                        continue
+
+                    # classes the switch newly requires: closure over the
+                    # tree-best choices of classes outside the selection
+                    added: List[int] = []
+                    added_set: Set[int] = set()
+                    added_cost = 0.0
+                    feasible = True
+                    stack = [ch for ch in cand_children if ch not in choices]
+                    while stack:
+                        c = stack.pop()
+                        if c in added_set or c in choices:
+                            continue
+                        entry = tree_best.get(c)
+                        if entry is None:
+                            feasible = False
+                            break
+                        added_set.add(c)
+                        added.append(c)
+                        added_cost += cost_of(entry[1])
+                        for gc in entry[1].children:
+                            g = find(gc)
+                            if g not in choices and g not in added_set:
+                                stack.append(g)
+                    if not feasible:
+                        continue
+
+                    # simulate the reference-count shift of the switch:
+                    # +1 for classes cand newly references (and references
+                    # made by added classes), -1 cascade from classes only
+                    # the current choice needed
+                    inc: Dict[int, int] = {}
+                    for ch in cand_children - cur_children:
+                        inc[ch] = inc.get(ch, 0) + 1
+                    for c in added:
+                        for gc in {find(x) for x in tree_best[c][1].children}:
+                            inc[gc] = inc.get(gc, 0) + 1
+                    dec: Dict[int, int] = {}
+                    freed = 0.0
+                    removed: List[int] = []
+                    removed_set: Set[int] = set()
+                    process = list(cur_children - cand_children)
+                    for ch in process:
+                        dec[ch] = dec.get(ch, 0) + 1
+                    while process:
+                        c = process.pop()
+                        if c in removed_set or c in protected or c not in choices:
+                            continue
+                        if refs.get(c, 0) + inc.get(c, 0) - dec.get(c, 0) > 0:
+                            continue
+                        removed_set.add(c)
+                        removed.append(c)
+                        freed += cost_of(choices[c])
+                        for gc in {find(x) for x in choices[c].children}:
+                            dec[gc] = dec.get(gc, 0) + 1
+                            process.append(gc)
+
+                    delta = cost_of(cand) - cur_cost + added_cost - freed
+                    if delta < (best[0] if best is not None else -1e-9):
+                        best = (delta, cand, added, inc, dec, removed)
+
+                if best is None:
+                    continue
+                _, cand, added, inc, dec, removed = best
+                choices[cid] = cand
+                for c in added:
+                    choices[c] = tree_best[c][1]
+                    refs.setdefault(c, 0)
+                for c, n in inc.items():
+                    refs[c] = refs.get(c, 0) + n
+                for c, n in dec.items():
+                    refs[c] = refs.get(c, 0) - n
+                for c in removed:
+                    del choices[c]
+                    refs.pop(c, None)
+                changed_classes.add(cid)
+                changed_classes.update(added)
+                changed_classes.update(inc)
+                changed_classes.update(dec)
+                changed_classes.update(removed)
+            if not changed_classes:
+                break
+            # revisit the changed classes and every selected class whose
+            # choice references one (their freed_ub / sharing opportunities
+            # may have shifted)
+            dirty = set(changed_classes)
+            for c, node in choices.items():
+                for ch in node.children:
+                    if find(ch) in changed_classes:
+                        dirty.add(c)
+                        break
 
 
 def _term_from_choices(

@@ -1,4 +1,4 @@
-"""Patterns and e-matching.
+"""Patterns, compiled patterns, and op-indexed e-matching.
 
 A pattern is a term whose leaves may be *pattern variables* (spelled ``?x``
 in the textual syntax).  E-matching finds, for a given e-class, every
@@ -9,18 +9,49 @@ The textual syntax accepted by :func:`parse_pattern` is a tiny s-expression
 language, e.g. the FMA1 rule of the paper (Table I) is written::
 
     (+ ?a (* ?b ?c))   ->   (fma ?a ?b ?c)
+
+Two matching engines coexist:
+
+* the **naive reference matcher** (:meth:`Pattern.search_naive`,
+  :func:`_match_pattern`) — a backtracking generator that re-walks the
+  pattern dataclass tree against every e-class.  It is kept as the
+  executable specification the fast engine is tested against.
+* the **compiled matcher** (:class:`CompiledPattern`) — each pattern is
+  lowered once into a flat tuple program with pattern variables resolved
+  to integer slots.  Matching runs over a mutable slot environment with
+  trail-based backtracking (no per-binding dict copies), pulls its root
+  candidates from the e-graph's op-index (only classes that actually
+  contain the root operator are visited), and walks per-class
+  ``nodes_by_op`` buckets so payload/arity checks only run on nodes whose
+  operator already matches.  ``CompiledPattern.search`` optionally takes a
+  ``since`` version stamp and then skips classes untouched since that
+  stamp — the incremental half of the engine (see
+  :meth:`repro.egraph.egraph.EGraph.rebuild` for how *touched* stamps are
+  propagated).
+
+:func:`compile_pattern` memoises the lowering, and :func:`parse_pattern`
+memoises parsing, so building a ruleset repeatedly (as benchmark loops do)
+costs one compilation total per distinct pattern.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.egraph.egraph import EGraph, ENode
 from repro.egraph.language import Term
 
-__all__ = ["PatternVar", "Pattern", "parse_pattern", "Substitution"]
+__all__ = [
+    "PatternVar",
+    "Pattern",
+    "CompiledPattern",
+    "compile_pattern",
+    "parse_pattern",
+    "Substitution",
+]
 
 
 @dataclass(frozen=True)
@@ -81,13 +112,27 @@ class Pattern:
     # E-matching
     # ------------------------------------------------------------------
 
+    def compile(self) -> "CompiledPattern":
+        """The (memoised) compiled form of this pattern."""
+
+        return compile_pattern(self)
+
     def match_class(self, egraph: EGraph, eclass_id: int) -> Iterator[Substitution]:
         """Yield every substitution under which this pattern is in the class."""
 
         yield from _match_pattern(egraph, self, egraph.find(eclass_id), {})
 
     def search(self, egraph: EGraph) -> List[Tuple[int, Substitution]]:
-        """Search the whole e-graph; returns ``(eclass_id, substitution)`` pairs."""
+        """Search the whole e-graph; returns ``(eclass_id, substitution)`` pairs.
+
+        Uses the compiled, op-indexed engine; :meth:`search_naive` is the
+        slow reference implementation.
+        """
+
+        return compile_pattern(self).search(egraph)
+
+    def search_naive(self, egraph: EGraph) -> List[Tuple[int, Substitution]]:
+        """Reference search: backtracking generator over every e-class."""
 
         matches: List[Tuple[int, Substitution]] = []
         for eclass in list(egraph.eclasses()):
@@ -136,13 +181,219 @@ class Pattern:
         return f"({label} {' '.join(str(c) for c in self.children)})"
 
 
+# ---------------------------------------------------------------------------
+# Compiled patterns
+# ---------------------------------------------------------------------------
+
+
+class _MatcherCodegen:
+    """Lower one pattern into a specialised Python search function.
+
+    The generated function has one ``for`` loop per operator node of the
+    pattern, iterating the candidate class's ``nodes_by_op`` bucket, with
+    payload/arity pre-filters emitted as inline guards and pattern
+    variables bound to plain locals (a repeated variable becomes an ``!=``
+    guard).  No interpreter dispatch, goal stacks, or per-binding dict
+    copies survive into the hot loop; a substitution dict is only built
+    when a complete match is emitted.
+    """
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.lines: List[str] = []
+        self.consts: Dict[str, object] = {}
+        self.slots: Dict[str, str] = {}
+        self.counter = 0
+        self.order: List[str] = pattern.variables()
+        self.pattern = pattern
+
+    def _name(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def _const(self, value: object) -> str:
+        name = f"_k{len(self.consts)}"
+        self.consts[name] = value
+        return name
+
+    def _emit(self, depth: int, text: str) -> None:
+        self.lines.append("    " * depth + text)
+
+    def _emit_seq(self, items: List[Tuple[PatternNode, str, bool]], depth: int) -> None:
+        """Emit matching code for *items* (node, class-id expression, canonical)."""
+
+        if not items:
+            subst = ", ".join(f"{name!r}: {self.slots[name]}" for name in self.order)
+            self._emit(depth, f"append((cid, {{{subst}}}))")
+            return
+        (node, expr, is_canonical), rest = items[0], items[1:]
+        if isinstance(node, PatternVar):
+            bound = self.slots.get(node.name)
+            value = expr if is_canonical else f"find({expr})"
+            if bound is None:
+                var = self._name("v")
+                self.slots[node.name] = var
+                self._emit(depth, f"{var} = {value}")
+            else:
+                self._emit(depth, f"if {bound} != {value}: continue")
+            self._emit_seq(rest, depth)
+            return
+
+        if is_canonical:
+            cls_expr = expr
+        else:
+            cls_expr = self._name("c")
+            self._emit(depth, f"{cls_expr} = find({expr})")
+        enode = self._name("n")
+        children = self._name("ch")
+        self._emit(depth, f"for {enode} in nbo({cls_expr}, {self._const(node.op)}):")
+        depth += 1
+        self._emit(depth, f"{children} = {enode}.children")
+        self._emit(depth, f"if len({children}) != {len(node.children)}: continue")
+        if node.payload is not None:
+            self._emit(
+                depth, f"if {enode}.payload != {self._const(node.payload)}: continue"
+            )
+        child_items = [
+            (child, f"{children}[{i}]", False) for i, child in enumerate(node.children)
+        ]
+        self._emit_seq(child_items + rest, depth)
+
+    def build(self):
+        self._emit(0, "def _search(eg, candidates, out):")
+        self._emit(1, "find = eg.uf.find")
+        self._emit(1, "nbo = eg.nodes_by_op")
+        self._emit(1, "append = out.append")
+        self._emit(1, "for cid in candidates:")
+        self._emit_seq([(self.pattern, "cid", True)], 2)
+        namespace: Dict[str, object] = {"len": len}
+        namespace.update(self.consts)
+        exec("\n".join(self.lines), namespace)  # noqa: S102 - trusted codegen
+        return namespace["_search"]
+
+
+class _InstantiatorCodegen:
+    """Lower a right-hand-side pattern into a specialised builder function.
+
+    Produces a single nested ``eg.add(ENode(...))`` expression mirroring
+    the recursive instantiation order (children left-to-right, bottom-up).
+    """
+
+    def __init__(self) -> None:
+        self.consts: Dict[str, object] = {}
+
+    def _const(self, value: object) -> str:
+        name = f"_k{len(self.consts)}"
+        self.consts[name] = value
+        return name
+
+    def _expr(self, node: PatternNode) -> str:
+        if isinstance(node, PatternVar):
+            return f"subst[{node.name!r}]"
+        children = ", ".join(self._expr(child) for child in node.children)
+        if node.children:
+            children += ","
+        payload = "None" if node.payload is None else self._const(node.payload)
+        return f"add(ENode({self._const(node.op)}, ({children}), {payload}))"
+
+    def build(self, pattern: Pattern):
+        source = (
+            "def _instantiate(eg, subst):\n"
+            "    add = eg.add\n"
+            f"    return {self._expr(pattern)}\n"
+        )
+        namespace: Dict[str, object] = {"ENode": ENode}
+        namespace.update(self.consts)
+        exec(source, namespace)  # noqa: S102 - trusted codegen
+        return namespace["_instantiate"]
+
+
+class CompiledPattern:
+    """A pattern lowered into specialised match/instantiate functions."""
+
+    __slots__ = ("pattern", "vars", "root_op", "_fn", "_inst", "_bare_var")
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.pattern = pattern
+        self.vars: Tuple[str, ...] = tuple(pattern.variables())
+        self.root_op = pattern.op
+        self._fn = _MatcherCodegen(pattern).build()
+        # a bare-variable pattern `?x` parses as ("?" ?x); its instantiation
+        # is just the bound class
+        self._bare_var: Optional[str] = None
+        if (
+            pattern.op == "?"
+            and len(pattern.children) == 1
+            and isinstance(pattern.children[0], PatternVar)
+        ):
+            self._bare_var = pattern.children[0].name
+            self._inst = None
+        else:
+            self._inst = _InstantiatorCodegen().build(pattern)
+
+    def instantiate(self, egraph: EGraph, subst: Substitution) -> int:
+        """Add the pattern under *subst*; returns the e-class id."""
+
+        if self._bare_var is not None:
+            return egraph.find(subst[self._bare_var])
+        return self._inst(egraph, subst)
+
+    def match_class(self, egraph: EGraph, eclass_id: int) -> List[Substitution]:
+        """All substitutions under which the pattern is in the class."""
+
+        out: List[Tuple[int, Substitution]] = []
+        self._fn(egraph, (egraph.find(eclass_id),), out)
+        return [subst for _, subst in out]
+
+    def search(
+        self, egraph: EGraph, since: Optional[int] = None
+    ) -> List[Tuple[int, Substitution]]:
+        """Search the e-graph; returns ``(eclass_id, substitution)`` pairs.
+
+        Root candidates come from the e-graph's op-index, so only classes
+        containing the root operator are visited.  When *since* is given,
+        classes whose ``touched`` stamp is ``<= since`` are skipped — sound
+        because :meth:`EGraph.rebuild` propagates touches upward from every
+        mutated class (matches rooted at a skipped class are exactly the
+        matches found by the previous scan).
+        """
+
+        matches: List[Tuple[int, Substitution]] = []
+        candidates = egraph.classes_with_op(self.root_op)
+        if not candidates:
+            return matches
+        if since is not None:
+            classes = egraph.classes
+            candidates = [c for c in candidates if classes[c].touched > since]
+        # class-id order == creation order, matching the naive matcher's
+        # iteration over the classes dict (keeps runs deterministic)
+        self._fn(egraph, sorted(candidates), matches)
+        return matches
+
+
+@lru_cache(maxsize=None)
+def compile_pattern(pattern: Pattern) -> CompiledPattern:
+    """Lower *pattern* to its compiled form (memoised per distinct pattern)."""
+
+    return CompiledPattern(pattern)
+
+
+# ---------------------------------------------------------------------------
+# Naive reference matcher
+# ---------------------------------------------------------------------------
+
+
 def _match_pattern(
     egraph: EGraph,
     pattern: PatternNode,
     eclass_id: int,
     subst: Substitution,
 ) -> Iterator[Substitution]:
-    """Backtracking e-matcher."""
+    """Backtracking e-matcher (reference implementation).
+
+    The substitution dict is copied only when a *new* variable is bound;
+    an already-bound variable is checked against the canonical class id
+    and the incoming dict is yielded as-is.
+    """
 
     eclass_id = egraph.find(eclass_id)
 
@@ -152,7 +403,7 @@ def _match_pattern(
             new_subst = dict(subst)
             new_subst[pattern.name] = eclass_id
             yield new_subst
-        elif egraph.find(bound) == eclass_id:
+        elif bound == eclass_id or egraph.find(bound) == eclass_id:
             yield subst
         return
 
@@ -187,12 +438,16 @@ def _match_children(
 _TOKEN_RE = re.compile(r"\(|\)|[^\s()]+")
 
 
+@lru_cache(maxsize=1024)
 def parse_pattern(text: str) -> Pattern:
     """Parse the s-expression pattern syntax.
 
     Leaves: ``?x`` is a pattern variable, a number literal is a ``num``
     term, and any other atom is a ``sym`` leaf.  ``(op child...)`` builds an
     operator node; ``call:sqrt`` style atoms set the payload.
+
+    Patterns are immutable, so parses are memoised — rulesets rebuilt in a
+    loop reuse both the pattern objects and their compiled programs.
     """
 
     tokens = _TOKEN_RE.findall(text)

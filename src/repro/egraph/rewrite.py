@@ -6,6 +6,17 @@ the whole e-graph, and the applier either instantiates a right-hand-side
 pattern (the common case — every rule in the paper's Table I is of this
 form) or runs an arbitrary callable for dynamic rewrites.  An optional
 guard filters matches before application.
+
+The searcher is compiled once (see
+:class:`~repro.egraph.pattern.CompiledPattern`) and :meth:`Rewrite.search`
+accepts an optional ``since`` version stamp for incremental search: classes
+untouched since the rule's previous scan are skipped, which is sound
+because the matches rooted there are exactly the ones the previous scan
+already found (and applying a match twice is a no-op union).  The caveat:
+touch stamps only track the *match cone* — a guard reading state outside
+it may change its verdict without the class being touched, so the
+:class:`~repro.egraph.runner.Runner` only passes ``since`` for guard-free
+pattern-applier rules.
 """
 
 from __future__ import annotations
@@ -14,7 +25,13 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple, Union
 
 from repro.egraph.egraph import EGraph
-from repro.egraph.pattern import Pattern, Substitution, parse_pattern
+from repro.egraph.pattern import (
+    CompiledPattern,
+    Pattern,
+    Substitution,
+    compile_pattern,
+    parse_pattern,
+)
 
 __all__ = ["Rewrite", "rewrite"]
 
@@ -37,33 +54,66 @@ class Rewrite:
     #: (not needed by the paper's rule set but useful for experimentation).
     bidirectional: bool = False
 
+    def __post_init__(self) -> None:
+        self._compiled: CompiledPattern = compile_pattern(self.searcher)
+        self._compiled_rhs: Optional[CompiledPattern] = (
+            compile_pattern(self.applier)
+            if isinstance(self.applier, Pattern)
+            else None
+        )
+
     # ------------------------------------------------------------------
 
-    def search(self, egraph: EGraph) -> List[Tuple[int, Substitution]]:
-        """Find all matches of the left-hand side."""
+    def search(
+        self, egraph: EGraph, since: Optional[int] = None
+    ) -> List[Tuple[int, Substitution]]:
+        """Find all matches of the left-hand side.
 
-        matches = self.searcher.search(egraph)
+        With ``since`` set, only classes touched after that version stamp
+        are scanned (incremental search); pass None for a full scan.
+        """
+
+        matches = self._compiled.search(egraph, since)
         if self.guard is None:
             return matches
+        guard = self.guard
         return [
             (eclass_id, subst)
             for eclass_id, subst in matches
-            if self.guard(egraph, eclass_id, subst)
+            if guard(egraph, eclass_id, subst)
         ]
 
     def apply(
         self, egraph: EGraph, matches: List[Tuple[int, Substitution]]
     ) -> int:
-        """Apply the right-hand side to every match; returns #unions made."""
+        """Apply the right-hand side to every match; returns #unions made.
+
+        Note that every match is applied, even ones already committed by a
+        previous iteration: a redundant application is a no-op *union*, but
+        its hashcons probes participate in the e-graph's node-count
+        trajectory (mid-phase canonicalisation drift can spawn transient
+        classes), and the node-limit check observes that trajectory.
+        Skipping them would change where limit-bounded runs stop.
+        """
 
         applied = 0
+        compiled_rhs = self._compiled_rhs
+        if compiled_rhs is not None:
+            instantiate = compiled_rhs.instantiate
+            find = egraph.uf.find
+            merge = egraph.merge
+            for eclass_id, subst in matches:
+                new_id = instantiate(egraph, subst)
+                if find(new_id) != find(eclass_id):
+                    merge(new_id, eclass_id)
+                    applied += 1
+            return applied
+
+        applier = self.applier
         for eclass_id, subst in matches:
-            if isinstance(self.applier, Pattern):
-                new_id = self.applier.instantiate(egraph, subst)
-            else:
-                new_id = self.applier(egraph, eclass_id, subst)
-                if new_id is None:
-                    continue
+            new_id = applier(egraph, eclass_id, subst)
+            if new_id is None:
+                continue
             if not egraph.is_equal(new_id, eclass_id):
                 egraph.merge(new_id, eclass_id)
                 applied += 1

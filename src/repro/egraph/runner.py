@@ -1,4 +1,4 @@
-"""The equality-saturation loop.
+"""The equality-saturation loop, with per-rule saturation profiling.
 
 The :class:`Runner` repeatedly searches every rewrite, applies all matches,
 and rebuilds the e-graph, until one of the stopping conditions is reached:
@@ -7,23 +7,52 @@ and rebuilds the e-graph, until one of the stopping conditions is reached:
   fixed point of the rule set),
 * **node limit** — the e-graph grew past ``node_limit`` e-nodes,
 * **iteration limit** — ``iter_limit`` iterations executed,
-* **time limit** — wall-clock budget exhausted.
+* **time limit** — wall-clock budget exhausted.  The budget is checked at
+  the top of every iteration *and* between the search, apply and rebuild
+  phases, so one slow phase cannot blow far past ``time_limit``.
 
 The defaults mirror the paper's §VII settings: 10,000 e-nodes, 10
 iterations and 10 seconds of saturation time.
+
+**Incremental search.** The runner remembers, per rule, the e-graph
+version at which the rule last scanned.  The next scan only visits
+classes *touched* after that stamp (:meth:`EGraph.rebuild` propagates
+touches upward from every mutated class), because matches rooted in
+untouched classes are exactly the matches the previous scan found — and
+re-applying an applied match is a no-op union.  Rules with a guard or a
+dynamic applier always get full rescans: a guard may read state outside
+the match cone, and a dynamic applier may compute a different result as
+the graph evolves, so their old matches are not reproducible from the
+touch stamps.  ``incremental=False`` restores full rescans for every
+rule.
+
+**Profiling.** Per-rule search/apply time, match and union counts are
+accumulated into :class:`RuleStats` and exposed on
+:attr:`RunnerReport.rule_stats`; :meth:`RunnerReport.as_dict` /
+:meth:`RunnerReport.to_json` round-trip the whole report (including
+per-iteration rows) so BENCH trajectories can attribute a regression to a
+specific rule.
 """
 
 from __future__ import annotations
 
 import enum
+import json
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.rewrite import Rewrite
 
-__all__ = ["StopReason", "RunnerLimits", "IterationReport", "RunnerReport", "Runner"]
+__all__ = [
+    "StopReason",
+    "RunnerLimits",
+    "IterationReport",
+    "RuleStats",
+    "RunnerReport",
+    "Runner",
+]
 
 
 class StopReason(enum.Enum):
@@ -64,6 +93,50 @@ class IterationReport:
     apply_time: float
     rebuild_time: float
 
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "applied": self.applied,
+            "egraph_nodes": self.egraph_nodes,
+            "egraph_classes": self.egraph_classes,
+            "search_time": self.search_time,
+            "apply_time": self.apply_time,
+            "rebuild_time": self.rebuild_time,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "IterationReport":
+        return IterationReport(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class RuleStats:
+    """Accumulated per-rule profiling statistics for one saturation run."""
+
+    name: str
+    #: Number of search phases this rule participated in.
+    searches: int = 0
+    #: Total wall-clock seconds spent searching / applying this rule.
+    search_time: float = 0.0
+    apply_time: float = 0.0
+    #: Total matches found (post-guard) and unions actually made.
+    matches: int = 0
+    applied: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "searches": self.searches,
+            "search_time": self.search_time,
+            "apply_time": self.apply_time,
+            "matches": self.matches,
+            "applied": self.applied,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "RuleStats":
+        return RuleStats(**data)  # type: ignore[arg-type]
+
 
 @dataclass
 class RunnerReport:
@@ -74,6 +147,8 @@ class RunnerReport:
     total_time: float = 0.0
     egraph_nodes: int = 0
     egraph_classes: int = 0
+    #: Per-rule profiling stats, keyed by rule name.
+    rule_stats: Dict[str, RuleStats] = field(default_factory=dict)
 
     @property
     def num_iterations(self) -> int:
@@ -83,12 +158,59 @@ class RunnerReport:
     def total_applied(self) -> int:
         return sum(it.applied for it in self.iterations)
 
+    @property
+    def total_search_time(self) -> float:
+        return sum(it.search_time for it in self.iterations)
+
+    @property
+    def total_apply_time(self) -> float:
+        return sum(it.apply_time for it in self.iterations)
+
+    @property
+    def total_rebuild_time(self) -> float:
+        return sum(it.rebuild_time for it in self.iterations)
+
     def summary(self) -> str:
         return (
             f"stop={self.stop_reason.value} iters={self.num_iterations} "
             f"applied={self.total_applied} nodes={self.egraph_nodes} "
             f"classes={self.egraph_classes} time={self.total_time:.3f}s"
         )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "stop_reason": self.stop_reason.value,
+            "total_time": self.total_time,
+            "egraph_nodes": self.egraph_nodes,
+            "egraph_classes": self.egraph_classes,
+            "iterations": [it.as_dict() for it in self.iterations],
+            "rule_stats": {name: rs.as_dict() for name, rs in self.rule_stats.items()},
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "RunnerReport":
+        return RunnerReport(
+            stop_reason=StopReason(data["stop_reason"]),
+            iterations=[IterationReport.from_dict(d) for d in data["iterations"]],
+            total_time=data["total_time"],
+            egraph_nodes=data["egraph_nodes"],
+            egraph_classes=data["egraph_classes"],
+            rule_stats={
+                name: RuleStats.from_dict(d)
+                for name, d in data.get("rule_stats", {}).items()
+            },
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "RunnerReport":
+        return RunnerReport.from_dict(json.loads(text))
 
 
 class Runner:
@@ -99,49 +221,119 @@ class Runner:
         egraph: EGraph,
         rewrites: Sequence[Rewrite],
         limits: Optional[RunnerLimits] = None,
+        incremental: bool = True,
     ) -> None:
         self.egraph = egraph
         self.rewrites = list(rewrites)
+        seen: set = set()
+        dupes: set = set()
+        for rule in self.rewrites:
+            (dupes if rule.name in seen else seen).add(rule.name)
+        if dupes:
+            raise ValueError(
+                f"duplicate rewrite names {sorted(dupes)}: per-rule profiling "
+                f"stats are keyed by name"
+            )
         self.limits = limits or RunnerLimits()
         self.limits.validate()
+        #: Skip classes untouched since each rule's previous scan.
+        self.incremental = incremental
+        #: Per-rule e-graph version of the last *applied* scan (parallel to
+        #: :attr:`rewrites`); -1 forces a full first scan.
+        self._last_scan: List[int] = [-1] * len(self.rewrites)
 
     def run(self) -> RunnerReport:
         """Run until saturation or a limit is hit; returns the report."""
 
         start = time.perf_counter()
+        egraph = self.egraph
+        limits = self.limits
         report = RunnerReport(StopReason.SATURATED)
+        stats = report.rule_stats
+        for rule in self.rewrites:
+            stats[rule.name] = RuleStats(rule.name)
 
-        for iteration in range(self.limits.iter_limit):
-            elapsed = time.perf_counter() - start
-            if elapsed > self.limits.time_limit:
-                report.stop_reason = StopReason.TIME_LIMIT
+        stop: Optional[StopReason] = None
+        for iteration in range(limits.iter_limit):
+            if time.perf_counter() - start > limits.time_limit:
+                stop = StopReason.TIME_LIMIT
                 break
-            if len(self.egraph) > self.limits.node_limit:
-                report.stop_reason = StopReason.NODE_LIMIT
+            if len(egraph) > limits.node_limit:
+                stop = StopReason.NODE_LIMIT
                 break
 
             # Search every rule against the same pre-iteration e-graph so the
             # result does not depend on rule order within an iteration.
+            scan_version = egraph.version
             t0 = time.perf_counter()
-            all_matches = [(rule, rule.search(self.egraph)) for rule in self.rewrites]
+            all_matches = []
+            for index, rule in enumerate(self.rewrites):
+                # Guards may read state outside the match cone (touch
+                # stamps only track the cone), and dynamic appliers may
+                # compute different results as the graph evolves — both
+                # need full rescans to stay sound.
+                incremental = (
+                    self.incremental
+                    and rule.guard is None
+                    and rule._compiled_rhs is not None
+                )
+                since = self._last_scan[index] if incremental else None
+                rt0 = time.perf_counter()
+                matches = rule.search(egraph, since=since)
+                rt1 = time.perf_counter()
+                rs = stats[rule.name]
+                rs.searches += 1
+                rs.search_time += rt1 - rt0
+                rs.matches += len(matches)
+                all_matches.append((index, rule, matches))
             t1 = time.perf_counter()
 
+            if t1 - start > limits.time_limit:
+                # the search phase alone blew the budget: record it and stop
+                # without applying (the found matches were never committed,
+                # so the per-rule scan stamps stay untouched)
+                report.iterations.append(
+                    IterationReport(
+                        index=iteration,
+                        applied=0,
+                        egraph_nodes=len(egraph),
+                        egraph_classes=egraph.num_classes,
+                        search_time=t1 - t0,
+                        apply_time=0.0,
+                        rebuild_time=0.0,
+                    )
+                )
+                stop = StopReason.TIME_LIMIT
+                break
+
             applied = 0
-            for rule, matches in all_matches:
-                applied += rule.apply(self.egraph, matches)
-                if len(self.egraph) > self.limits.node_limit:
+            for index, rule, matches in all_matches:
+                at0 = time.perf_counter()
+                n_applied = rule.apply(egraph, matches)
+                at1 = time.perf_counter()
+                # matches up to scan_version are now committed; the next
+                # incremental scan may skip classes untouched since then
+                self._last_scan[index] = scan_version
+                rs = stats[rule.name]
+                rs.apply_time += at1 - at0
+                rs.applied += n_applied
+                applied += n_applied
+                if len(egraph) > limits.node_limit:
                     break
             t2 = time.perf_counter()
+            timed_out = t2 - start > limits.time_limit
 
-            self.egraph.rebuild()
+            # always rebuild, even when over budget — callers must never see
+            # a half-canonicalised e-graph
+            egraph.rebuild()
             t3 = time.perf_counter()
 
             report.iterations.append(
                 IterationReport(
                     index=iteration,
                     applied=applied,
-                    egraph_nodes=len(self.egraph),
-                    egraph_classes=self.egraph.num_classes,
+                    egraph_nodes=len(egraph),
+                    egraph_classes=egraph.num_classes,
                     search_time=t1 - t0,
                     apply_time=t2 - t1,
                     rebuild_time=t3 - t2,
@@ -149,15 +341,17 @@ class Runner:
             )
 
             if applied == 0:
-                report.stop_reason = StopReason.SATURATED
+                stop = StopReason.SATURATED
                 break
-            if len(self.egraph) > self.limits.node_limit:
-                report.stop_reason = StopReason.NODE_LIMIT
+            if timed_out or t3 - start > limits.time_limit:
+                stop = StopReason.TIME_LIMIT
                 break
-        else:
-            report.stop_reason = StopReason.ITER_LIMIT
+            if len(egraph) > limits.node_limit:
+                stop = StopReason.NODE_LIMIT
+                break
 
+        report.stop_reason = StopReason.ITER_LIMIT if stop is None else stop
         report.total_time = time.perf_counter() - start
-        report.egraph_nodes = len(self.egraph)
-        report.egraph_classes = self.egraph.num_classes
+        report.egraph_nodes = len(egraph)
+        report.egraph_classes = egraph.num_classes
         return report

@@ -31,13 +31,31 @@ class UnionFind:
         self._size.append(1)
         return new_id
 
+    def is_root(self, x: int) -> bool:
+        """True if *x* is its set's canonical representative.
+
+        Hot loops that have already bound ``self._parent`` locally may
+        inline this as ``parent[x] == x``; that array contract (a root is
+        its own parent) is part of this class's interface.
+        """
+
+        return self._parent[x] == x
+
     def find(self, x: int) -> int:
         """Return the canonical representative of *x* (with path compression)."""
 
-        root = x
         parent = self._parent
-        while parent[root] != root:
-            root = parent[root]
+        # fast paths: roots and depth-1 nodes dominate once compression has
+        # run (find is the single hottest call in saturation)
+        root = parent[x]
+        if root == x:
+            return x
+        up = parent[root]
+        if up == root:
+            return root
+        while parent[up] != up:
+            up = parent[up]
+        root = up
         # path compression
         while parent[x] != root:
             parent[x], x = root, parent[x]

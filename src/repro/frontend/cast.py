@@ -83,7 +83,12 @@ class Node:
 
     def children(self) -> Iterator["Node"]:
         """Yield the direct child nodes, in source order."""
-        for name in getattr(self, "__dataclass_fields__", {}):
+        cls = self.__class__
+        names = cls.__dict__.get("_child_field_names")
+        if names is None:
+            names = tuple(getattr(cls, "__dataclass_fields__", {}))
+            cls._child_field_names = names
+        for name in names:
             value = getattr(self, name)
             if isinstance(value, Node):
                 yield value

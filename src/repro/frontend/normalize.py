@@ -21,26 +21,22 @@ def _as_block(stmt: C.Stmt) -> C.Block:
 
 
 def normalize_blocks(node: C.Node) -> C.Node:
-    """Wrap loop/branch bodies in blocks, in place; returns *node*."""
+    """Wrap loop/branch bodies in blocks, in place; returns *node*.
+
+    Children are normalised exactly once, *before* their parent wraps them:
+    a freshly created wrapper block only ever contains an
+    already-normalised statement, so no re-descent is needed (re-recursing
+    into wrapped bodies used to make this pass exponential in loop
+    nesting depth).
+    """
 
     for child in list(node.children()):
         normalize_blocks(child)
 
     if isinstance(node, C.If):
         node.then = _as_block(node.then)
-        normalize_blocks(node.then)
         if node.otherwise is not None:
             node.otherwise = _as_block(node.otherwise)
-            normalize_blocks(node.otherwise)
-    elif isinstance(node, C.For):
+    elif isinstance(node, (C.For, C.While, C.DoWhile)):
         node.body = _as_block(node.body)
-        normalize_blocks(node.body)
-    elif isinstance(node, C.While):
-        node.body = _as_block(node.body)
-        normalize_blocks(node.body)
-    elif isinstance(node, C.DoWhile):
-        node.body = _as_block(node.body)
-        normalize_blocks(node.body)
-    elif isinstance(node, C.Pragma) and node.stmt is not None:
-        normalize_blocks(node.stmt)
     return node

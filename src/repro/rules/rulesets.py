@@ -44,7 +44,15 @@ RULE_TABLE: List[RuleSpec] = [
 
 
 def default_ruleset() -> List[Rewrite]:
-    """The paper's rule set: FMA + commutativity + associativity."""
+    """The paper's rule set: FMA + commutativity + associativity.
+
+    The textual patterns (and their compiled forms) are memoised by
+    :func:`repro.egraph.pattern.parse_pattern`, so building a ruleset in a
+    loop does not re-parse or re-compile anything.  Rule names must be
+    unique — the saturation profiler keys per-rule statistics by name;
+    :class:`~repro.egraph.runner.Runner` enforces this for every rule
+    list it is given.
+    """
 
     return fma_rules() + commutativity_rules() + associativity_rules()
 

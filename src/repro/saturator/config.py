@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 
@@ -69,16 +70,14 @@ class SaturatorConfig:
     constant_folding: bool = True
     #: Prefix of generated temporaries.
     temp_prefix: str = "_v"
+    #: Incremental e-matching: let each rule skip e-classes untouched since
+    #: its previous scan (sound — see :mod:`repro.egraph.runner`; set False
+    #: to force full rescans every iteration).
+    incremental_search: bool = True
 
     def with_variant(self, variant: Variant) -> "SaturatorConfig":
         """A copy of this config with a different variant."""
 
-        return SaturatorConfig(
-            variant=variant,
-            ruleset=self.ruleset,
-            extraction=self.extraction,
-            limits=self.limits,
-            extraction_time_limit=self.extraction_time_limit,
-            constant_folding=self.constant_folding,
-            temp_prefix=self.temp_prefix,
-        )
+        # dataclasses.replace copies every field, including ones added
+        # after this method was written
+        return dataclasses.replace(self, variant=variant)

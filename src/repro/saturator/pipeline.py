@@ -70,7 +70,9 @@ def optimize_loop_body(
     if config.variant.saturate:
         t1 = time.perf_counter()
         rules = ruleset_by_name(config.ruleset)
-        runner = Runner(egraph, rules, config.limits)
+        runner = Runner(
+            egraph, rules, config.limits, incremental=config.incremental_search
+        )
         runner_report = runner.run()
         saturation_time = time.perf_counter() - t1
     report.runner = runner_report

@@ -71,6 +71,8 @@ class KernelReport:
             "extracted_cost": self.extracted_cost,
             "load_reduction": self.load_reduction,
             "instruction_reduction": self.instruction_reduction,
+            # full saturation profile (per-iteration and per-rule stats)
+            "runner": None if self.runner is None else self.runner.as_dict(),
         }
 
 

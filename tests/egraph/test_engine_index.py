@@ -1,0 +1,249 @@
+"""Tests for the op-indexed incremental e-matching engine.
+
+Covers the invariants the fast engine layers on top of the classic
+e-graph (op-index coherence, O(1) node count, touch stamps), the
+equivalence of compiled/op-indexed/incremental search with the naive
+backtracking matcher, and the saturation profiler.
+"""
+
+import json
+import random
+import time
+
+from repro.egraph import EGraph, Runner, RunnerLimits, RunnerReport, StopReason
+from repro.egraph.egraph import ENode
+from repro.egraph.language import num, op, sym
+from repro.egraph.pattern import compile_pattern, parse_pattern
+from repro.egraph.rewrite import rewrite
+from repro.rules import constant_folding_analysis, default_ruleset
+
+PATTERNS = [
+    "(+ ?a (* ?b ?c))",
+    "(- ?a (* ?b ?c))",
+    "(+ ?a ?b)",
+    "(* ?a ?b)",
+    "(+ ?a ?a)",
+    "(fma ?a ?b ?c)",
+    "(+ (* ?a ?b) (* ?a ?c))",
+    "(* x0 2)",
+]
+
+
+def _match_set(matches):
+    return {(cid, frozenset(subst.items())) for cid, subst in matches}
+
+
+def _representative_egraph():
+    """A saturated-ish e-graph over a dot-product-style kernel term."""
+
+    eg = EGraph(constant_folding_analysis())
+    term = op("*", sym("x0"), num(2))
+    for i in range(1, 5):
+        term = op("+", term, op("*", sym(f"a{i}"), sym(f"b{i}")))
+    eg.add_term(term)
+    Runner(eg, default_ruleset(), RunnerLimits(600, 3, 5.0)).run()
+    return eg
+
+
+class TestOpIndexInvariants:
+    def test_randomized_add_merge_rebuild_interleavings(self):
+        """check_invariants (incl. op-index and node-count cache) holds
+        after arbitrary add/merge/rebuild sequences."""
+
+        rng = random.Random(20240728)
+        ops = ["+", "*", "-", "f"]
+        for _ in range(25):
+            eg = EGraph()
+            ids = [eg.add(ENode("sym", (), f"s{i}")) for i in range(4)]
+            for step in range(60):
+                action = rng.random()
+                if action < 0.55 or len(ids) < 2:
+                    k = rng.choice([0, 1, 2])
+                    children = tuple(
+                        eg.find(rng.choice(ids)) for _ in range(k)
+                    )
+                    ids.append(eg.add(ENode(rng.choice(ops), children)))
+                elif action < 0.85:
+                    eg.merge(rng.choice(ids), rng.choice(ids))
+                else:
+                    eg.rebuild()
+            eg.rebuild()
+            eg.check_invariants()
+
+    def test_len_is_cached_and_correct(self):
+        eg = _representative_egraph()
+        assert len(eg) == sum(len(c.nodes) for c in eg.classes.values())
+
+    def test_classes_with_op_exact_after_rebuild(self):
+        eg = _representative_egraph()
+        for opname in ("+", "*", "sym", "num", "fma"):
+            expected = {
+                c.id for c in eg.eclasses() if any(n.op == opname for n in c.nodes)
+            }
+            assert eg.classes_with_op(opname) == expected
+
+    def test_copy_preserves_engine_state(self):
+        eg = _representative_egraph()
+        dup = eg.copy()
+        dup.check_invariants()
+        assert len(dup) == len(eg)
+        assert dup.classes_with_op("+") == eg.classes_with_op("+")
+
+
+class TestSearchEquivalence:
+    def test_indexed_search_equals_naive_on_default_ruleset(self):
+        """Compiled + op-indexed search == naive matcher, for every rule of
+        the paper's rule set over a representative kernel e-graph."""
+
+        eg = _representative_egraph()
+        for rule in default_ruleset():
+            naive = _match_set(rule.searcher.search_naive(eg))
+            fast = _match_set(rule.search(eg))
+            assert fast == naive, rule.name
+
+    def test_extra_pattern_shapes(self):
+        eg = _representative_egraph()
+        for text in PATTERNS:
+            pattern = parse_pattern(text)
+            assert _match_set(pattern.search(eg)) == _match_set(
+                pattern.search_naive(eg)
+            ), text
+
+    def test_match_class_agrees_with_naive(self):
+        eg = _representative_egraph()
+        pattern = parse_pattern("(+ ?a ?b)")
+        compiled = compile_pattern(pattern)
+        for eclass in list(eg.eclasses()):
+            fast = {frozenset(s.items()) for s in compiled.match_class(eg, eclass.id)}
+            naive = {frozenset(s.items()) for s in pattern.match_class(eg, eclass.id)}
+            assert fast == naive
+
+    def test_incremental_search_finds_exactly_the_new_matches(self):
+        eg = EGraph()
+        eg.add_term(op("+", sym("a"), sym("b")))
+        eg.rebuild()
+        rule = rewrite("comm", "(+ ?a ?b)", "(+ ?b ?a)")
+        first = rule.search(eg, since=-1)
+        assert len(first) == 1
+        stamp = eg.version
+        # nothing touched since -> nothing to report
+        assert rule.search(eg, since=stamp) == []
+        # grow the graph; only the new class is scanned, and found
+        eg.add_term(op("+", sym("c"), sym("d")))
+        eg.rebuild()
+        fresh = rule.search(eg, since=stamp)
+        assert len(fresh) == 1
+        assert _match_set(rule.search(eg, since=None)) == _match_set(
+            first + fresh
+        )
+
+    def test_touch_propagates_to_ancestors(self):
+        """A merge deep in the graph must re-expose enclosing classes to
+        incremental search (new matches can appear at untouched roots)."""
+
+        eg = EGraph()
+        root = eg.add_term(op("*", op("+", sym("a"), sym("b")), sym("c")))
+        eg.rebuild()
+        rule = rewrite("mul-of-sum", "(* (+ ?x ?y) ?z)", "(* ?z (+ ?x ?y))")
+        assert len(rule.search(eg, since=-1)) == 1
+        stamp = eg.version
+        # merging b with a new symbol touches a descendant of the root;
+        # the root's class must be rescanned afterwards
+        eg.merge(eg.add_term(sym("b")), eg.add_term(sym("e")))
+        eg.rebuild()
+        rescans = rule.search(eg, since=stamp)
+        assert any(eg.find(cid) == eg.find(root) for cid, _ in rescans)
+
+
+class TestRunnerEquivalence:
+    def test_incremental_runner_matches_full_runner(self):
+        """Indexed + incremental saturation produces the same e-graph and
+        report trajectory as full rescans."""
+
+        def run(incremental):
+            eg = EGraph(constant_folding_analysis())
+            term = op("*", sym("x0"), num(2))
+            for i in range(1, 5):
+                term = op("+", term, op("*", sym(f"a{i}"), sym(f"b{i}")))
+            eg.add_term(term)
+            report = Runner(
+                eg, default_ruleset(), RunnerLimits(600, 4, 10.0),
+                incremental=incremental,
+            ).run()
+            return eg, report
+
+        eg_inc, rep_inc = run(True)
+        eg_full, rep_full = run(False)
+        assert rep_inc.stop_reason == rep_full.stop_reason
+        assert len(eg_inc) == len(eg_full)
+        assert eg_inc.num_classes == eg_full.num_classes
+        assert [it.applied for it in rep_inc.iterations] == [
+            it.applied for it in rep_full.iterations
+        ]
+        eg_inc.check_invariants()
+
+
+class TestProfiler:
+    def _report(self) -> RunnerReport:
+        eg = EGraph(constant_folding_analysis())
+        eg.add_term(op("+", sym("a"), op("*", sym("b"), sym("c"))))
+        return Runner(eg, default_ruleset(), RunnerLimits(500, 4, 5.0)).run()
+
+    def test_per_rule_stats_collected(self):
+        report = self._report()
+        assert set(report.rule_stats) == {r.name for r in default_ruleset()}
+        fma = report.rule_stats["fma1"]
+        assert fma.searches >= 1
+        assert fma.matches >= 1
+        assert fma.applied >= 1
+        assert fma.search_time >= 0.0
+        total_applied = sum(rs.applied for rs in report.rule_stats.values())
+        assert total_applied == report.total_applied
+
+    def test_report_round_trips_to_json(self):
+        report = self._report()
+        text = report.to_json(indent=2)
+        restored = RunnerReport.from_json(text)
+        assert restored.stop_reason == report.stop_reason
+        assert restored.as_dict() == report.as_dict()
+        # and the dict is plain-JSON serialisable
+        assert json.loads(text) == report.as_dict()
+
+    def test_kernel_report_includes_runner_profile(self):
+        from repro.benchsuite.npb.cg import CG
+        from repro.saturator import SaturatorConfig, optimize_source
+
+        spec = CG.kernels[0]
+        result = optimize_source(
+            spec.source, SaturatorConfig(limits=RunnerLimits(500, 2, 5.0))
+        )
+        data = result.kernels[0].as_dict()
+        assert data["runner"] is not None
+        assert "rule_stats" in data["runner"]
+        json.dumps(data)  # fully serialisable
+
+
+class TestTimeLimits:
+    def test_time_limit_checked_between_phases(self):
+        """A slow search phase stops the runner with TIME_LIMIT instead of
+        running a full extra apply/rebuild round."""
+
+        def slow_guard(egraph, eclass_id, subst):
+            time.sleep(0.02)
+            return True
+
+        eg = EGraph()
+        for i in range(4):
+            eg.add_term(op("+", sym(f"a{i}"), sym(f"b{i}")))
+        rule = rewrite("slow-comm", "(+ ?a ?b)", "(+ ?b ?a)", guard=slow_guard)
+        report = Runner(eg, [rule], RunnerLimits(10_000, 50, 0.05)).run()
+        assert report.stop_reason is StopReason.TIME_LIMIT
+        assert report.total_time < 1.0
+
+    def test_zero_iterations_when_budget_already_blown(self):
+        eg = EGraph()
+        eg.add_term(op("+", sym("a"), sym("b")))
+        limits = RunnerLimits(10_000, 5, 1e-9)
+        report = Runner(eg, default_ruleset(), limits).run()
+        assert report.stop_reason is StopReason.TIME_LIMIT
+        assert report.num_iterations == 0
