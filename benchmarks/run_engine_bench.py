@@ -10,6 +10,14 @@ figures, so perf regressions in the reproduction's own hot paths are
 attributable — the per-rule breakdown from the saturation profiler is
 included for exactly that purpose.
 
+Two repeated-workload rows exercise the session architecture the
+experiment harness runs on: ``extraction_memoized`` re-extracts the same
+saturated e-graph through a shared ``ExtractionMemo``, and
+``pipeline_variants_cached`` sweeps all four generated-code variants
+through a session with an artifact cache (vs ``pipeline_variants_cold``
+without one).  The cache hit/miss counters and memo statistics behind
+those rows are recorded under ``"cache"``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_engine_bench.py [-o OUT] [-n REPEATS]
@@ -31,12 +39,13 @@ if _SRC not in sys.path:
 
 from repro.benchsuite.npb.lu import LU_JACLD_SOURCE
 from repro.cost import DEFAULT_COST_MODEL
-from repro.egraph import EGraph, Runner, RunnerLimits, extract_best
+from repro.egraph import EGraph, ExtractionMemo, Runner, RunnerLimits, extract_best
 from repro.egraph.language import op, sym
 from repro.frontend import parse_statement
 from repro.frontend.normalize import normalize_blocks
 from repro.rules import constant_folding_analysis, default_ruleset
 from repro.saturator import SaturatorConfig, Variant, find_parallel_kernels, optimize_source
+from repro.session import MemoryCache, OptimizationSession
 from repro.ssa import build_ssa
 
 
@@ -103,12 +112,41 @@ def main(argv=None) -> int:
     def full_pipeline():
         return optimize_source(LU_JACLD_SOURCE, config)
 
+    # -- repeated-workload rows (the session architecture's home turf) -----
+
+    memo = ExtractionMemo()
+    extract_best(eg, [root], DEFAULT_COST_MODEL, "dag-greedy", memo=memo)  # warm
+
+    def extraction_memoized():
+        return extract_best(eg, [root], DEFAULT_COST_MODEL, "dag-greedy", memo=memo)
+
+    variants = (Variant.CSE, Variant.CSE_SAT, Variant.CSE_BULK, Variant.ACCSAT)
+
+    def pipeline_variants_cold():
+        return [
+            optimize_source(LU_JACLD_SOURCE, config.with_variant(v))
+            for v in variants
+        ]
+
+    cached_session = OptimizationSession(cache=MemoryCache())
+    for v in variants:  # warm the artifact cache
+        cached_session.run(LU_JACLD_SOURCE, config.with_variant(v))
+
+    def pipeline_variants_cached():
+        return [
+            cached_session.run(LU_JACLD_SOURCE, config.with_variant(v))
+            for v in variants
+        ]
+
     results = {
         "parse_ssa": _median_time(parse_and_ssa, args.repeats),
         "saturation": _median_time(saturation, args.repeats),
         "rule_search": _median_time(rule_search, args.repeats),
         "extraction": _median_time(extraction, args.repeats),
+        "extraction_memoized": _median_time(extraction_memoized, args.repeats),
         "full_pipeline": _median_time(full_pipeline, args.repeats),
+        "pipeline_variants_cold": _median_time(pipeline_variants_cold, args.repeats),
+        "pipeline_variants_cached": _median_time(pipeline_variants_cached, args.repeats),
     }
 
     pipeline_result = optimize_source(LU_JACLD_SOURCE, config)
@@ -135,6 +173,20 @@ def main(argv=None) -> int:
         "rule_stats": {
             name: stats.as_dict()
             for name, stats in kernel_report.runner.rule_stats.items()
+        },
+        # hit/miss counters behind the repeated-workload rows, and the
+        # speedups the session architecture buys on them
+        "cache": {
+            "session": cached_session.cache.stats.as_dict(),
+            "extraction_memo": memo.stats_dict(),
+            "speedup_extraction_memoized": (
+                results["extraction"] / results["extraction_memoized"]
+                if results["extraction_memoized"] > 0 else float("inf")
+            ),
+            "speedup_pipeline_variants": (
+                results["pipeline_variants_cold"] / results["pipeline_variants_cached"]
+                if results["pipeline_variants_cached"] > 0 else float("inf")
+            ),
         },
     }
 

@@ -25,7 +25,8 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.egraph.runner import RunnerLimits
-from repro.saturator import SaturatorConfig, Variant, optimize_source
+from repro.saturator import SaturatorConfig, Variant
+from repro.session import DiskCache, OptimizationSession
 
 __all__ = ["build_arg_parser", "main"]
 
@@ -67,6 +68,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="iteration limit for saturation (default 10)")
     parser.add_argument("--time-limit", type=float, default=10.0,
                         help="saturation time limit in seconds (default 10)")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="optimize input files in parallel with N workers (default 1)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        help="batch executor backing --jobs (default: threads when jobs > 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="content-addressed artifact cache directory; re-runs over "
+             "unchanged source+configuration reuse the cached result",
+    )
     parser.add_argument("--report", help="write a JSON report of per-kernel statistics")
     parser.add_argument(
         "--emit-report-only",
@@ -111,6 +126,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         limits=RunnerLimits(args.node_limit, args.iter_limit, args.time_limit),
     )
 
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    executor_kind = args.executor or ("threads" if args.jobs > 1 else "serial")
+    session = OptimizationSession(
+        config=config,
+        cache=DiskCache(args.cache_dir) if args.cache_dir else None,
+        executor=f"{executor_kind}:{args.jobs}",
+    )
+
     overall_report = {
         "compiler": compiler,
         "variant": variant.value,
@@ -118,14 +142,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     }
 
     exit_code = 0
+    readable: List[Path] = []
+    sources: List[str] = []
     for path in files:
         if not path.exists():
             print(f"accsat: error: no such file: {path}", file=sys.stderr)
             exit_code = 1
             continue
-        source = path.read_text()
-        result = optimize_source(source, config, name_prefix=path.stem)
+        readable.append(path)
+        sources.append(path.read_text())
 
+    # the independent per-file sessions run through the executor; outputs
+    # are written back in input order either way
+    results = session.run_many(
+        [(source, path.stem) for source, path in zip(sources, readable)]
+    )
+
+    for path, result in zip(readable, results):
         file_report = {
             "input": str(path),
             "kernels": [k.as_dict() for k in result.kernels],
@@ -144,6 +177,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"accsat: {path} -> {output} "
                 f"({len(result.kernels)} kernel(s), variant={variant.value})"
             )
+
+    if session.cache is not None:
+        overall_report["cache"] = session.cache.stats.as_dict()
 
     if args.report:
         Path(args.report).write_text(json.dumps(overall_report, indent=2))

@@ -24,6 +24,7 @@ from repro.egraph.analysis import Analysis, ConstantFoldingAnalysis
 from repro.egraph.egraph import EClass, EGraph, ENode
 from repro.egraph.extract import (
     DagExtractor,
+    ExtractionMemo,
     ExtractionResult,
     ILPExtractor,
     TreeExtractor,
@@ -69,6 +70,7 @@ __all__ = [
     "TreeExtractor",
     "UnionFind",
     "compile_pattern",
+    "ExtractionMemo",
     "extract_best",
     "parse_pattern",
     "rewrite",

@@ -43,6 +43,12 @@ __all__ = ["ENode", "EClass", "EGraph"]
 _EMPTY: Tuple = ()
 
 
+def _node_sort_key(node: ENode) -> Tuple:
+    """Process-stable total order for e-nodes sharing an operator."""
+
+    return (node.children, str(node.payload), type(node.payload).__name__)
+
+
 @dataclass(frozen=True, eq=False)
 class ENode:
     """An operator applied to e-class ids (not to terms).
@@ -246,6 +252,16 @@ class EGraph:
                     group[node.op] = [node]
                 else:
                     bucket.append(node)
+            # deterministic bucket order: node sets hash strings, so raw
+            # set iteration varies with PYTHONHASHSEED — and bucket order
+            # is match-application order, which decides *which* e-nodes
+            # exist when a node-limit stop truncates saturation.  Sorting
+            # here makes saturation outcomes reproducible across
+            # processes, which the content-addressed artifact cache
+            # relies on (same source+config => same artifact).
+            for bucket in group.values():
+                if len(bucket) > 1:
+                    bucket.sort(key=_node_sort_key)
             cls._by_op = group
             cls._by_op_version = cls.version
         return cls._by_op.get(op, _EMPTY)

@@ -16,6 +16,18 @@ using linear programming (CBC).  This module provides three extractors:
 
 All three return an :class:`ExtractionResult`, which carries the selected
 e-node per e-class, per-root terms, and the DAG cost of the selection.
+
+Repeated extraction from the *same* e-graph — re-extracting between runner
+iterations, comparing extractors, or the repeated-variant workloads of the
+experiment harness — can share an :class:`ExtractionMemo`.  The memo keeps
+the tree extractor's DP table alive between calls and refreshes it
+*incrementally*: only classes whose ``touched`` stamp advanced since the
+table was computed (plus their transitive dependents, via the worklist)
+are recomputed, which the e-graph's upward touch propagation makes sound.
+It also caches whole :class:`ExtractionResult` objects per (method, roots)
+while the e-graph version is unchanged.  Memoized extraction is exact: it
+returns byte-identical selections to a cold run (the DP fixpoint and its
+deterministic tie-breaks do not depend on what was reused).
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ from repro.egraph.language import Term
 __all__ = [
     "CostFunction",
     "ExtractionError",
+    "ExtractionMemo",
     "ExtractionResult",
     "TreeExtractor",
     "DagExtractor",
@@ -78,25 +91,88 @@ class ExtractionResult:
 # ---------------------------------------------------------------------------
 
 
-class TreeExtractor:
-    """Minimise tree cost per e-class by fixpoint dynamic programming."""
+class _DPState:
+    """The tree extractor's dynamic-programming state, reusable across runs.
 
-    def __init__(self, egraph: EGraph, cost_function: CostFunction) -> None:
-        self.egraph = egraph
-        self.cost_function = cost_function
-        self._best: Dict[int, Tuple[float, ENode]] = {}
-        self._computed = False
+    ``best`` maps every finite-cost (canonical) e-class id to its
+    ``(tree cost, chosen e-node)`` entry; ``class_nodes`` and ``dependents``
+    are the indexed view of the e-graph the worklist relaxation runs over.
+    :meth:`build` computes the state from scratch; :meth:`refresh` updates
+    it after the e-graph changed, re-indexing and re-relaxing only classes
+    touched since the given version stamp.
+    """
 
-    # -- fixpoint ------------------------------------------------------------
+    __slots__ = ("best", "tie", "class_nodes", "dependents")
 
-    def _compute(self) -> None:
-        if self._computed:
-            return
-        egraph = self.egraph
-        best = self._best
+    def __init__(self) -> None:
+        self.best: Dict[int, Tuple[float, ENode]] = {}
+        self.tie: Dict[int, Tuple[int, int, tuple]] = {}
+        self.class_nodes: Dict[
+            int, List[Tuple[ENode, float, Tuple[int, ...], int, int]]
+        ] = {}
+        self.dependents: Dict[int, Set[int]] = {}
+
+    @staticmethod
+    def build(egraph: EGraph, cost_of) -> "_DPState":
+        state = _DPState()
+        state._index(egraph, cost_of, (cls.id for cls in egraph.eclasses()))
+        state._relax(set(state.class_nodes))
+        return state
+
+    def refresh(self, egraph: EGraph, cost_of, since: int) -> int:
+        """Incorporate every e-graph change after version *since*.
+
+        Returns the number of classes that had to be re-indexed.  Sound
+        because :meth:`EGraph.rebuild` propagates ``touched`` stamps from
+        every mutated class up through the parent lists: any class whose
+        best entry could have changed — its node set grew, it absorbed a
+        merge, or a descendant did — carries ``touched > since``.  Entries
+        of untouched classes are reused as-is, and the worklist re-relaxes
+        the invalidated region to the same fixpoint a cold build reaches
+        (costs and tie-breaks are intrinsic to the class, so the result is
+        identical).
+        """
+
         find = egraph.uf.find
-        cost_of = self.cost_function.enode_cost
+        invalid = [cls.id for cls in egraph.eclasses() if cls.touched > since]
+        invalid_set = set(invalid)
+        for cid in list(self.best):
+            if cid in invalid_set or find(cid) != cid:
+                del self.best[cid]
+                del self.tie[cid]
+        for cid in list(self.class_nodes):
+            if cid in invalid_set or find(cid) != cid:
+                del self.class_nodes[cid]
+        self._index(egraph, cost_of, invalid)
+        self._relax(invalid_set)
+        return len(invalid)
 
+    # -- internals -----------------------------------------------------------
+
+    def _index(self, egraph: EGraph, cost_of, cids) -> None:
+        """(Re)build ``class_nodes`` entries and dependent edges for *cids*."""
+
+        find = egraph.uf.find
+        dependents = self.dependents
+        for cid in cids:
+            entries = []
+            for enode in egraph.nodes_of(cid):
+                children = tuple(find(c) for c in enode.children)
+                child_set = set(children)
+                entries.append(
+                    (
+                        enode,
+                        cost_of(enode),
+                        children,
+                        1 if cid in child_set else 0,
+                        len(child_set),
+                    )
+                )
+                for child in child_set:
+                    dependents.setdefault(child, set()).add(cid)
+            self.class_nodes[cid] = entries
+
+    def _relax(self, pending: Set[int]) -> None:
         # Worklist relaxation instead of repeated whole-graph passes: when a
         # class's best cost improves, only the classes whose e-nodes point at
         # it are re-evaluated — O(edges) re-evaluations instead of
@@ -108,35 +184,19 @@ class TreeExtractor:
         # sharing, which the DAG objective rewards — e.g. prefer
         # ``(+ x x)`` over an equal-tree-cost chain), then the
         # deterministic _node_order_key.
-        class_nodes: Dict[
-            int, List[Tuple[ENode, float, Tuple[int, ...], int, int]]
-        ] = {}
-        dependents: Dict[int, Set[int]] = {}
-        for eclass in egraph.eclasses():
-            entries = []
-            for enode in eclass.nodes:
-                children = tuple(find(c) for c in enode.children)
-                child_set = set(children)
-                entries.append(
-                    (
-                        enode,
-                        cost_of(enode),
-                        children,
-                        1 if eclass.id in child_set else 0,
-                        len(child_set),
-                    )
-                )
-                for child in child_set:
-                    dependents.setdefault(child, set()).add(eclass.id)
-            class_nodes[eclass.id] = entries
-
-        tie: Dict[int, Tuple[int, int, tuple]] = {}
-        pending = set(class_nodes)
+        best = self.best
+        tie = self.tie
+        class_nodes = self.class_nodes
+        dependents = self.dependents
         while pending:
             cid = pending.pop()
+            nodes = class_nodes.get(cid)
+            if nodes is None:
+                # a stale dependent edge to a class merged away
+                continue
             entry: Optional[Tuple[float, ENode]] = None
             entry_tie: Optional[Tuple[int, int, tuple]] = None
-            for enode, base_cost, children, self_ref, n_distinct in class_nodes[cid]:
+            for enode, base_cost, children, self_ref, n_distinct in nodes:
                 total = base_cost
                 feasible = True
                 for child in children:
@@ -168,6 +228,197 @@ class TreeExtractor:
                     # tie-break-only changes don't alter this class's cost,
                     # so parents need no re-evaluation
                     pending.update(dependents.get(cid, ()))
+
+
+class _SameObject:
+    """Equality-by-identity wrapper that keeps its referent alive.
+
+    Used for memo cost keys of models without declared weights: holding a
+    strong reference guarantees a recycled ``id`` can never masquerade as
+    the original cost function.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: object) -> None:
+        self.obj = obj
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SameObject) and other.obj is self.obj
+
+    def __hash__(self) -> int:
+        return object.__hash__(self.obj)
+
+
+def _cost_key(cost_function: CostFunction) -> tuple:
+    """Identity of a cost assignment, for memo-validity checks.
+
+    Weighted cost models compare by (class, weights); anything else is
+    trusted only against the very same object, so a memo can never serve
+    costs computed under a different pricing.
+    """
+
+    weights = getattr(cost_function, "weights", None)
+    if weights is not None:
+        return (type(cost_function).__qualname__, weights)
+    return (type(cost_function).__qualname__, _SameObject(cost_function))
+
+
+class ExtractionMemo:
+    """Shared extraction state for repeated runs over one e-graph.
+
+    Pass the same memo to successive :class:`TreeExtractor` /
+    :class:`DagExtractor` constructions (or :func:`extract_best` calls) to
+    reuse the DP table across them.  The memo re-binds automatically when
+    it sees a different e-graph or cost assignment, refreshes the table
+    incrementally when the bound e-graph changed (see
+    :meth:`_DPState.refresh`), and additionally caches whole
+    :class:`ExtractionResult` objects per (method, roots) at a fixed
+    e-graph version.  Not safe for concurrent use from multiple threads.
+    """
+
+    def __init__(self) -> None:
+        self._egraph: Optional[EGraph] = None
+        self._cost_key: Optional[tuple] = None
+        self._state: Optional[_DPState] = None
+        #: e-graph version at which ``_state`` was last brought up to date.
+        self._state_version: int = -1
+        #: (method, roots) -> (e-graph version, result)
+        self._results: Dict[tuple, Tuple[int, ExtractionResult]] = {}
+        # -- counters (surfaced via stats_dict) ---------------------------
+        self.full_builds: int = 0
+        self.refreshes: int = 0
+        self.reused_classes: int = 0
+        self.recomputed_classes: int = 0
+        self.result_hits: int = 0
+        self.result_misses: int = 0
+
+    # -- DP-table level -----------------------------------------------------
+
+    def table_for(self, egraph: EGraph, cost_function: CostFunction) -> _DPState:
+        """The up-to-date DP state for *egraph* under *cost_function*."""
+
+        key = _cost_key(cost_function)
+        cost_of = cost_function.enode_cost
+        if self._egraph is not egraph or self._cost_key != key:
+            self._bind(egraph, key)
+        if self._state is None:
+            self._state = _DPState.build(egraph, cost_of)
+            self._state_version = egraph.version
+            self.full_builds += 1
+            self.recomputed_classes += len(self._state.class_nodes)
+        elif self._state_version != egraph.version:
+            before = len(self._state.best)
+            recomputed = self._state.refresh(egraph, cost_of, self._state_version)
+            self._state_version = egraph.version
+            self.refreshes += 1
+            self.recomputed_classes += recomputed
+            self.reused_classes += max(0, before - recomputed)
+        else:
+            self.reused_classes += len(self._state.best)
+        return self._state
+
+    # -- result level --------------------------------------------------------
+
+    @staticmethod
+    def _result_key(method: str, roots: Sequence[int], time_limit: float) -> tuple:
+        # only the ILP solver is budget-sensitive: two budgets may yield
+        # different (both valid) solutions, so they must not share a slot
+        return (method, tuple(roots), time_limit if method == "ilp" else None)
+
+    def cached_result(
+        self,
+        egraph: EGraph,
+        cost_function: CostFunction,
+        method: str,
+        roots: Sequence[int],
+        time_limit: float = 0.0,
+    ) -> Optional[ExtractionResult]:
+        if self._egraph is not egraph or self._cost_key != _cost_key(cost_function):
+            self.result_misses += 1
+            return None
+        entry = self._results.get(self._result_key(method, roots, time_limit))
+        if entry is not None and entry[0] == egraph.version:
+            self.result_hits += 1
+            return entry[1]
+        self.result_misses += 1
+        return None
+
+    def store_result(
+        self,
+        egraph: EGraph,
+        cost_function: CostFunction,
+        method: str,
+        roots: Sequence[int],
+        result: ExtractionResult,
+        time_limit: float = 0.0,
+    ) -> None:
+        key = _cost_key(cost_function)
+        if self._egraph is not egraph or self._cost_key != key:
+            self._bind(egraph, key)
+        self._results[self._result_key(method, roots, time_limit)] = (
+            egraph.version, result,
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, int]:
+        return {
+            "full_builds": self.full_builds,
+            "refreshes": self.refreshes,
+            "reused_classes": self.reused_classes,
+            "recomputed_classes": self.recomputed_classes,
+            "result_hits": self.result_hits,
+            "result_misses": self.result_misses,
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    def _bind(self, egraph: EGraph, key: tuple) -> None:
+        self._egraph = egraph
+        self._cost_key = key
+        self._state = None
+        self._state_version = -1
+        self._results = {}
+
+
+class TreeExtractor:
+    """Minimise tree cost per e-class by fixpoint dynamic programming.
+
+    With a *memo*, the DP table is borrowed from (and kept inside) the
+    memo so repeated extractions of the same e-graph skip straight to the
+    incremental refresh; without one, the table is computed from scratch
+    and discarded with the extractor.
+
+    A memo-backed extractor *aliases* the memo's live table: after the
+    e-graph changes and a newer memoized extraction refreshes the memo,
+    queries on the older extractor reflect the refreshed state.  Extract
+    (or read ``best_cost``/``best_node``) before triggering the next
+    refresh — or use a memo-less extractor for a stable snapshot.
+    """
+
+    def __init__(
+        self,
+        egraph: EGraph,
+        cost_function: CostFunction,
+        memo: Optional[ExtractionMemo] = None,
+    ) -> None:
+        self.egraph = egraph
+        self.cost_function = cost_function
+        self.memo = memo
+        self._best: Dict[int, Tuple[float, ENode]] = {}
+        self._computed = False
+
+    # -- fixpoint ------------------------------------------------------------
+
+    def _compute(self) -> None:
+        if self._computed:
+            return
+        if self.memo is not None:
+            state = self.memo.table_for(self.egraph, self.cost_function)
+        else:
+            state = _DPState.build(self.egraph, self.cost_function.enode_cost)
+        self._best = state.best
         self._computed = True
 
     # -- public API -----------------------------------------------------------
@@ -219,10 +470,24 @@ class TreeExtractor:
         return self.best_node(eclass_id)
 
 
+#: e-node -> tie-break key.  The key involves str(payload), which shows up
+#: in extraction profiles; e-nodes are value-hashed, so one cache serves
+#: every extractor and e-graph in the process.  Cleared wholesale when it
+#: grows past the (generous) bound rather than tracking LRU order.
+_NODE_ORDER_KEYS: Dict[ENode, tuple] = {}
+_NODE_ORDER_KEYS_LIMIT = 1 << 20
+
+
 def _node_order_key(enode: ENode) -> tuple:
     """Deterministic tie-break so extraction is reproducible."""
 
-    return (enode.op, str(enode.payload), enode.children)
+    key = _NODE_ORDER_KEYS.get(enode)
+    if key is None:
+        if len(_NODE_ORDER_KEYS) >= _NODE_ORDER_KEYS_LIMIT:
+            _NODE_ORDER_KEYS.clear()
+        key = (enode.op, str(enode.payload), enode.children)
+        _NODE_ORDER_KEYS[enode] = key
+    return key
 
 
 def _reachable_from(
@@ -262,10 +527,15 @@ class DagExtractor:
     :class:`ILPExtractor` and the two are compared in the ablation bench.
     """
 
-    def __init__(self, egraph: EGraph, cost_function: CostFunction) -> None:
+    def __init__(
+        self,
+        egraph: EGraph,
+        cost_function: CostFunction,
+        memo: Optional[ExtractionMemo] = None,
+    ) -> None:
         self.egraph = egraph
         self.cost_function = cost_function
-        self._tree = TreeExtractor(egraph, cost_function)
+        self._tree = TreeExtractor(egraph, cost_function, memo)
 
     def extract(self, roots: Sequence[int]) -> ExtractionResult:
         start = time.perf_counter()
@@ -724,16 +994,30 @@ def extract_best(
     cost_function: CostFunction,
     method: str = "dag-greedy",
     time_limit: float = 30.0,
+    memo: Optional[ExtractionMemo] = None,
 ) -> ExtractionResult:
     """Extract the best terms for *roots* using the requested method.
 
     ``method`` is one of ``"tree"``, ``"dag-greedy"`` (default) or ``"ilp"``.
+    With a *memo*, repeated calls against the same (unchanged) e-graph
+    return the cached :class:`ExtractionResult`, and tree / dag-greedy
+    extraction after e-graph changes reuses the memoized DP table
+    incrementally.  Cached results are shared objects — treat them as
+    read-only, as every pipeline consumer does.
     """
 
+    if memo is not None:
+        cached = memo.cached_result(egraph, cost_function, method, roots, time_limit)
+        if cached is not None:
+            return cached
     if method == "tree":
-        return TreeExtractor(egraph, cost_function).extract(roots)
-    if method == "dag-greedy":
-        return DagExtractor(egraph, cost_function).extract(roots)
-    if method == "ilp":
-        return ILPExtractor(egraph, cost_function, time_limit).extract(roots)
-    raise ValueError(f"unknown extraction method {method!r}")
+        result = TreeExtractor(egraph, cost_function, memo).extract(roots)
+    elif method == "dag-greedy":
+        result = DagExtractor(egraph, cost_function, memo).extract(roots)
+    elif method == "ilp":
+        result = ILPExtractor(egraph, cost_function, time_limit).extract(roots)
+    else:
+        raise ValueError(f"unknown extraction method {method!r}")
+    if memo is not None:
+        memo.store_result(egraph, cost_function, method, roots, result, time_limit)
+    return result

@@ -116,6 +116,10 @@ class RuleStats:
     name: str
     #: Number of search phases this rule participated in.
     searches: int = 0
+    #: How many of those scans were incremental (skipped classes untouched
+    #: since the rule's previous scan) — the search-side analogue of a
+    #: cache hit, reported next to the session-cache counters.
+    incremental_searches: int = 0
     #: Total wall-clock seconds spent searching / applying this rule.
     search_time: float = 0.0
     apply_time: float = 0.0
@@ -127,6 +131,7 @@ class RuleStats:
         return {
             "name": self.name,
             "searches": self.searches,
+            "incremental_searches": self.incremental_searches,
             "search_time": self.search_time,
             "apply_time": self.apply_time,
             "matches": self.matches,
@@ -283,6 +288,8 @@ class Runner:
                 rt1 = time.perf_counter()
                 rs = stats[rule.name]
                 rs.searches += 1
+                if since is not None and since >= 0:
+                    rs.incremental_searches += 1
                 rs.search_time += rt1 - rt0
                 rs.matches += len(matches)
                 all_matches.append((index, rule, matches))

@@ -15,8 +15,10 @@ from repro.gpusim.metrics import VariantComparison
 __all__ = ["run", "summarize", "format_report"]
 
 
-def run(settings: EvaluationSettings = EvaluationSettings()) -> Dict[str, List[VariantComparison]]:
-    return figure4.run(gpu=A100_SXM4_80GB, settings=settings)
+def run(
+    settings: EvaluationSettings = EvaluationSettings(), executor=None
+) -> Dict[str, List[VariantComparison]]:
+    return figure4.run(gpu=A100_SXM4_80GB, settings=settings, executor=executor)
 
 
 summarize = figure4.summarize

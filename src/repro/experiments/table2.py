@@ -17,7 +17,9 @@ from repro.gpusim import A100_PCIE_40GB
 __all__ = ["run", "format_table"]
 
 
-def run(settings: EvaluationSettings = EvaluationSettings()) -> List[Dict[str, object]]:
+def run(
+    settings: EvaluationSettings = EvaluationSettings(), executor=None
+) -> List[Dict[str, object]]:
     """Return one row per NPB benchmark."""
 
     rows: List[Dict[str, object]] = []
@@ -31,7 +33,8 @@ def run(settings: EvaluationSettings = EvaluationSettings()) -> List[Dict[str, o
         }
         for compiler in ("nvhpc", "gcc"):
             comparison = evaluate_benchmark(
-                bench, compiler, A100_PCIE_40GB, ("original",), settings
+                bench, compiler, A100_PCIE_40GB, ("original",), settings,
+                executor=executor,
             )
             row[f"model_time_{compiler}"] = comparison.total_time["original"]
             row[f"paper_time_{compiler}"] = bench.paper_original_time.get(compiler)

@@ -23,14 +23,17 @@ __all__ = ["run", "format_table"]
 _VARIANTS = ("original",) + VARIANT_ORDER
 
 
-def run(settings: EvaluationSettings = EvaluationSettings()) -> List[Dict[str, object]]:
+def run(
+    settings: EvaluationSettings = EvaluationSettings(), executor=None
+) -> List[Dict[str, object]]:
     """One row per (compiler, BT kernel, variant)."""
 
     rows: List[Dict[str, object]] = []
     for compiler_name in ("nvhpc", "gcc"):
         compiler = compiler_model(compiler_name, BT.programming_model)
         for spec in BT.kernels:
-            measurement = evaluate_kernel(spec, compiler, A100_PCIE_40GB, _VARIANTS, settings)
+            measurement = evaluate_kernel(spec, compiler, A100_PCIE_40GB,
+                                          _VARIANTS, settings, executor=executor)
             for variant in _VARIANTS:
                 perf = measurement.by_variant[variant]
                 rows.append(

@@ -2,16 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.frontend import cast as C
+from repro.frontend.lexer import LexerError
 from repro.frontend.normalize import normalize_blocks
-from repro.frontend.parser import parse, parse_statement
+from repro.frontend.parser import ParseError, parse, parse_statement
 from repro.frontend.printer import print_c
 from repro.saturator.config import SaturatorConfig
 from repro.saturator.kernel import find_parallel_kernels
 from repro.saturator.pipeline import optimize_kernel
 from repro.saturator.report import OptimizationResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.session.stages import Stage
 
 __all__ = ["optimize_source", "optimize_ast"]
 
@@ -20,6 +24,7 @@ def optimize_ast(
     root: C.Node,
     config: Optional[SaturatorConfig] = None,
     name_prefix: str = "kernel",
+    stages: Optional[Sequence["Stage"]] = None,
 ) -> OptimizationResult:
     """Optimize every kernel found under *root*, mutating the AST."""
 
@@ -28,7 +33,7 @@ def optimize_ast(
     kernels = find_parallel_kernels(root, name_prefix)
     reports = []
     for kernel in kernels:
-        _, report = optimize_kernel(kernel, config)
+        _, report = optimize_kernel(kernel, config, stages)
         reports.append(report)
     return OptimizationResult(
         code=print_c(root),
@@ -41,12 +46,15 @@ def optimize_source(
     source: str,
     config: Optional[SaturatorConfig] = None,
     name_prefix: str = "kernel",
+    stages: Optional[Sequence["Stage"]] = None,
 ) -> OptimizationResult:
     """Optimize OpenACC/OpenMP C *source* and return the regenerated code.
 
     The input may be a whole translation unit (functions and globals) or a
     bare statement/loop nest, which is how the benchmark suite stores its
-    kernels.
+    kernels.  Only the frontend's own error types trigger the
+    bare-statement retry — anything else (an analysis bug, a pipeline
+    crash) propagates so real defects are never masked by the fallback.
     """
 
     config = config or SaturatorConfig()
@@ -55,6 +63,6 @@ def optimize_source(
         root = parse(source)
         if not root.decls:
             root = parse_statement(source)
-    except Exception:
+    except (LexerError, ParseError):
         root = parse_statement(source)
-    return optimize_ast(root, config, name_prefix)
+    return optimize_ast(root, config, name_prefix, stages)

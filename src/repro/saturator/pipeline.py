@@ -1,27 +1,34 @@
-"""The per-kernel optimization pipeline (paper §III, steps 1–3)."""
+"""The per-kernel optimization pipeline (paper §III, steps 1–3).
+
+The pipeline is a composition of the typed stages defined in
+:mod:`repro.session.stages` — frontend/SSA, e-graph build, saturation,
+extraction, code generation — run over a :class:`StageContext` that
+carries the per-kernel artifacts between them.  :func:`optimize_loop_body`
+is the classic entry point: it builds the context, runs the default stage
+tuple (or a caller-supplied one, which is how new stages are spliced in),
+and returns the generated-kernel summary plus the per-kernel report.
+
+Whole-source callers that want artifact caching or batch execution should
+go through :class:`repro.session.OptimizationSession`, which wraps this
+pipeline with a content-addressed cache and pluggable executors; this
+module stays the single place where the stage order is defined for a cold
+run.
+"""
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
-from repro.codegen.generator import (
-    CodeGenerator,
-    GeneratedKernel,
-    count_ast_stats,
-    count_term_stats,
-)
-from repro.cost import AccSaturatorCostModel
-from repro.egraph.egraph import EGraph
-from repro.egraph.extract import ExtractionResult, extract_best
-from repro.egraph.runner import Runner, RunnerReport
+from repro.codegen.generator import GeneratedKernel
+from repro.egraph.extract import ExtractionMemo
 from repro.frontend import cast as C
 from repro.frontend.normalize import normalize_blocks
-from repro.rules import constant_folding_analysis, ruleset_by_name
 from repro.saturator.config import SaturatorConfig
 from repro.saturator.kernel import ParallelKernel
 from repro.saturator.report import KernelReport
-from repro.ssa import KernelSSA, build_ssa
+
+if TYPE_CHECKING:  # pragma: no cover - imported lazily to break the cycle
+    from repro.session.stages import Stage
 
 __all__ = ["optimize_kernel", "optimize_loop_body"]
 
@@ -30,95 +37,42 @@ def optimize_loop_body(
     body: C.Block,
     config: Optional[SaturatorConfig] = None,
     name: str = "kernel",
+    stages: Optional[Sequence["Stage"]] = None,
+    extraction_memo: Optional[ExtractionMemo] = None,
 ) -> Tuple[GeneratedKernel, KernelReport]:
     """Optimize the body of one innermost parallel loop, in place.
 
     Returns the generated-kernel summary and the per-kernel report.  The
     *body* block is mutated (right-hand sides rewritten, temporaries
     inserted); callers that need the original must clone it first.
+
+    ``stages`` overrides the default stage tuple (see
+    :data:`repro.session.stages.DEFAULT_STAGES`); ``extraction_memo``
+    shares extraction DP state across repeated runs on one e-graph.
     """
 
-    config = config or SaturatorConfig()
-    report = KernelReport(name=name)
+    # deferred: repro.session.stages imports this package's config/report
+    # modules, and importing either package must not require the other to
+    # be fully initialized
+    from repro.session.stages import StageContext, run_stages
 
-    t0 = time.perf_counter()
-
-    # 1. SSA construction
-    normalize_blocks(body)
-    report.original = count_ast_stats(body)
-    ssa: KernelSSA = build_ssa(body)
-    report.assignments = ssa.num_assignments
-    report.groups = len(ssa.groups)
-
-    # 2. e-graph creation (always: this is what provides CSE)
-    analysis = constant_folding_analysis() if config.constant_folding else None
-    egraph = EGraph(analysis)
-    root_of: Dict[int, int] = {}
-    store_class_of: Dict[int, int] = {}
-    for info in ssa.all_assignments():
-        if info.term is None:
-            continue
-        root_of[info.ssa_id] = egraph.add_term(info.term)
-        if info.store_term is not None:
-            store_class_of[info.ssa_id] = egraph.add_term(info.store_term)
-    egraph.rebuild()
-    ssa_egraph_time = time.perf_counter() - t0
-
-    # 3. equality saturation (CSE+SAT / ACCSAT only)
-    runner_report: Optional[RunnerReport] = None
-    saturation_time = 0.0
-    if config.variant.saturate:
-        t1 = time.perf_counter()
-        rules = ruleset_by_name(config.ruleset)
-        runner = Runner(
-            egraph, rules, config.limits, incremental=config.incremental_search
-        )
-        runner_report = runner.run()
-        saturation_time = time.perf_counter() - t1
-    report.runner = runner_report
-    report.saturation_time = saturation_time
-    report.egraph_nodes = len(egraph)
-    report.egraph_classes = egraph.num_classes
-
-    # 4. extraction
-    t2 = time.perf_counter()
-    cost_model = AccSaturatorCostModel()
-    roots = list(root_of.values())
-    extraction: ExtractionResult
-    if roots:
-        extraction = extract_best(
-            egraph, roots, cost_model, config.extraction, config.extraction_time_limit
-        )
-    else:
-        extraction = ExtractionResult({}, {}, 0.0, 0.0, config.extraction)
-    report.extraction_time = time.perf_counter() - t2
-    report.extracted_cost = extraction.dag_cost
-
-    # 5. code generation
-    t3 = time.perf_counter()
-    generator = CodeGenerator(
-        egraph,
-        extraction,
-        ssa,
-        root_of,
-        store_class_of,
-        bulk_load=config.variant.bulk_load,
-        temp_prefix=config.temp_prefix,
+    ctx = StageContext(
+        body=body,
+        config=config or SaturatorConfig(),
+        name=name,
+        extraction_memo=extraction_memo,
     )
-    generated = generator.generate()
-    codegen_time = time.perf_counter() - t3
-
-    report.ssa_codegen_time = ssa_egraph_time + codegen_time
-    report.optimized = generated.stats
-    return generated, report
+    run_stages(ctx, stages)
+    return ctx.generated, ctx.report
 
 
 def optimize_kernel(
     kernel: ParallelKernel,
     config: Optional[SaturatorConfig] = None,
+    stages: Optional[Sequence["Stage"]] = None,
 ) -> Tuple[GeneratedKernel, KernelReport]:
     """Optimize one discovered kernel in place (see :func:`optimize_loop_body`)."""
 
     config = config or SaturatorConfig()
     normalize_blocks(kernel.innermost)
-    return optimize_loop_body(kernel.body, config, kernel.name)
+    return optimize_loop_body(kernel.body, config, kernel.name, stages)

@@ -41,6 +41,14 @@ class KernelReport:
     optimized: KernelCodeStats = field(default_factory=KernelCodeStats)
     #: DAG cost of the extracted solution under the paper's cost model.
     extracted_cost: float = 0.0
+    #: True when this report came out of a session artifact cache instead
+    #: of a pipeline run (see :mod:`repro.session`); every other field is
+    #: identical to the cold run that produced the artifact.
+    from_cache: bool = False
+    #: Extraction-memo counters (reused/recomputed classes, result hits)
+    #: when the extraction stage ran with a shared
+    #: :class:`~repro.egraph.extract.ExtractionMemo`; None otherwise.
+    extraction_memo: Optional[Dict[str, int]] = None
 
     @property
     def load_reduction(self) -> float:
@@ -69,6 +77,8 @@ class KernelReport:
             "original": self.original.as_dict(),
             "optimized": self.optimized.as_dict(),
             "extracted_cost": self.extracted_cost,
+            "from_cache": self.from_cache,
+            "extraction_memo": self.extraction_memo,
             "load_reduction": self.load_reduction,
             "instruction_reduction": self.instruction_reduction,
             # full saturation profile (per-iteration and per-rule stats)

@@ -1,0 +1,242 @@
+"""Content-addressed artifact cache for optimization sessions.
+
+Three backends share one tiny interface (:class:`ArtifactCache`):
+
+* :class:`MemoryCache` — an in-process LRU keyed by :class:`CacheKey`.
+  Artifacts are deep-copied on both ``put`` and ``get`` so a caller can
+  never mutate a cached entry (reports are mutable dataclasses).
+* :class:`DiskCache` — artifacts pickled under ``root/<aa>/<digest>.pkl``
+  where ``digest`` is the key's SHA-256 content address; survives the
+  process and is shared between processes.  Writes are atomic
+  (temp-file + rename) and unreadable entries degrade to a miss.
+* :class:`TieredCache` — memory in front of disk, promoting disk hits.
+
+``get`` returns the :data:`MISS` sentinel rather than ``None`` so that
+``None`` remains a cacheable artifact.  Every backend tracks hit/miss/store
+counters in :class:`CacheStats`; the engine benchmark and the experiment
+harness surface them (``BENCH_engine.json``, ``pipeline_cache_stats``).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.session.fingerprint import CacheKey
+
+__all__ = [
+    "MISS",
+    "ArtifactCache",
+    "CacheStats",
+    "DiskCache",
+    "MemoryCache",
+    "TieredCache",
+]
+
+
+class _Miss:
+    """Sentinel returned by ``get`` when the key is absent."""
+
+    _instance: Optional["_Miss"] = None
+
+    def __new__(cls) -> "_Miss":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "<cache MISS>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+MISS = _Miss()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one cache backend."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ArtifactCache:
+    """Interface shared by every cache backend."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def get(self, key: CacheKey) -> object:
+        """Return the cached artifact or :data:`MISS`."""
+
+        raise NotImplementedError
+
+    def put(self, key: CacheKey, value: object) -> None:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class MemoryCache(ArtifactCache):
+    """In-process LRU artifact cache.
+
+    Artifacts are deep-copied at both ends so cached entries are immune to
+    caller mutation; for pipeline-sized artifacts (reports + code strings)
+    a copy is orders of magnitude cheaper than recomputing the artifact.
+    """
+
+    def __init__(self, max_entries: Optional[int] = 1024) -> None:
+        super().__init__()
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive (or None)")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> object:
+        with self._lock:
+            if key not in self._entries:
+                self.stats.misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            value = self._entries[key]
+        return copy.deepcopy(value)
+
+    def put(self, key: CacheKey, value: object) -> None:
+        value = copy.deepcopy(value)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class DiskCache(ArtifactCache):
+    """On-disk artifact cache, content-addressed by :attr:`CacheKey.digest`."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        super().__init__()
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def _path(self, key: CacheKey) -> Path:
+        digest = key.digest
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def get(self, key: CacheKey) -> object:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            # absent, truncated, or written by an incompatible version —
+            # all degrade to a miss and the artifact is recomputed
+            with self._lock:
+                self.stats.misses += 1
+            return MISS
+        with self._lock:
+            self.stats.hits += 1
+        return value
+
+    def put(self, key: CacheKey, value: object) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.stats.stores += 1
+
+    def clear(self) -> None:
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
+
+
+class TieredCache(ArtifactCache):
+    """Memory cache in front of a disk cache; disk hits are promoted."""
+
+    def __init__(self, memory: Optional[MemoryCache] = None,
+                 disk: Optional[DiskCache] = None) -> None:
+        super().__init__()
+        if memory is None and disk is None:
+            raise ValueError("TieredCache needs at least one backend")
+        self.memory = memory
+        self.disk = disk
+
+    def get(self, key: CacheKey) -> object:
+        if self.memory is not None:
+            value = self.memory.get(key)
+            if value is not MISS:
+                self.stats.hits += 1
+                return value
+        if self.disk is not None:
+            value = self.disk.get(key)
+            if value is not MISS:
+                if self.memory is not None:
+                    self.memory.put(key, value)
+                self.stats.hits += 1
+                return value
+        self.stats.misses += 1
+        return MISS
+
+    def put(self, key: CacheKey, value: object) -> None:
+        if self.memory is not None:
+            self.memory.put(key, value)
+        if self.disk is not None:
+            self.disk.put(key, value)
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        if self.memory is not None:
+            self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()

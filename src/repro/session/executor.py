@@ -1,0 +1,139 @@
+"""Pluggable batch executors for independent kernel sessions.
+
+The experiment harness and the CLI evaluate many independent units of work
+(kernels of a benchmark, input files of an ``accsat`` invocation).  A
+:class:`BatchExecutor` abstracts how such a batch runs:
+
+* :class:`SerialExecutor` — a plain loop; the default, and the reference
+  the equivalence tests compare parallel results against.
+* :class:`ThreadExecutor` — a thread pool.  Kernels share one process, so
+  they also share the in-memory artifact cache and the compiled-pattern
+  caches; best when cache hits dominate.
+* :class:`ProcessExecutor` — a process pool for CPU-bound cold runs.  The
+  mapped callable and its arguments must be picklable (use module-level
+  functions), and per-process caches start cold.
+
+``map`` always returns results **in input order** regardless of completion
+order, so parallel evaluation is output-identical to serial evaluation.
+:func:`make_executor` parses the CLI/Env spellings: ``serial``,
+``threads[:N]``, ``processes[:N]``, or a bare integer (thread count).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+__all__ = [
+    "BatchExecutor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "make_executor",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def _default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+class BatchExecutor:
+    """Maps a callable over a batch, preserving input order."""
+
+    kind: str = "batch"
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} jobs={self.jobs}>"
+
+
+class SerialExecutor(BatchExecutor):
+    """Run the batch in the calling thread, one item at a time."""
+
+    kind = "serial"
+
+    def __init__(self) -> None:
+        super().__init__(jobs=1)
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
+        return [fn(item) for item in items]
+
+
+class _PoolExecutor(BatchExecutor):
+    """Shared implementation of the two ``concurrent.futures`` backends."""
+
+    _pool_cls = concurrent.futures.ThreadPoolExecutor
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        super().__init__(jobs=jobs if jobs is not None else _default_jobs())
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
+        items = list(items)
+        if len(items) <= 1 or self.jobs == 1:
+            return [fn(item) for item in items]
+        workers = min(self.jobs, len(items))
+        with self._pool_cls(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Run the batch on a thread pool (shares in-process caches)."""
+
+    kind = "threads"
+    _pool_cls = concurrent.futures.ThreadPoolExecutor
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Run the batch on a process pool (callable/args must pickle)."""
+
+    kind = "processes"
+    _pool_cls = concurrent.futures.ProcessPoolExecutor
+
+
+def make_executor(
+    spec: Union[None, int, str, BatchExecutor] = None
+) -> BatchExecutor:
+    """Build an executor from a CLI-style spec.
+
+    ``None``, ``"serial"`` and ``1`` mean serial; an integer ``N > 1``
+    means ``N`` threads; ``"threads[:N]"`` / ``"processes[:N]"`` select the
+    pool type explicitly (``N`` defaults to the CPU count).  An existing
+    :class:`BatchExecutor` passes through unchanged.
+    """
+
+    if isinstance(spec, BatchExecutor):
+        return spec
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, int):
+        return SerialExecutor() if spec == 1 else ThreadExecutor(spec)
+    text = spec.strip().lower()
+    name, _, count = text.partition(":")
+    if not text or name == "serial":
+        return SerialExecutor()
+    jobs: Optional[int] = None
+    if count:
+        jobs = int(count)
+        if jobs < 1:
+            raise ValueError(f"invalid job count in executor spec {spec!r}")
+    if name == "threads":
+        return ThreadExecutor(jobs) if jobs != 1 else SerialExecutor()
+    if name == "processes":
+        return ProcessExecutor(jobs) if jobs != 1 else SerialExecutor()
+    if name.isdigit():
+        return make_executor(int(name))
+    raise ValueError(
+        f"unknown executor spec {spec!r}; expected serial, threads[:N], "
+        f"processes[:N] or an integer"
+    )

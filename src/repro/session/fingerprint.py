@@ -1,0 +1,83 @@
+"""Stable fingerprints for session cache keys.
+
+Artifacts in the session cache are addressed by *content*, not identity:
+the key of a cached stage artifact is derived from (a) the SHA-256 of the
+kernel source text, (b) a canonical JSON rendering of every
+:class:`~repro.saturator.config.SaturatorConfig` field, and (c) the stage
+name.  Two processes (or two runs weeks apart) that feed the same source
+through the same configuration therefore hit the same on-disk artifact.
+
+Config fingerprints walk dataclass fields recursively and render enums by
+value, so fields added to :class:`SaturatorConfig` in future PRs are
+picked up automatically — an old cache simply misses instead of serving a
+stale artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import NamedTuple
+
+__all__ = ["CacheKey", "fingerprint_config", "fingerprint_text", "stage_key"]
+
+
+def fingerprint_text(text: str) -> str:
+    """SHA-256 hex digest of a source (or any) string."""
+
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _encode(value: object) -> object:
+    """Render *value* as JSON-stable plain data."""
+
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _encode(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _encode(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def fingerprint_config(config: object) -> str:
+    """Canonical fingerprint of a (dataclass) configuration object."""
+
+    payload = {"__class__": type(config).__qualname__, "fields": _encode(config)}
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class CacheKey(NamedTuple):
+    """Content address of one stage artifact.
+
+    ``extra`` carries stage-relevant context that is neither source nor
+    config (e.g. the kernel name prefix, which ends up inside reports).
+    """
+
+    source_fp: str
+    config_fp: str
+    stage: str
+    extra: str = ""
+
+    @property
+    def digest(self) -> str:
+        """The flat content address used by on-disk backends."""
+
+        joined = "\x00".join(self)
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+def stage_key(source: str, config: object, stage: str, extra: str = "") -> CacheKey:
+    """Build the :class:`CacheKey` of one (source, config, stage) artifact."""
+
+    return CacheKey(fingerprint_text(source), fingerprint_config(config), stage, extra)

@@ -1,0 +1,61 @@
+"""Cross-process reproducibility of saturation outcomes.
+
+Per-class match buckets used to be iterated in ``Set[ENode]`` order, which
+hashes strings — so two processes (different ``PYTHONHASHSEED``) applied
+matches in different orders, and a node-limit stop froze *different*
+e-graphs.  The sorted buckets in ``EGraph.nodes_by_op`` make the whole
+pipeline a pure function of (source, config), which the content-addressed
+artifact cache relies on.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+#: A kernel rich enough to blow a tiny node limit mid-saturation.
+_SCRIPT = textwrap.dedent(
+    """
+    import hashlib
+    from repro.egraph.runner import RunnerLimits
+    from repro.saturator import SaturatorConfig, Variant, optimize_source
+
+    SOURCE = '''
+    #pragma acc parallel loop gang
+    for (int i = 1; i < n; i++) {
+      out[i] = w0 * a[i] + w1 * a[i-1] + w2 * a[i+1]
+             + w0 * b[i] + w1 * b[i-1] + w2 * b[i+1]
+             + w0 * a[i] * b[i];
+    }
+    '''
+    config = SaturatorConfig(
+        variant=Variant.CSE_SAT, limits=RunnerLimits(60, 5, 5.0)
+    )
+    result = optimize_source(SOURCE, config)
+    kernel = result.kernels[0]
+    assert kernel.runner.stop_reason.value == "node_limit", (
+        "the fixture must hit the node limit to exercise truncation"
+    )
+    digest = hashlib.sha256(result.code.encode()).hexdigest()
+    print(digest, kernel.egraph_nodes, kernel.egraph_classes, kernel.extracted_cost)
+    """
+)
+
+
+def _run_with_hash_seed(seed: str) -> str:
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+def test_node_limited_saturation_is_hash_seed_independent():
+    outputs = {_run_with_hash_seed(seed) for seed in ("0", "1", "12345")}
+    assert len(outputs) == 1, f"outcomes diverged across hash seeds: {outputs}"

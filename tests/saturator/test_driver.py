@@ -1,0 +1,43 @@
+"""Whole-source driver: frontend-fallback scoping."""
+
+import pytest
+
+import repro.saturator.driver as driver
+from repro.frontend.lexer import Token, TokenKind
+from repro.frontend.parser import ParseError
+from repro.saturator import optimize_source
+
+BARE_STATEMENT = """
+#pragma acc parallel loop gang
+for (int i = 0; i < n; i++) {
+  out[i] = a * in[i];
+}
+"""
+
+
+class TestFrontendFallback:
+    def test_bare_statement_falls_back_to_parse_statement(self):
+        result = optimize_source(BARE_STATEMENT)
+        assert len(result.kernels) == 1
+
+    def test_parse_error_triggers_the_retry(self, monkeypatch):
+        calls = []
+
+        def exploding_parse(source):
+            calls.append(source)
+            raise ParseError(
+                "expected declaration or function definition",
+                Token(TokenKind.EOF, "", 1, 1),
+            )
+
+        monkeypatch.setattr(driver, "parse", exploding_parse)
+        result = driver.optimize_source(BARE_STATEMENT)
+        assert calls and len(result.kernels) == 1
+
+    def test_non_frontend_errors_are_not_masked(self, monkeypatch):
+        def buggy_parse(source):
+            raise RuntimeError("a real bug, not a parse failure")
+
+        monkeypatch.setattr(driver, "parse", buggy_parse)
+        with pytest.raises(RuntimeError, match="a real bug"):
+            driver.optimize_source(BARE_STATEMENT)

@@ -1,0 +1,81 @@
+"""CLI integration with the session subsystem (--jobs, --cache-dir)."""
+
+import json
+
+from repro.cli import main
+
+KERNEL_A = """
+#pragma acc parallel loop gang
+for (int i = 0; i < n; i++) {
+  out[i] = a * in[i] + b * in[i];
+}
+"""
+
+KERNEL_B = """
+#pragma acc parallel loop gang
+for (int i = 0; i < n; i++) {
+  res[i] = (x[i] + y[i]) * (x[i] + y[i]);
+}
+"""
+
+
+def _write_inputs(tmp_path):
+    a = tmp_path / "a.c"
+    b = tmp_path / "b.c"
+    a.write_text(KERNEL_A)
+    b.write_text(KERNEL_B)
+    return a, b
+
+
+class TestJobs:
+    def test_parallel_jobs_match_serial_outputs(self, tmp_path):
+        a, b = _write_inputs(tmp_path)
+        assert main(["--quiet", str(a), str(b)]) == 0
+        serial_a = a.with_suffix(".sat.c").read_text()
+        serial_b = b.with_suffix(".sat.c").read_text()
+
+        a.with_suffix(".sat.c").unlink()
+        b.with_suffix(".sat.c").unlink()
+        assert main(["--quiet", "--jobs", "2", str(a), str(b)]) == 0
+        assert a.with_suffix(".sat.c").read_text() == serial_a
+        assert b.with_suffix(".sat.c").read_text() == serial_b
+
+    def test_process_executor_jobs(self, tmp_path):
+        a, b = _write_inputs(tmp_path)
+        assert main(
+            ["--quiet", "--jobs", "2", "--executor", "processes", str(a), str(b)]
+        ) == 0
+        assert a.with_suffix(".sat.c").exists()
+        assert b.with_suffix(".sat.c").exists()
+
+    def test_missing_file_still_fails_gracefully(self, tmp_path, capsys):
+        a, _ = _write_inputs(tmp_path)
+        assert main(["--quiet", "--jobs", "2", str(a), str(tmp_path / "no.c")]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestCacheDir:
+    def test_second_run_hits_the_disk_cache(self, tmp_path):
+        a, b = _write_inputs(tmp_path)
+        cache_dir = tmp_path / "artifacts"
+        report1 = tmp_path / "r1.json"
+        report2 = tmp_path / "r2.json"
+
+        args = ["--quiet", "--cache-dir", str(cache_dir)]
+        assert main(args + ["--report", str(report1), str(a), str(b)]) == 0
+        first = json.loads(report1.read_text())
+        assert first["cache"]["hits"] == 0
+        assert first["cache"]["stores"] == 2
+        output_a = a.with_suffix(".sat.c").read_text()
+
+        assert main(args + ["--report", str(report2), str(a), str(b)]) == 0
+        second = json.loads(report2.read_text())
+        assert second["cache"]["hits"] == 2
+        assert second["cache"]["stores"] == 0
+        # cached artifacts regenerate identical outputs and stats
+        assert a.with_suffix(".sat.c").read_text() == output_a
+        for cold, warm in zip(first["files"], second["files"]):
+            assert [k["optimized"] for k in cold["kernels"]] == [
+                k["optimized"] for k in warm["kernels"]
+            ]
+            assert all(k["from_cache"] for k in warm["kernels"])

@@ -1,0 +1,115 @@
+"""Batch executors, and the parallel == serial evaluation contract."""
+
+import time
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.experiments.common import (
+    EvaluationSettings,
+    clear_pipeline_cache,
+    evaluate_benchmark,
+    evaluate_kernel,
+    pipeline_cache_stats,
+)
+from repro.gpusim import A100_PCIE_40GB, compiler_model
+from repro.session import (
+    BatchExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+
+FAST = EvaluationSettings(node_limit=1200, iter_limit=2, time_limit=3.0)
+
+
+def _square(x):
+    return x * x
+
+
+def _jittered_negate(x):
+    # later items finish first, exercising order preservation
+    time.sleep(0.02 * (3 - x % 4))
+    return -x
+
+
+class TestMakeExecutor:
+    def test_spellings(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("serial:1"), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(4), ThreadExecutor)
+        assert make_executor(4).jobs == 4
+        assert isinstance(make_executor("threads"), ThreadExecutor)
+        assert make_executor("threads:3").jobs == 3
+        assert isinstance(make_executor("processes:2"), ProcessExecutor)
+        assert make_executor("2").jobs == 2
+
+    def test_existing_executor_passes_through(self):
+        executor = ThreadExecutor(2)
+        assert make_executor(executor) is executor
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            make_executor("fleet")
+        with pytest.raises(ValueError):
+            make_executor("threads:0")
+        with pytest.raises(ValueError):
+            make_executor(0)
+
+
+class TestExecutors:
+    def test_serial_map(self):
+        assert SerialExecutor().map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_threads_preserve_input_order(self):
+        result = ThreadExecutor(4).map(_jittered_negate, list(range(8)))
+        assert result == [-x for x in range(8)]
+
+    def test_processes_map(self):
+        assert ProcessExecutor(2).map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+    def test_single_item_short_circuits_pool(self):
+        assert ThreadExecutor(4).map(_square, [5]) == [25]
+
+
+class TestParallelEvaluationMatchesSerial:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return get_benchmark("BT")
+
+    def test_evaluate_benchmark_threads_equals_serial(self, bench):
+        serial = evaluate_benchmark(bench, "nvhpc", settings=FAST)
+        threaded = evaluate_benchmark(
+            bench, "nvhpc", settings=FAST, executor="threads:4"
+        )
+        assert threaded.total_time == serial.total_time
+        assert [m.kernel for m in threaded.kernels] == [m.kernel for m in serial.kernels]
+        for ours, theirs in zip(threaded.kernels, serial.kernels):
+            assert ours.by_variant.keys() == theirs.by_variant.keys()
+            for variant in ours.by_variant:
+                assert ours.by_variant[variant].time_s == theirs.by_variant[variant].time_s
+
+    def test_evaluate_kernel_executor_matches_serial(self, bench):
+        spec = bench.kernels[0]
+        compiler = compiler_model("nvhpc", bench.programming_model)
+        serial = evaluate_kernel(spec, compiler, A100_PCIE_40GB, settings=FAST)
+        threaded = evaluate_kernel(
+            spec, compiler, A100_PCIE_40GB, settings=FAST, executor=3
+        )
+        assert {
+            v: m.time_s for v, m in threaded.by_variant.items()
+        } == {v: m.time_s for v, m in serial.by_variant.items()}
+
+    def test_repeated_cells_hit_the_pipeline_caches(self, bench):
+        clear_pipeline_cache()
+        evaluate_benchmark(bench, "nvhpc", settings=FAST)
+        before = pipeline_cache_stats()
+        evaluate_benchmark(bench, "gcc", settings=FAST)
+        after = pipeline_cache_stats()
+        # the second compiler re-uses every pipeline artifact: no new
+        # stores in the session cache, every cell served by the memo
+        assert after["stores"] == before["stores"]
+        assert after["derived_hits"] > before["derived_hits"]

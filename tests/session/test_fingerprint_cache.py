@@ -1,0 +1,131 @@
+"""Fingerprints and artifact-cache backends."""
+
+import pytest
+
+from repro.egraph.runner import RunnerLimits
+from repro.saturator import SaturatorConfig, Variant
+from repro.session import (
+    MISS,
+    CacheKey,
+    DiskCache,
+    MemoryCache,
+    TieredCache,
+    fingerprint_config,
+    fingerprint_text,
+    stage_key,
+)
+
+
+class TestFingerprints:
+    def test_text_fingerprint_is_stable_and_content_sensitive(self):
+        assert fingerprint_text("abc") == fingerprint_text("abc")
+        assert fingerprint_text("abc") != fingerprint_text("abd")
+
+    def test_config_fingerprint_covers_every_field(self):
+        base = SaturatorConfig()
+        assert fingerprint_config(base) == fingerprint_config(SaturatorConfig())
+        assert fingerprint_config(base) != fingerprint_config(
+            SaturatorConfig(variant=Variant.CSE)
+        )
+        assert fingerprint_config(base) != fingerprint_config(
+            SaturatorConfig(limits=RunnerLimits(123, 4, 5.0))
+        )
+        assert fingerprint_config(base) != fingerprint_config(
+            SaturatorConfig(incremental_search=False)
+        )
+
+    def test_stage_key_digest_is_stable(self):
+        key = stage_key("src", SaturatorConfig(), "optimize-source", "k")
+        again = stage_key("src", SaturatorConfig(), "optimize-source", "k")
+        assert key == again
+        assert key.digest == again.digest
+        assert key.digest != stage_key("src", SaturatorConfig(), "frontend", "k").digest
+
+
+def _key(tag: str) -> CacheKey:
+    return CacheKey("s" + tag, "c" + tag, "stage", "")
+
+
+class TestMemoryCache:
+    def test_roundtrip_and_stats(self):
+        cache = MemoryCache()
+        assert cache.get(_key("a")) is MISS
+        cache.put(_key("a"), {"v": 1})
+        assert cache.get(_key("a")) == {"v": 1}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_artifacts_are_isolated_from_caller_mutation(self):
+        cache = MemoryCache()
+        artifact = {"v": [1, 2]}
+        cache.put(_key("a"), artifact)
+        artifact["v"].append(3)  # mutating the original after put
+        first = cache.get(_key("a"))
+        assert first == {"v": [1, 2]}
+        first["v"].append(4)  # mutating a returned copy
+        assert cache.get(_key("a")) == {"v": [1, 2]}
+
+    def test_lru_eviction(self):
+        cache = MemoryCache(max_entries=2)
+        cache.put(_key("a"), 1)
+        cache.put(_key("b"), 2)
+        assert cache.get(_key("a")) == 1  # refresh a
+        cache.put(_key("c"), 3)  # evicts b
+        assert cache.get(_key("b")) is MISS
+        assert cache.get(_key("a")) == 1
+        assert cache.get(_key("c")) == 3
+
+    def test_none_is_a_cacheable_artifact(self):
+        cache = MemoryCache()
+        cache.put(_key("n"), None)
+        assert cache.get(_key("n")) is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryCache(max_entries=0)
+
+
+class TestDiskCache:
+    def test_roundtrip_persists_across_instances(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        cache.put(_key("a"), {"v": 42})
+        reopened = DiskCache(tmp_path / "cache")
+        assert reopened.get(_key("a")) == {"v": 42}
+        assert reopened.stats.hits == 1
+
+    def test_corrupted_entry_degrades_to_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(_key("a"), {"v": 1})
+        [path] = list(tmp_path.glob("*/*.pkl"))
+        path.write_bytes(b"not a pickle")
+        assert cache.get(_key("a")) is MISS
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(_key("a"), 1)
+        cache.clear()
+        assert cache.get(_key("a")) is MISS
+
+
+class TestTieredCache:
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.put(_key("a"), "artifact")
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path))
+        assert tiered.get(_key("a")) == "artifact"
+        assert tiered.memory.stats.misses == 1
+        # second read is served by the memory tier
+        assert tiered.get(_key("a")) == "artifact"
+        assert tiered.memory.stats.hits == 1
+
+    def test_put_fills_both_tiers(self, tmp_path):
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path))
+        tiered.put(_key("b"), 7)
+        assert tiered.memory.get(_key("b")) == 7
+        assert DiskCache(tmp_path).get(_key("b")) == 7
+
+    def test_requires_a_backend(self):
+        with pytest.raises(ValueError):
+            TieredCache(None, None)
