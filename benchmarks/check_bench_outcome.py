@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Guard saturation outcomes against silent drift.
+
+Compares the ``pipeline_outcome`` and ``saturation_large_outcome`` records
+of a freshly produced ``BENCH_engine.json`` against the committed one.
+Timings are machine-dependent and never compared; the outcome records
+(stop reason, e-node and e-class counts) are pure functions of (source,
+config) — the determinism contract of ``tests/egraph/test_determinism.py``
+— so any deviation means a change to the engine altered saturation
+results, which must be an explicit, committed decision rather than a
+side effect.
+
+Usage::
+
+    python benchmarks/check_bench_outcome.py FRESH.json [COMMITTED.json]
+
+Exits non-zero (listing every mismatch) when the outcomes deviate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+_OUTCOME_KEYS = ("pipeline_outcome", "saturation_large_outcome")
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or len(argv) > 2:
+        print(__doc__)
+        return 2
+    fresh_path = argv[0]
+    committed_path = (
+        argv[1]
+        if len(argv) == 2
+        else os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_engine.json",
+        )
+    )
+    with open(fresh_path) as fh:
+        fresh = json.load(fh)
+    with open(committed_path) as fh:
+        committed = json.load(fh)
+
+    failures = []
+    for key in _OUTCOME_KEYS:
+        expected = committed.get(key)
+        actual = fresh.get(key)
+        if expected is None:
+            failures.append(f"{key}: missing from committed {committed_path}")
+        elif actual != expected:
+            failures.append(f"{key}: fresh={actual!r} != committed={expected!r}")
+
+    if failures:
+        print("saturation outcome drift detected:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    outcomes = {key: fresh[key] for key in _OUTCOME_KEYS}
+    print(f"outcomes match the committed BENCH_engine.json: {outcomes}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

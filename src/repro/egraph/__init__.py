@@ -1,11 +1,16 @@
 """E-graph engine: the equality-saturation substrate.
 
 A faithful, pure-Python re-implementation of the parts of the ``egg``
-library that ACC Saturator relies on:
+library that ACC Saturator relies on, built on a flat interned core:
+operators and payloads intern to small integers per graph, e-nodes are
+``(op_id, payload_id, *child_ids)`` key tuples in struct-of-arrays
+hashcons/arena structures, and :class:`~repro.egraph.egraph.ENode` is a
+lazily materialised boundary view for user code:
 
 * :class:`~repro.egraph.unionfind.UnionFind` — canonical e-class ids,
-* :class:`~repro.egraph.egraph.EGraph` — hash-consed e-nodes, congruence
-  closure with deferred rebuilding, and e-class analyses,
+* :class:`~repro.egraph.egraph.EGraph` — hash-consed interned e-nodes,
+  congruence closure with deferred batched rebuilding, and e-class
+  analyses,
 * :class:`~repro.egraph.pattern.Pattern` — e-matching of pattern terms,
   with an op-indexed compiled engine
   (:class:`~repro.egraph.pattern.CompiledPattern`) behind it,
@@ -21,7 +26,7 @@ library that ACC Saturator relies on:
 """
 
 from repro.egraph.analysis import Analysis, ConstantFoldingAnalysis
-from repro.egraph.egraph import EClass, EGraph, ENode
+from repro.egraph.egraph import EClass, EGraph, ENode, NodeKey
 from repro.egraph.extract import (
     DagExtractor,
     ExtractionMemo,
@@ -58,6 +63,7 @@ __all__ = [
     "ENode",
     "ExtractionResult",
     "ILPExtractor",
+    "NodeKey",
     "Pattern",
     "PatternVar",
     "Rewrite",

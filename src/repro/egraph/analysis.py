@@ -27,6 +27,31 @@ class Analysis:
 
         raise NotImplementedError
 
+    def make_key(self, egraph: EGraph, key) -> object:
+        """Arena-level entry point: compute the value of an interned key.
+
+        ``EGraph.add_key`` calls this on every add, so analyses that care
+        about throughput override it to read the interning tables directly
+        (see :class:`ConstantFoldingAnalysis`).  The default materialises
+        the boundary :class:`ENode` view and delegates to :meth:`make`, so
+        existing subclasses keep working unchanged.
+        """
+
+        return self.make(egraph, egraph._view(key))
+
+    def relevant_op_ids(self, egraph: EGraph):
+        """Op ids whose nodes can carry a non-bottom :meth:`make` value.
+
+        ``EGraph.add_key`` skips the :meth:`make_key` call (the class data
+        stays None, exactly what :meth:`make` would have returned) for ops
+        outside this set.  Return None — the default — to be called for
+        every op.  Called whenever the graph has interned new operators
+        since the previous query, so implementations may compute the set
+        from the current ``op_names`` table.
+        """
+
+        return None
+
     def join(self, a: object, b: object) -> object:
         """Combine the values of two classes being merged."""
 
@@ -53,6 +78,10 @@ class ConstantFoldingAnalysis(Analysis):
 
     def __init__(self, fold_division: bool = True) -> None:
         self.fold_division = fold_division
+        #: (egraph, #ops interned, num op id, foldable op-id set) — the
+        #: interned view of ``_FOLDABLE`` for the graph this analysis last
+        #: served, rebuilt whenever the graph interns a new operator.
+        self._opid_cache: Optional[tuple] = None
 
     # -- helpers -------------------------------------------------------------
 
@@ -127,6 +156,56 @@ class ConstantFoldingAnalysis(Analysis):
             return None
         return folded
 
+    def relevant_op_ids(self, egraph: EGraph):
+        """Only ``num`` and the foldable operators produce non-None data."""
+
+        cache = self._refresh_opid_cache(egraph)
+        relevant = set(cache[3])
+        if cache[2] >= 0:
+            relevant.add(cache[2])
+        return relevant
+
+    def _refresh_opid_cache(self, egraph: EGraph) -> tuple:
+        names = egraph.op_names
+        cache = self._opid_cache
+        if cache is None or cache[0] is not egraph or cache[1] != len(names):
+            cache = (
+                egraph,
+                len(names),
+                egraph._op_ids.get("num", -1),
+                {i for i, op in enumerate(names) if op in self._FOLDABLE},
+            )
+            self._opid_cache = cache
+        return cache
+
+    def make_key(self, egraph: EGraph, key) -> Optional[Number]:
+        # arena fast path: runs on every class creation, so the "not
+        # foldable" dominant case must be integer set membership on op ids
+        # (no string hashing, no ENode view)
+        cache = self._refresh_opid_cache(egraph)
+        op_id = key[0]
+        if op_id == cache[2]:
+            return egraph.payloads[key[1]]  # type: ignore[return-value]
+        if len(key) == 2 or op_id not in cache[3]:
+            return None
+        op = egraph.op_names[op_id]
+        args: list[Number] = []
+        classes = egraph.classes
+        find = egraph.uf.find
+        for i in range(2, len(key)):
+            child = key[i]
+            cls = classes.get(child)
+            if cls is None:
+                cls = classes[find(child)]
+            value = cls.data
+            if not isinstance(value, (int, float)):
+                return None
+            args.append(value)
+        folded = self._fold(op, args)
+        if isinstance(folded, float) and (math.isnan(folded) or math.isinf(folded)):
+            return None
+        return folded
+
     def join(self, a: Optional[Number], b: Optional[Number]) -> Optional[Number]:
         if a is None:
             return b
@@ -137,9 +216,14 @@ class ConstantFoldingAnalysis(Analysis):
         return a
 
     def modify(self, egraph: EGraph, eclass_id: int) -> None:
-        value = self._value_of(egraph, eclass_id)
-        if value is None:
+        # runs on every class creation: read the class record directly
+        # instead of going through data_of's find + lookup
+        cls = egraph.classes.get(eclass_id)
+        if cls is None:
+            cls = egraph.classes[egraph.uf.find(eclass_id)]
+        value = cls.data
+        if not isinstance(value, (int, float)):
             return
-        literal = egraph.add(ENode("num", (), value))
+        literal = egraph.add_leaf("num", value)
         if not egraph.is_equal(literal, eclass_id):
             egraph.merge(literal, eclass_id)

@@ -1,61 +1,91 @@
-"""The e-graph data structure with congruence closure.
+"""The e-graph data structure with congruence closure, on a flat interned core.
 
 The implementation follows the ``egg`` design (Willsey et al., POPL 2021)
 that the paper builds on:
 
-* e-nodes are hash-consed: an :class:`ENode` whose children are canonical
-  e-class ids appears at most once in the graph,
+* e-nodes are hash-consed: a node whose children are canonical e-class ids
+  appears at most once in the graph,
 * :meth:`EGraph.merge` only records the union; congruence closure is
   restored lazily by :meth:`EGraph.rebuild` (deferred rebuilding), which is
   what makes batch rule application cheap,
 * e-class analyses (:mod:`repro.egraph.analysis`) propagate per-class facts
   such as constant values, enabling constant folding during saturation.
 
+Flat interned representation
+----------------------------
+
+Earlier versions stored every e-node as a frozen :class:`ENode` dataclass
+(string operator, arbitrary payload, memoized hash in ``__dict__``), which
+made the hottest loops — hashcons probes, canonicalisation, congruence
+repair — churn through Python object allocation and attribute lookups.
+The core now interns operators and payloads to small integers via
+per-graph symbol tables, and each e-node *is* its canonical **key**: a
+plain tuple ``(op_id, payload_id, *child_ids)`` of ints.  Tuples of small
+ints hash and compare at C speed (and, unlike strings, independent of
+``PYTHONHASHSEED``), canonicalisation is a slice-and-rebuild over ints,
+and per-class node sets are sets of such tuples.  Class bookkeeping lives
+in slotted :class:`EClass` records; parents are flat ``(key, class_id)``
+pairs.
+
+:class:`ENode` survives as a thin **boundary view**: user code, the rule
+DSL, cost models, code generation, tests, and cache serialisation keep
+their ENode-based API, and the graph materialises views lazily (memoized
+per key) only when asked.  The compiled e-matcher and the extraction DP
+never construct views on their hot paths — they index the key tuples
+directly.
+
 On top of the classic structure the e-graph maintains the bookkeeping that
 the op-indexed, incremental e-matcher (:mod:`repro.egraph.pattern`) relies
 on:
 
-* an **op-index** — for every operator, the set of e-class ids whose class
-  contains an e-node with that operator.  Entries are canonicalised lazily
-  (a stale id simply ``find``s to the surviving root), so ``merge`` never
-  has to rewrite the index; :meth:`classes_with_op` compacts on read.
-* a per-class **by-op grouping** of the node set (cached, invalidated by a
+* an **op-index** — for every operator id, the set of e-class ids whose
+  class contains an e-node with that operator.  Entries are canonicalised
+  lazily (a stale id simply ``find``s to the surviving root), so ``merge``
+  never has to rewrite the index; :meth:`classes_with_op` compacts on read.
+* a per-class **by-op grouping** of the key set (cached, invalidated by a
   per-class ``version`` stamp) so a sub-pattern with operator ``*`` only
-  looks at the ``*`` nodes of a candidate class,
+  looks at the ``*`` keys of a candidate class,
 * a per-class **touched** stamp — the :attr:`version` at which the class
   (or anything match-relevant below it) last changed.  :meth:`rebuild`
   propagates touches upward through the parent lists, which is what makes
   it sound for a rewrite to skip classes untouched since its previous scan,
 * a cached canonical-node count so ``len(egraph)`` is O(1) (it is called
   inside the runner's per-rule apply loop).
+
+Determinism: every order that can influence saturation outcomes is sorted
+on data that does not depend on ``PYTHONHASHSEED`` — match buckets sort by
+``(child ids, str(payload), payload type)`` exactly as the object core
+did, root candidates sort by class id, and key tuples themselves hash
+seed-independently — so the full kernel × variant sweep stays a pure
+function of (source, config) (see ``tests/egraph/test_determinism.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.egraph.language import Payload, Term
 from repro.egraph.unionfind import UnionFind
 
-__all__ = ["ENode", "EClass", "EGraph"]
+__all__ = ["ENode", "EClass", "EGraph", "NodeKey"]
+
+#: An interned e-node: ``(op_id, payload_id, *child_class_ids)``.
+NodeKey = Tuple[int, ...]
 
 _EMPTY: Tuple = ()
-
-
-def _node_sort_key(node: ENode) -> Tuple:
-    """Process-stable total order for e-nodes sharing an operator."""
-
-    return (node.children, str(node.payload), type(node.payload).__name__)
 
 
 @dataclass(frozen=True, eq=False)
 class ENode:
     """An operator applied to e-class ids (not to terms).
 
-    Like :class:`~repro.egraph.language.Term`, equality is payload-type
-    aware so integer and floating-point literals never share an e-class
-    (C assigns them different division/modulo semantics).
+    This is the *boundary view* of an interned node key: the e-graph's
+    internal structures store keys, and materialise ENodes lazily for user
+    code, tests, and serialisation.  Like
+    :class:`~repro.egraph.language.Term`, equality is payload-type aware so
+    integer and floating-point literals never share an e-class (C assigns
+    them different division/modulo semantics).
     """
 
     op: str
@@ -73,8 +103,8 @@ class ENode:
         )
 
     def __hash__(self) -> int:
-        # e-nodes are hashed constantly (hashcons lookups, per-class node
-        # sets); memoise the hash on first use.
+        # e-nodes are hashed at the boundary (tests, serialisation, cost
+        # memos); memoise the hash on first use.
         h = self.__dict__.get("_hash")
         if h is None:
             h = hash((self.op, self.payload, type(self.payload), self.children))
@@ -87,8 +117,7 @@ class ENode:
         children = self.children
         if not children:
             return self
-        # inlined UnionFind.is_root (see its docstring for the contract):
-        # this avoids a method call per child on the hottest path
+        # inlined UnionFind.is_root (see its docstring for the contract)
         parent = uf._parent
         for c in children:
             if parent[c] != c:
@@ -106,62 +135,187 @@ class ENode:
         return f"({label} {' '.join(str(c) for c in self.children)})"
 
 
-@dataclass
 class EClass:
-    """A set of equal e-nodes plus bookkeeping for congruence closure."""
+    """A set of equal e-nodes plus bookkeeping for congruence closure.
 
-    id: int
-    nodes: Set[ENode] = field(default_factory=set)
-    #: (parent e-node, e-class id the parent lives in) pairs; used to find
-    #: congruent parents after a merge.
-    parents: List[Tuple[ENode, int]] = field(default_factory=list)
-    #: Analysis data attached to this class (semantics defined by the
-    #: :class:`~repro.egraph.analysis.Analysis` instance in use).
-    data: object = None
-    #: :attr:`EGraph.version` at which the node set of this class last
-    #: changed (invalidates the cached by-op grouping).
-    version: int = 0
-    #: :attr:`EGraph.version` at which this class — or a descendant class a
-    #: match rooted here could reach — last changed.  Maintained by
-    #: :meth:`EGraph.rebuild` via upward touch propagation; the incremental
-    #: searcher skips classes with ``touched <= last_scan_version``.
-    touched: int = 0
-    #: Cached ``op -> [nodes]`` grouping of :attr:`nodes` (lazily built).
-    _by_op: Optional[Dict[str, List[ENode]]] = field(
-        default=None, repr=False, compare=False
+    Nodes are stored as interned keys (:attr:`keys`); the legacy
+    :attr:`nodes` view materialises :class:`ENode` objects on demand.
+    """
+
+    __slots__ = (
+        "graph",
+        "id",
+        "keys",
+        "parents",
+        "data",
+        "version",
+        "touched",
+        "_by_op",
+        "_by_op_version",
     )
-    _by_op_version: int = field(default=-1, repr=False, compare=False)
+
+    def __init__(
+        self,
+        graph: "EGraph",
+        eclass_id: int,
+        keys: Optional[Set[NodeKey]] = None,
+        parents: Optional[List[Tuple[NodeKey, int]]] = None,
+        data: object = None,
+    ) -> None:
+        self.graph = graph
+        self.id = eclass_id
+        #: The interned e-node keys of this class.
+        self.keys: Set[NodeKey] = keys if keys is not None else set()
+        #: (parent key, e-class id the parent lives in) pairs; used to find
+        #: congruent parents after a merge.
+        self.parents: List[Tuple[NodeKey, int]] = (
+            parents if parents is not None else []
+        )
+        #: Analysis data attached to this class.
+        self.data = data
+        #: :attr:`EGraph.version` at which the key set of this class last
+        #: changed (invalidates the cached by-op grouping).
+        self.version = 0
+        #: :attr:`EGraph.version` at which this class — or a descendant a
+        #: match rooted here could reach — last changed.
+        self.touched = 0
+        #: Cached ``op_id -> [keys]`` grouping of :attr:`keys`.
+        self._by_op: Optional[Dict[int, List[NodeKey]]] = None
+        self._by_op_version = -1
+
+    @property
+    def nodes(self) -> Set[ENode]:
+        """The e-nodes of this class, as boundary views (built on demand)."""
+
+        view = self.graph._view
+        return {view(key) for key in self.keys}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"EClass(id={self.id}, keys={len(self.keys)})"
 
 
 class EGraph:
-    """A congruence-closed e-graph."""
+    """A congruence-closed e-graph over interned node keys."""
 
     def __init__(self, analysis: Optional["object"] = None) -> None:
         self.uf = UnionFind()
         self.classes: Dict[int, EClass] = {}
-        self.hashcons: Dict[ENode, int] = {}
+        #: canonical key -> e-class id.
+        self.hashcons: Dict[NodeKey, int] = {}
         #: e-class ids whose parents must be re-canonicalised on rebuild.
         self._dirty: List[int] = []
         #: e-class ids whose analysis data changed and must be re-propagated.
         self._analysis_dirty: List[int] = []
         self.analysis = analysis
-        #: Running counter of adds/merges (useful for saturation detection
-        #: and the basis of the incremental-search stamps).
+        #: Running counter of adds/merges (saturation detection and the
+        #: basis of the incremental-search stamps).
         self.version = 0
-        #: op -> set of e-class ids whose class contains that operator.  May
-        #: hold stale (merged-away) ids; they canonicalise to the surviving
-        #: root and are compacted on read.  Classes never *lose* an
-        #: operator, so after canonicalisation the set is exact.
-        self._op_classes: Dict[str, Set[int]] = {}
-        #: Cached number of e-nodes (sum of class node-set sizes), kept in
-        #: sync by ``add``/``merge``/``_repair`` so ``len`` is O(1).
+        #: op_id -> set of e-class ids whose class contains that operator.
+        #: May hold stale (merged-away) ids; they canonicalise to the
+        #: surviving root and are compacted on read.
+        self._op_classes: Dict[int, Set[int]] = {}
+        #: Cached number of e-nodes, kept in sync so ``len`` is O(1).
         self._node_count = 0
-        #: Classes mutated since the last touch propagation (see
-        #: :meth:`_propagate_touches`).
+        #: Classes mutated since the last touch propagation.
         self._touched: List[int] = []
         #: Stale hashcons keys can only appear after a union; lets
         #: :meth:`_sweep_stale_keys` skip its scan on merge-free rebuilds.
         self._merged_since_sweep = False
+        # -- interning tables ---------------------------------------------
+        #: operator name -> op id (dense, insertion order).
+        self._op_ids: Dict[str, int] = {}
+        #: op id -> operator name.
+        self.op_names: List[str] = []
+        #: (type name, payload) -> payload id.  The type name keeps the
+        #: integer 1 and the float 1.0 distinct (they hash equal).
+        self._payload_ids: Dict[Tuple[str, Payload], int] = {("NoneType", None): 0}
+        #: payload id -> payload value.  Id 0 is always None.
+        self.payloads: List[Payload] = [None]
+        #: payload id -> (str(payload), type name): the deterministic
+        #: bucket-sort component (same total order the object core used).
+        self._payload_sort: List[Tuple[str, str]] = [("None", "NoneType")]
+        #: raw payload value -> ids of every ``==``-equal interned payload
+        #: (1 and 1.0 share a slot).  The compiled matcher resolves pattern
+        #: payload constants through this, preserving the object engine's
+        #: type-insensitive ``!=`` guard.
+        self._payload_eq: Dict[Payload, Tuple[int, ...]] = {None: (0,)}
+        #: key -> memoized ENode boundary view.
+        self._views: Dict[NodeKey, ENode] = {}
+        #: compiled-instantiator id -> resolved (op/payload id) tuple; ids
+        #: are append-only so entries never go stale (see pattern.py).
+        self._inst_consts: Dict[int, tuple] = {}
+        #: (op-table size, relevant-op-id set or None) — the analysis's
+        #: :meth:`~repro.egraph.analysis.Analysis.relevant_op_ids` answer,
+        #: refreshed whenever new operators are interned.
+        self._analysis_ops: Optional[Tuple[int, Optional[Set[int]]]] = None
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+
+    def _intern_op(self, op: str) -> int:
+        """Dense id of operator *op* (allocating one on first sight)."""
+
+        op_id = self._op_ids.get(op)
+        if op_id is None:
+            op_id = len(self.op_names)
+            self._op_ids[op] = op_id
+            self.op_names.append(op)
+        return op_id
+
+    def _intern_payload(self, payload: Payload) -> int:
+        """Dense id of *payload* (type-aware, allocating on first sight)."""
+
+        if payload is None:
+            return 0
+        key = (type(payload).__name__, payload)
+        pid = self._payload_ids.get(key)
+        if pid is None:
+            pid = len(self.payloads)
+            self._payload_ids[key] = pid
+            self.payloads.append(payload)
+            self._payload_sort.append((str(payload), type(payload).__name__))
+            # group ==-equal payloads for the matcher's payload guard
+            prior = self._payload_eq.get(payload, ())
+            self._payload_eq[payload] = prior + (pid,)
+        return pid
+
+    def payload_ids_matching(self, payload: Payload) -> Tuple[int, ...]:
+        """Ids of every interned payload ``==``-equal to *payload*.
+
+        Empty when no such payload exists in the graph (then no node can
+        carry it, so a pattern requiring it cannot match).
+        """
+
+        return self._payload_eq.get(payload, _EMPTY)
+
+    def _intern_node(self, enode: ENode) -> NodeKey:
+        """The key of an :class:`ENode` (interning op/payload as needed)."""
+
+        return (
+            self._intern_op(enode.op),
+            self._intern_payload(enode.payload),
+        ) + tuple(enode.children)
+
+    def _view(self, key: NodeKey) -> ENode:
+        """The memoized :class:`ENode` boundary view of *key*."""
+
+        view = self._views.get(key)
+        if view is None:
+            view = ENode(self.op_names[key[0]], key[2:], self.payloads[key[1]])
+            self._views[key] = view
+        return view
+
+    def _key_sort_key(self, key: NodeKey) -> Tuple:
+        """Process-stable total order for keys sharing an operator.
+
+        Identical ordering to the object core's ``(children, str(payload),
+        payload type)`` — bucket order is match-application order, which
+        decides *which* e-nodes exist when a node-limit stop truncates
+        saturation, so it must not change across representations.
+        """
+
+        return (key[2:], self._payload_sort[key[1]])
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,9 +343,14 @@ class EGraph:
         return iter(self.classes.values())
 
     def nodes_of(self, eclass_id: int) -> Set[ENode]:
-        """The e-nodes contained in the class of *eclass_id*."""
+        """The e-nodes contained in the class of *eclass_id* (views)."""
 
         return self.classes[self.find(eclass_id)].nodes
+
+    def keys_of(self, eclass_id: int) -> Set[NodeKey]:
+        """The interned node keys of the class of *eclass_id*."""
+
+        return self.classes[self.find(eclass_id)].keys
 
     def data_of(self, eclass_id: int) -> object:
         """Analysis data of the class of *eclass_id*."""
@@ -215,27 +374,43 @@ class EGraph:
         cheap even across heavy merging.
         """
 
-        ids = self._op_classes.get(op)
+        op_id = self._op_ids.get(op)
+        if op_id is None:
+            return set()
+        return self.classes_with_op_id(op_id)
+
+    def classes_with_op_id(self, op_id: int) -> Set[int]:
+        """Like :meth:`classes_with_op`, keyed by interned operator id."""
+
+        ids = self._op_classes.get(op_id)
         if not ids:
             return set()
         # steady-state fast path: already fully canonical -> no rebuild
-        # (inlined UnionFind.is_root, see its docstring for the contract)
-        parent = self.uf._parent
-        if all(parent[i] == i for i in ids):
+        if self.uf.all_roots(ids):
             return set(ids)
         find = self.uf.find
         canon = {find(i) for i in ids}
-        self._op_classes[op] = canon
+        self._op_classes[op_id] = canon
         # return a copy: handing out the live index would let callers
         # mutate it (or trip over adds while iterating)
         return set(canon)
 
-    def nodes_by_op(self, eclass_id: int, op: str) -> Sequence[ENode]:
-        """The e-nodes with operator *op* in the class of *eclass_id*.
+    def op_id(self, op: str) -> Optional[int]:
+        """Interned id of *op*, or None if the graph never saw it."""
 
-        Backed by a per-class grouping cache invalidated whenever the
-        class's node set changes; this is what lets a compiled sub-pattern
-        with operator ``*`` skip every non-``*`` node of a candidate class.
+        return self._op_ids.get(op)
+
+    def buckets_by_op_id(self, eclass_id: int, op_id: int) -> Sequence[NodeKey]:
+        """The node keys with operator *op_id* in the class of *eclass_id*.
+
+        This is the compiled matcher's inner-loop accessor: it hands back
+        raw key tuples (``key[2:]`` are the child class ids) so the match
+        path runs entirely over interned ints.  Backed by a per-class
+        grouping cache invalidated whenever the class's key set changes.
+        Bucket order is the deterministic :meth:`_key_sort_key` order —
+        identical to the object core's, which keeps node-limit-truncated
+        saturations reproducible across processes (the content-addressed
+        artifact cache relies on same source+config => same artifact).
         """
 
         # callers overwhelmingly pass canonical ids (the matcher always
@@ -245,71 +420,128 @@ class EGraph:
         if cls is None:
             cls = self.classes[self.uf.find(eclass_id)]
         if cls._by_op_version != cls.version:
-            group: Dict[str, List[ENode]] = {}
-            for node in cls.nodes:
-                bucket = group.get(node.op)
+            group: Dict[int, List[NodeKey]] = {}
+            for key in cls.keys:
+                bucket = group.get(key[0])
                 if bucket is None:
-                    group[node.op] = [node]
+                    group[key[0]] = [key]
                 else:
-                    bucket.append(node)
-            # deterministic bucket order: node sets hash strings, so raw
-            # set iteration varies with PYTHONHASHSEED — and bucket order
-            # is match-application order, which decides *which* e-nodes
-            # exist when a node-limit stop truncates saturation.  Sorting
-            # here makes saturation outcomes reproducible across
-            # processes, which the content-addressed artifact cache
-            # relies on (same source+config => same artifact).
+                    bucket.append(key)
+            sort_key = self._key_sort_key
             for bucket in group.values():
                 if len(bucket) > 1:
-                    bucket.sort(key=_node_sort_key)
+                    bucket.sort(key=sort_key)
             cls._by_op = group
             cls._by_op_version = cls.version
-        return cls._by_op.get(op, _EMPTY)
+        return cls._by_op.get(op_id, _EMPTY)
+
+    def nodes_by_op(self, eclass_id: int, op: str) -> Sequence[ENode]:
+        """The e-nodes with operator *op* in the class of *eclass_id*.
+
+        Boundary wrapper over :meth:`buckets_by_op_id` (views in the same
+        deterministic bucket order).
+        """
+
+        op_id = self._op_ids.get(op)
+        if op_id is None:
+            return _EMPTY
+        view = self._view
+        return [view(key) for key in self.buckets_by_op_id(eclass_id, op_id)]
 
     # ------------------------------------------------------------------
     # Adding
     # ------------------------------------------------------------------
 
-    def add(self, enode: ENode) -> int:
-        """Add an e-node, returning the id of its e-class (hash-consed)."""
+    def _canon_key(self, key: NodeKey) -> NodeKey:
+        """Return *key* with every child id replaced by its root."""
 
-        enode = enode.canonicalize(self.uf)
-        existing = self.hashcons.get(enode)
+        parent = self.uf._parent
+        n = len(key)
+        i = 2
+        while i < n:
+            c = key[i]
+            if parent[c] != c:
+                find = self.uf.find
+                return key[:2] + tuple([find(key[j]) for j in range(2, n)])
+            i += 1
+        return key
+
+    def add_key(self, key: NodeKey) -> int:
+        """Add an interned e-node key, returning its e-class (hash-consed).
+
+        This is the arena-level hot path: the compiled rule instantiators
+        and :meth:`add_term` call it directly with pre-interned ids.  The
+        dominant outcome is a hashcons hit on an already-canonical key, so
+        canonicalisation and the root lookup are inlined array reads.
+        """
+
+        parent = self.uf._parent
+        n = len(key)
+        i = 2
+        while i < n:
+            c = key[i]
+            if parent[c] != c:
+                find = self.uf.find
+                key = key[:2] + tuple([find(key[j]) for j in range(2, n)])
+                break
+            i += 1
+        existing = self.hashcons.get(key)
         if existing is not None:
+            if parent[existing] == existing:
+                return existing
             return self.uf.find(existing)
 
         self.version += 1
         eclass_id = self.uf.make_set()
-        eclass = EClass(eclass_id, {enode}, [])
+        eclass = EClass(self, eclass_id, {key}, [])
         eclass.version = eclass.touched = self.version
         self.classes[eclass_id] = eclass
-        self.hashcons[enode] = eclass_id
+        self.hashcons[key] = eclass_id
         self._node_count += 1
-        ops = self._op_classes.get(enode.op)
+        ops = self._op_classes.get(key[0])
         if ops is None:
-            self._op_classes[enode.op] = {eclass_id}
+            self._op_classes[key[0]] = {eclass_id}
         else:
             ops.add(eclass_id)
         self._touched.append(eclass_id)
-        # children are canonical here (the e-node was just canonicalised)
-        for child in enode.children:
-            self.classes[child].parents.append((enode, eclass_id))
+        # children are canonical here (the key was just canonicalised)
+        classes = self.classes
+        n = len(key)
+        i = 2
+        while i < n:
+            classes[key[i]].parents.append((key, eclass_id))
+            i += 1
 
-        if self.analysis is not None:
-            eclass.data = self.analysis.make(self, enode)
-            self.analysis.modify(self, eclass_id)
+        analysis = self.analysis
+        if analysis is not None:
+            # consult the analysis's relevant-op hint: for ops it can never
+            # value (the dominant case under constant folding) the data is
+            # None and `modify` is a no-op, so both calls can be skipped
+            hint = self._analysis_ops
+            if hint is None or hint[0] != len(self.op_names):
+                hint = (len(self.op_names), analysis.relevant_op_ids(self))
+                self._analysis_ops = hint
+            if hint[1] is None or key[0] in hint[1]:
+                eclass.data = analysis.make_key(self, key)
+                analysis.modify(self, eclass_id)
         return eclass_id
+
+    def add(self, enode: ENode) -> int:
+        """Add an e-node, returning the id of its e-class (hash-consed)."""
+
+        return self.add_key(self._intern_node(enode))
 
     def add_term(self, term: Term) -> int:
         """Recursively add a whole term; returns the e-class of its root."""
 
+        prefix = (self._intern_op(term.op), self._intern_payload(term.payload))
         child_ids = tuple(self.add_term(child) for child in term.children)
-        return self.add(ENode(term.op, child_ids, term.payload))
+        return self.add_key(prefix + child_ids)
 
     def add_leaf(self, op: str, payload: Payload = None) -> int:
         """Add a leaf e-node (``num``/``sym``-style)."""
 
-        return self.add(ENode(op, (), payload))
+        return self.add_key((self._intern_op(op), self._intern_payload(payload)))
 
     # ------------------------------------------------------------------
     # Merging and rebuilding
@@ -325,15 +557,23 @@ class EGraph:
         ra, rb = self.uf.find(a), self.uf.find(b)
         if ra == rb:
             return ra
+        return self.merge_roots(ra, rb)
+
+    def merge_roots(self, ra: int, rb: int) -> int:
+        """Merge two classes given their *canonical* (distinct) root ids.
+
+        The apply loop already holds both roots from its no-op check, so
+        this entry point skips re-finding them.
+        """
 
         self.version += 1
-        root = self.uf.union(ra, rb)
+        root = self.uf.union_roots(ra, rb)
         other = rb if root == ra else ra
         winner, loser = self.classes[root], self.classes[other]
 
-        before = len(winner.nodes) + len(loser.nodes)
-        winner.nodes |= loser.nodes
-        self._node_count += len(winner.nodes) - before
+        before = len(winner.keys) + len(loser.keys)
+        winner.keys |= loser.keys
+        self._node_count += len(winner.keys) - before
         winner.parents.extend(loser.parents)
         winner.version = winner.touched = self.version
         self._touched.append(root)
@@ -361,10 +601,11 @@ class EGraph:
         """Restore the hashcons and congruence invariants.
 
         Returns the number of follow-up merges performed (congruent parents
-        discovered while re-canonicalising).  Also propagates the *touched*
-        stamps of every mutated class upward through the parent lists so
-        the incremental searcher sees new matches rooted at unchanged
-        ancestors of changed classes.
+        discovered while re-canonicalising).  The deferred worklist is
+        drained in batches of integer loops over the flat key tuples; the
+        *touched* stamps of every mutated class are then propagated upward
+        through the parent lists so the incremental searcher sees new
+        matches rooted at unchanged ancestors of changed classes.
         """
 
         n_repairs = 0
@@ -396,29 +637,33 @@ class EGraph:
     def _sweep_stale_keys(self) -> int:
         """Drop non-canonical hashcons keys; merge any congruence they hid.
 
-        Runs at each :meth:`rebuild` convergence.  The scan is cheap: a key
-        is stale iff one of its child ids is not a union-find root, which
-        is two array reads per child.
+        Runs at each :meth:`rebuild` convergence.  The scan is a flat
+        integer loop: a key is stale iff one of its child ids is not a
+        union-find root, which is two array reads per child.
         """
 
         if not self._merged_since_sweep:
             return 0
         self._merged_since_sweep = False
         uf = self.uf
-        is_root = uf.is_root
-        stale: List[ENode] = []
+        parent = uf._parent
+        stale: List[NodeKey] = []
         for key in self.hashcons:
-            for child in key.children:
-                if not is_root(child):
+            n = len(key)
+            i = 2
+            while i < n:
+                c = key[i]
+                if parent[c] != c:
                     stale.append(key)
                     break
+                i += 1
         if not stale:
             return 0
         find = uf.find
         merges = 0
         for key in stale:
             value = self.hashcons.pop(key)
-            canon = key.canonicalize(uf)
+            canon = self._canon_key(key)
             prior = self.hashcons.get(canon)
             if prior is None:
                 self.hashcons[canon] = find(value)
@@ -465,8 +710,9 @@ class EGraph:
         """Re-canonicalise the parents of one e-class, merging congruent ones.
 
         Deduplicates the parent list as it goes: merges concatenate parent
-        lists, so the same ``(e-node, class)`` pair can accumulate many
-        times across a saturation run.
+        lists, so the same ``(key, class)`` pair can accumulate many times
+        across a saturation run.  Everything here is integer loops over
+        flat tuples — no node objects are constructed.
         """
 
         eclass_id = self.uf.find(eclass_id)
@@ -482,11 +728,32 @@ class EGraph:
         uf = self.uf
         find = uf.find
         classes = self.classes
-        seen: Dict[ENode, int] = {}
-        for parent_node, parent_class in old_parents:
-            # drop the stale hashcons entry before re-canonicalising
-            hashcons.pop(parent_node, None)
-            canon = parent_node.canonicalize(uf)
+        canon_key = self._canon_key
+        parent_arr = uf._parent
+        seen: Dict[NodeKey, int] = {}
+        for parent_key, parent_class in old_parents:
+            # re-canonicalise only stale spellings (inline staleness check).
+            # A canonical spelling needs no hashcons pop/reinsert round
+            # trip — and since the pop would have removed the entry, the
+            # original code never saw a `prior` for it either, so the
+            # congruence probe is skipped to keep behaviour identical (the
+            # entry is overwritten with this parent's class below, exactly
+            # as before).
+            n = len(parent_key)
+            i = 2
+            while i < n:
+                c = parent_key[i]
+                if parent_arr[c] != c:
+                    break
+                i += 1
+            if i == n:
+                canon = parent_key
+                skip_probe = True  # the pop would have emptied this slot
+            else:
+                # drop the stale hashcons entry before re-canonicalising
+                hashcons.pop(parent_key, None)
+                canon = canon_key(parent_key)
+                skip_probe = False
             parent_class = find(parent_class)
             existing = seen.get(canon)
             is_duplicate = existing is not None
@@ -495,7 +762,7 @@ class EGraph:
                     self.merge(existing, parent_class)
                     repairs += 1
                 parent_class = find(parent_class)
-            else:
+            elif not skip_probe:
                 prior = hashcons.get(canon)
                 if prior is not None and find(prior) != parent_class:
                     self.merge(prior, parent_class)
@@ -506,37 +773,51 @@ class EGraph:
             seen[canon] = canon_class
             if not is_duplicate:
                 new_parents.append((canon, canon_class))
-            # keep the parent's own node set canonical too, otherwise the
+            # keep the parent's own key set canonical too, otherwise the
             # stale spelling lingers there while the hashcons moves on
-            if canon is not parent_node:
+            if canon is not parent_key:
                 owner = classes.get(canon_class)
                 if owner is not None:
-                    n0 = len(owner.nodes)
-                    owner.nodes.discard(parent_node)
-                    owner.nodes.add(canon)
-                    self._node_count += len(owner.nodes) - n0
+                    n0 = len(owner.keys)
+                    owner.keys.discard(parent_key)
+                    owner.keys.add(canon)
+                    self._node_count += len(owner.keys) - n0
                     owner.version = owner.touched = self.version
                     self._touched.append(owner.id)
 
-        # canonicalise the nodes stored in the class itself
+        # canonicalise the keys stored in the class itself (inline staleness
+        # check: most member keys don't reference the repaired child, so the
+        # common case is two array reads per child and no call)
         eclass = self.classes.get(find(eclass_id))
         if eclass is not None:
-            new_nodes = {node.canonicalize(uf) for node in eclass.nodes}
-            self._node_count += len(new_nodes) - len(eclass.nodes)
-            eclass.nodes = new_nodes
+            parent_arr = uf._parent
+            new_keys = set()
+            add_new = new_keys.add
+            for key in eclass.keys:
+                n = len(key)
+                i = 2
+                while i < n:
+                    c = key[i]
+                    if parent_arr[c] != c:
+                        key = key[:2] + tuple([find(key[j]) for j in range(2, n)])
+                        break
+                    i += 1
+                add_new(key)
+            self._node_count += len(new_keys) - len(eclass.keys)
+            eclass.keys = new_keys
             eclass.version = eclass.touched = self.version
             self._touched.append(eclass.id)
             # snapshot: a congruent merge below can grow this very set
-            for node in list(new_nodes):
+            for key in list(new_keys):
                 # congruence check before re-keying: a re-spelled member
                 # node may coincide with a node of a *different* class —
                 # blindly overwriting its entry would leave the two
                 # classes unmerged
-                prior = hashcons.get(node)
+                prior = hashcons.get(key)
                 if prior is not None and find(prior) != find(eclass.id):
                     self.merge(prior, eclass.id)
                     repairs += 1
-                hashcons[node] = find(eclass.id)
+                hashcons[key] = find(eclass.id)
         return repairs
 
     def _repair_analysis(self, eclass_id: int) -> None:
@@ -549,12 +830,12 @@ class EGraph:
         if eclass is None:
             return
         self.analysis.modify(self, eclass_id)
-        for parent_node, parent_class in list(eclass.parents):
+        for parent_key, parent_class in list(eclass.parents):
             parent_class = self.uf.find(parent_class)
             parent = self.classes.get(parent_class)
             if parent is None:
                 continue
-            new_data = self.analysis.make(self, parent_node.canonicalize(self.uf))
+            new_data = self.analysis.make_key(self, self._canon_key(parent_key))
             joined = self.analysis.join(parent.data, new_data)
             if joined != parent.data:
                 parent.data = joined
@@ -571,24 +852,37 @@ class EGraph:
     def canonical_nodes(self) -> Iterator[Tuple[int, ENode]]:
         """Yield ``(eclass_id, enode)`` for every canonical e-node."""
 
+        view = self._view
         for eclass in self.classes.values():
-            for node in eclass.nodes:
-                yield eclass.id, node
+            for key in eclass.keys:
+                yield eclass.id, view(key)
 
     def lookup_term(self, term: Term) -> Optional[int]:
         """Return the e-class containing *term*, or None if absent.
 
-        Unlike :meth:`add_term` this never grows the graph.
+        Unlike :meth:`add_term` this never grows the graph (operators and
+        payloads the graph has never interned simply miss).
         """
 
+        op_id = self._op_ids.get(term.op)
+        if op_id is None:
+            return None
+        if term.payload is None:
+            payload_id = 0
+        else:
+            payload_id = self._payload_ids.get(
+                (type(term.payload).__name__, term.payload)
+            )
+            if payload_id is None:
+                return None
         child_ids: List[int] = []
         for child in term.children:
             cid = self.lookup_term(child)
             if cid is None:
                 return None
             child_ids.append(cid)
-        enode = ENode(term.op, tuple(child_ids), term.payload).canonicalize(self.uf)
-        found = self.hashcons.get(enode)
+        key = self._canon_key((op_id, payload_id) + tuple(child_ids))
+        found = self.hashcons.get(key)
         return None if found is None else self.uf.find(found)
 
     def equivalent_terms(self, a: Term, b: Term) -> bool:
@@ -604,39 +898,48 @@ class EGraph:
     def check_invariants(self) -> None:
         """Assert the hashcons/congruence invariants; raises AssertionError."""
 
-        for enode, eclass_id in self.hashcons.items():
-            canon = enode.canonicalize(self.uf)
-            assert canon == enode, f"hashcons key not canonical: {enode}"
+        for key, eclass_id in self.hashcons.items():
+            canon = self._canon_key(key)
+            assert canon == key, f"hashcons key not canonical: {self._view(key)}"
             root = self.uf.find(eclass_id)
             assert root in self.classes, f"hashcons maps to dead class {eclass_id}"
-            assert enode in self.classes[root].nodes, (
-                f"hashcons entry {enode} missing from class {root}"
+            assert key in self.classes[root].keys, (
+                f"hashcons entry {self._view(key)} missing from class {root}"
             )
-        seen: Dict[ENode, int] = {}
+        seen: Dict[NodeKey, int] = {}
         for eclass in self.classes.values():
             assert self.uf.find(eclass.id) == eclass.id, "non-canonical class id"
-            for node in eclass.nodes:
-                canon = node.canonicalize(self.uf)
-                assert canon in self.hashcons, f"node {node} missing from hashcons"
+            for key in eclass.keys:
+                canon = self._canon_key(key)
+                assert canon in self.hashcons, (
+                    f"node {self._view(key)} missing from hashcons"
+                )
                 prior = seen.get(canon)
                 assert prior is None or prior == eclass.id, (
-                    f"congruence violation: {canon} in classes {prior} and {eclass.id}"
+                    f"congruence violation: {self._view(canon)} in classes "
+                    f"{prior} and {eclass.id}"
                 )
                 seen[canon] = eclass.id
 
         # cached node count matches the ground truth
-        actual = sum(len(cls.nodes) for cls in self.classes.values())
+        actual = sum(len(cls.keys) for cls in self.classes.values())
         assert self._node_count == actual, (
             f"cached node count {self._node_count} != actual {actual}"
         )
+        # interning tables are mutually consistent
+        assert len(self.op_names) == len(self._op_ids)
+        assert len(self.payloads) == len(self._payload_ids) == len(self._payload_sort)
+        for op, op_id in self._op_ids.items():
+            assert self.op_names[op_id] == op, f"op table corrupt at {op_id}"
         # op-index covers every (op, class) pair (it may hold extra stale
         # ids, but after canonicalisation every live op-bearing class must
         # be present)
         for eclass in self.classes.values():
-            for node in eclass.nodes:
-                members = self.classes_with_op(node.op)
+            for key in eclass.keys:
+                members = self.classes_with_op_id(key[0])
                 assert eclass.id in members, (
-                    f"op-index missing class {eclass.id} for op {node.op!r}"
+                    f"op-index missing class {eclass.id} for op "
+                    f"{self.op_names[key[0]]!r}"
                 )
 
     # ------------------------------------------------------------------
@@ -651,7 +954,7 @@ class EGraph:
         dup.hashcons = dict(self.hashcons)
         dup.classes = {}
         for cid, cls in self.classes.items():
-            new = EClass(cls.id, set(cls.nodes), list(cls.parents), cls.data)
+            new = EClass(dup, cls.id, set(cls.keys), list(cls.parents), cls.data)
             new.version = cls.version
             new.touched = cls.touched
             dup.classes[cid] = new
@@ -662,6 +965,17 @@ class EGraph:
         dup._node_count = self._node_count
         dup._touched = list(self._touched)
         dup._merged_since_sweep = self._merged_since_sweep
+        dup._op_ids = dict(self._op_ids)
+        dup.op_names = list(self.op_names)
+        dup._payload_ids = dict(self._payload_ids)
+        dup.payloads = list(self.payloads)
+        dup._payload_sort = list(self._payload_sort)
+        dup._payload_eq = dict(self._payload_eq)
+        # views are immutable value objects; sharing the memo is safe, and
+        # the copied interning tables keep the resolved instantiator
+        # constants valid
+        dup._views = dict(self._views)
+        dup._inst_consts = dict(self._inst_consts)
         return dup
 
     def dump(self) -> str:  # pragma: no cover - debugging helper

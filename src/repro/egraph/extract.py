@@ -17,6 +17,14 @@ using linear programming (CBC).  This module provides three extractors:
 All three return an :class:`ExtractionResult`, which carries the selected
 e-node per e-class, per-root terms, and the DAG cost of the selection.
 
+The tree DP and the DAG local search run over the e-graph's **interned
+node keys** (``(op_id, payload_id, *child_ids)`` int tuples) rather than
+:class:`ENode` objects: tables key on dense class ids, per-key costs and
+deterministic tie-break orders are memoized per state, and ENode views are
+only materialised at the boundary — once per *selected* node when the
+:class:`ExtractionResult` is assembled (its public ``choices`` stay
+ENode-valued for code generation and serialisation).
+
 Repeated extraction from the *same* e-graph — re-extracting between runner
 iterations, comparing extractors, or the repeated-variant workloads of the
 experiment harness — can share an :class:`ExtractionMemo`.  The memo keeps
@@ -33,12 +41,12 @@ deterministic tie-breaks do not depend on what was reused).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.egraph import EGraph, ENode, NodeKey
 from repro.egraph.language import Term
 
 __all__ = [
@@ -87,7 +95,7 @@ class ExtractionResult:
 
 
 # ---------------------------------------------------------------------------
-# Tree extraction (bottom-up fixpoint)
+# Tree extraction (bottom-up fixpoint over interned keys)
 # ---------------------------------------------------------------------------
 
 
@@ -95,31 +103,69 @@ class _DPState:
     """The tree extractor's dynamic-programming state, reusable across runs.
 
     ``best`` maps every finite-cost (canonical) e-class id to its
-    ``(tree cost, chosen e-node)`` entry; ``class_nodes`` and ``dependents``
-    are the indexed view of the e-graph the worklist relaxation runs over.
-    :meth:`build` computes the state from scratch; :meth:`refresh` updates
-    it after the e-graph changed, re-indexing and re-relaxing only classes
-    touched since the given version stamp.
+    ``(tree cost, chosen key)`` entry; ``class_nodes`` and ``dependents``
+    are the indexed view of the e-graph the worklist relaxation runs over —
+    all keyed on dense class ids and flat key tuples, with per-key costs
+    and tie-break orders memoized in the state.  :meth:`build` computes the
+    state from scratch; :meth:`refresh` updates it after the e-graph
+    changed, re-indexing and re-relaxing only classes touched since the
+    given version stamp.
     """
 
-    __slots__ = ("best", "tie", "class_nodes", "dependents")
+    __slots__ = (
+        "best",
+        "tie",
+        "class_nodes",
+        "dependents",
+        "_cost_cache",
+        "_order_cache",
+        "_egraph",
+    )
 
-    def __init__(self) -> None:
-        self.best: Dict[int, Tuple[float, ENode]] = {}
+    def __init__(self, egraph: EGraph) -> None:
+        self._egraph = egraph
+        self.best: Dict[int, Tuple[float, NodeKey]] = {}
         self.tie: Dict[int, Tuple[int, int, tuple]] = {}
         self.class_nodes: Dict[
-            int, List[Tuple[ENode, float, Tuple[int, ...], int, int]]
+            int, List[Tuple[NodeKey, float, Tuple[int, ...], int, int]]
         ] = {}
         self.dependents: Dict[int, Set[int]] = {}
+        #: key -> enode_cost(view(key)); valid while the cost key is fixed
+        #: (the memo rebinds the whole state when it changes).
+        self._cost_cache: Dict[NodeKey, float] = {}
+        #: key -> deterministic tie-break order (see :func:`_key_order_of`).
+        self._order_cache: Dict[NodeKey, tuple] = {}
 
     @staticmethod
-    def build(egraph: EGraph, cost_of) -> "_DPState":
-        state = _DPState()
-        state._index(egraph, cost_of, (cls.id for cls in egraph.eclasses()))
+    def build(egraph: EGraph, cost_function: CostFunction) -> "_DPState":
+        state = _DPState(egraph)
+        state._index(egraph, cost_function, (cls.id for cls in egraph.eclasses()))
         state._relax(set(state.class_nodes))
         return state
 
-    def refresh(self, egraph: EGraph, cost_of, since: int) -> int:
+    def key_cost(self, key: NodeKey, cost_function: CostFunction) -> float:
+        cost = self._cost_cache.get(key)
+        if cost is None:
+            cost = cost_function.enode_cost(self._egraph._view(key))
+            self._cost_cache[key] = cost
+        return cost
+
+    def key_order(self, key: NodeKey) -> tuple:
+        """Deterministic tie-break order of *key* (memoized).
+
+        Identical ordering to the historical ENode-based key
+        ``(op, str(payload), children)``, so arena extraction reproduces
+        the object core's selections bit for bit.
+        """
+
+        order = self._order_cache.get(key)
+        if order is None:
+            eg = self._egraph
+            order = (eg.op_names[key[0]], eg._payload_sort[key[1]][0], key[2:])
+            self._order_cache[key] = order
+        return order
+
+    def refresh(self, egraph: EGraph, cost_function: CostFunction, since: int) -> int:
         """Incorporate every e-graph change after version *since*.
 
         Returns the number of classes that had to be re-indexed.  Sound
@@ -143,26 +189,77 @@ class _DPState:
         for cid in list(self.class_nodes):
             if cid in invalid_set or find(cid) != cid:
                 del self.class_nodes[cid]
-        self._index(egraph, cost_of, invalid)
+        self._index(egraph, cost_function, invalid)
         self._relax(invalid_set)
         return len(invalid)
 
     # -- internals -----------------------------------------------------------
 
-    def _index(self, egraph: EGraph, cost_of, cids) -> None:
+    def _index(self, egraph: EGraph, cost_function: CostFunction, cids) -> None:
         """(Re)build ``class_nodes`` entries and dependent edges for *cids*."""
 
         find = egraph.uf.find
+        parent = egraph.uf._parent
         dependents = self.dependents
+        classes = egraph.classes
+        cost_cache = self._cost_cache
+        enode_cost = cost_function.enode_cost
+        view = egraph._view
         for cid in cids:
+            cls = classes.get(cid)
+            if cls is None:
+                cls = classes[find(cid)]
             entries = []
-            for enode in egraph.nodes_of(cid):
-                children = tuple(find(c) for c in enode.children)
+            for key in cls.keys:
+                children: Tuple[int, ...] = key[2:]
+                # post-rebuild keys are canonical; only re-find on the
+                # (rare) stale spelling (inlined UnionFind.is_root)
+                for c in children:
+                    if parent[c] != c:
+                        children = tuple([find(x) for x in children])
+                        break
+                cost = cost_cache.get(key)
+                if cost is None:
+                    cost = enode_cost(view(key))
+                    cost_cache[key] = cost
+                # arity 0/1/2 dominate the operator vocabulary: handle them
+                # without allocating a set per key
+                n = len(children)
+                if n == 0:
+                    entries.append((key, cost, children, 0, 0))
+                    continue
+                if n == 1:
+                    a = children[0]
+                    entries.append((key, cost, children, 1 if a == cid else 0, 1))
+                    deps = dependents.get(a)
+                    if deps is None:
+                        dependents[a] = {cid}
+                    else:
+                        deps.add(cid)
+                    continue
+                if n == 2:
+                    a, b = children
+                    self_ref = 1 if (a == cid or b == cid) else 0
+                    entries.append(
+                        (key, cost, children, self_ref, 1 if a == b else 2)
+                    )
+                    deps = dependents.get(a)
+                    if deps is None:
+                        dependents[a] = {cid}
+                    else:
+                        deps.add(cid)
+                    if b != a:
+                        deps = dependents.get(b)
+                        if deps is None:
+                            dependents[b] = {cid}
+                        else:
+                            deps.add(cid)
+                    continue
                 child_set = set(children)
                 entries.append(
                     (
-                        enode,
-                        cost_of(enode),
+                        key,
+                        cost,
                         children,
                         1 if cid in child_set else 0,
                         len(child_set),
@@ -183,20 +280,21 @@ class _DPState:
         # reconstructed as a term), fewer *distinct* child classes (more
         # sharing, which the DAG objective rewards — e.g. prefer
         # ``(+ x x)`` over an equal-tree-cost chain), then the
-        # deterministic _node_order_key.
+        # deterministic key order.
         best = self.best
         tie = self.tie
         class_nodes = self.class_nodes
         dependents = self.dependents
+        key_order = self.key_order
         while pending:
             cid = pending.pop()
             nodes = class_nodes.get(cid)
             if nodes is None:
                 # a stale dependent edge to a class merged away
                 continue
-            entry: Optional[Tuple[float, ENode]] = None
+            entry: Optional[Tuple[float, NodeKey]] = None
             entry_tie: Optional[Tuple[int, int, tuple]] = None
-            for enode, base_cost, children, self_ref, n_distinct in nodes:
+            for key, base_cost, children, self_ref, n_distinct in nodes:
                 total = base_cost
                 feasible = True
                 for child in children:
@@ -208,12 +306,12 @@ class _DPState:
                 if not feasible:
                     continue
                 if entry is None or total < entry[0]:
-                    entry = (total, enode)
-                    entry_tie = (self_ref, n_distinct, _node_order_key(enode))
+                    entry = (total, key)
+                    entry_tie = (self_ref, n_distinct, key_order(key))
                 elif total == entry[0]:
-                    cand_tie = (self_ref, n_distinct, _node_order_key(enode))
+                    cand_tie = (self_ref, n_distinct, key_order(key))
                     if cand_tie < entry_tie:
-                        entry = (total, enode)
+                        entry = (total, key)
                         entry_tie = cand_tie
             if entry is None:
                 continue
@@ -299,17 +397,18 @@ class ExtractionMemo:
         """The up-to-date DP state for *egraph* under *cost_function*."""
 
         key = _cost_key(cost_function)
-        cost_of = cost_function.enode_cost
         if self._egraph is not egraph or self._cost_key != key:
             self._bind(egraph, key)
         if self._state is None:
-            self._state = _DPState.build(egraph, cost_of)
+            self._state = _DPState.build(egraph, cost_function)
             self._state_version = egraph.version
             self.full_builds += 1
             self.recomputed_classes += len(self._state.class_nodes)
         elif self._state_version != egraph.version:
             before = len(self._state.best)
-            recomputed = self._state.refresh(egraph, cost_of, self._state_version)
+            recomputed = self._state.refresh(
+                egraph, cost_function, self._state_version
+            )
             self._state_version = egraph.version
             self.refreshes += 1
             self.recomputed_classes += recomputed
@@ -406,7 +505,8 @@ class TreeExtractor:
         self.egraph = egraph
         self.cost_function = cost_function
         self.memo = memo
-        self._best: Dict[int, Tuple[float, ENode]] = {}
+        self._state: Optional[_DPState] = None
+        self._best: Dict[int, Tuple[float, NodeKey]] = {}
         self._computed = False
 
     # -- fixpoint ------------------------------------------------------------
@@ -417,7 +517,8 @@ class TreeExtractor:
         if self.memo is not None:
             state = self.memo.table_for(self.egraph, self.cost_function)
         else:
-            state = _DPState.build(self.egraph, self.cost_function.enode_cost)
+            state = _DPState.build(self.egraph, self.cost_function)
+        self._state = state
         self._best = state.best
         self._computed = True
 
@@ -432,8 +533,8 @@ class TreeExtractor:
             raise ExtractionError(f"no finite-cost term for e-class {eclass_id}")
         return entry[0]
 
-    def best_node(self, eclass_id: int) -> ENode:
-        """The chosen e-node of the class containing *eclass_id*."""
+    def best_key(self, eclass_id: int) -> NodeKey:
+        """The chosen interned node key of the class containing *eclass_id*."""
 
         self._compute()
         entry = self._best.get(self.egraph.find(eclass_id))
@@ -441,37 +542,43 @@ class TreeExtractor:
             raise ExtractionError(f"no finite-cost term for e-class {eclass_id}")
         return entry[1]
 
+    def best_node(self, eclass_id: int) -> ENode:
+        """The chosen e-node of the class containing *eclass_id* (view)."""
+
+        return self.egraph._view(self.best_key(eclass_id))
+
     def extract_term(self, eclass_id: int) -> Term:
         """Reconstruct the minimum-tree-cost term of the class."""
 
-        node = self.best_node(eclass_id)
-        children = tuple(self.extract_term(c) for c in node.children)
-        return Term(node.op, children, node.payload)
+        key = self.best_key(eclass_id)
+        children = tuple(self.extract_term(key[i]) for i in range(2, len(key)))
+        egraph = self.egraph
+        return Term(egraph.op_names[key[0]], children, egraph.payloads[key[1]])
 
     def extract(self, roots: Sequence[int]) -> ExtractionResult:
         """Extract all roots using per-class tree-optimal choices."""
 
         start = time.perf_counter()
         self._compute()
-        choices: Dict[int, ENode] = {}
         terms: Dict[int, Term] = {}
         for root in roots:
             terms[root] = self.extract_term(root)
             terms[self.egraph.find(root)] = terms[root]
-        reachable = _reachable_from(self.egraph, roots, self._choice_of)
-        for cid in reachable:
-            choices[cid] = self._choice_of(cid)
-        cost = _dag_cost(choices, self.cost_function)
+        reachable = _reachable_from_keys(self.egraph, roots, self.best_key)
+        choices = {cid: self.best_key(cid) for cid in reachable}
+        cost = _dag_cost_keys(self._state, choices, self.cost_function)
+        view = self.egraph._view
         return ExtractionResult(
-            choices, terms, cost, time.perf_counter() - start, "tree"
+            {cid: view(key) for cid, key in choices.items()},
+            terms,
+            cost,
+            time.perf_counter() - start,
+            "tree",
         )
 
-    def _choice_of(self, eclass_id: int) -> ENode:
-        return self.best_node(eclass_id)
 
-
-#: e-node -> tie-break key.  The key involves str(payload), which shows up
-#: in extraction profiles; e-nodes are value-hashed, so one cache serves
+#: e-node -> tie-break key for the ENode-based (boundary) extractors.  The
+#: key involves str(payload); e-nodes are value-hashed, so one cache serves
 #: every extractor and e-graph in the process.  Cleared wholesale when it
 #: grows past the (generous) bound rather than tracking LRU order.
 _NODE_ORDER_KEYS: Dict[ENode, tuple] = {}
@@ -488,6 +595,25 @@ def _node_order_key(enode: ENode) -> tuple:
         key = (enode.op, str(enode.payload), enode.children)
         _NODE_ORDER_KEYS[enode] = key
     return key
+
+
+def _reachable_from_keys(
+    egraph: EGraph, roots: Sequence[int], key_of
+) -> Set[int]:
+    """Classes reachable from the roots through the selected node keys."""
+
+    seen: Set[int] = set()
+    find = egraph.uf.find
+    stack = [find(r) for r in roots]
+    while stack:
+        cid = stack.pop()
+        if cid in seen:
+            continue
+        seen.add(cid)
+        key = key_of(cid)
+        for i in range(2, len(key)):
+            stack.append(find(key[i]))
+    return seen
 
 
 def _reachable_from(
@@ -514,6 +640,15 @@ def _dag_cost(choices: Dict[int, ENode], cost_function: CostFunction) -> float:
     return float(sum(cost_function.enode_cost(n) for n in choices.values()))
 
 
+def _dag_cost_keys(
+    state: _DPState, choices: Dict[int, NodeKey], cost_function: CostFunction
+) -> float:
+    """DAG cost of a key-level selection (per-key costs from the state)."""
+
+    key_cost = state.key_cost
+    return float(sum(key_cost(key, cost_function) for key in choices.values()))
+
+
 # ---------------------------------------------------------------------------
 # Greedy DAG extraction
 # ---------------------------------------------------------------------------
@@ -525,6 +660,7 @@ class DagExtractor:
     This matches the paper's objective (common e-classes counted once) under
     a greedy per-class choice; the exact optimum is available from
     :class:`ILPExtractor` and the two are compared in the ablation bench.
+    The improvement search runs entirely over interned keys.
     """
 
     def __init__(
@@ -541,27 +677,30 @@ class DagExtractor:
         start = time.perf_counter()
         original_roots = list(roots)
         roots = [self.egraph.find(r) for r in roots]
-        choices: Dict[int, ENode] = {}
-        terms: Dict[int, Term] = {}
 
-        reachable = _reachable_from(self.egraph, roots, self._tree._choice_of)
-        for cid in reachable:
-            choices[cid] = self._tree.best_node(cid)
+        tree = self._tree
+        reachable = _reachable_from_keys(self.egraph, roots, tree.best_key)
+        choices: Dict[int, NodeKey] = {
+            cid: tree.best_key(cid) for cid in reachable
+        }
 
         self._improve_dag(roots, choices)
 
         # Re-derive reachability after improvement and drop unused classes.
-        reachable = _reachable_from(self.egraph, roots, lambda c: choices[c])
+        reachable = _reachable_from_keys(self.egraph, roots, lambda c: choices[c])
         choices = {cid: choices[cid] for cid in reachable}
 
+        view = self.egraph._view
+        node_choices = {cid: view(key) for cid, key in choices.items()}
+        terms: Dict[int, Term] = {}
         memo: Dict[int, Term] = {}
         for original, root in zip(original_roots, roots):
-            term = _term_from_choices(self.egraph, choices, root, memo)
+            term = _term_from_choices(self.egraph, node_choices, root, memo)
             terms[root] = term
             terms[original] = term
-        cost = _dag_cost(choices, self.cost_function)
+        cost = _dag_cost_keys(tree._state, choices, self.cost_function)
         return ExtractionResult(
-            choices, terms, cost, time.perf_counter() - start, "dag-greedy"
+            node_choices, terms, cost, time.perf_counter() - start, "dag-greedy"
         )
 
     # -- DAG-aware local search ----------------------------------------------
@@ -570,8 +709,8 @@ class DagExtractor:
         """Topological level of *cid* in the tree-best selection.
 
         Levels strictly decrease along tree-best edges, so restricting a
-        candidate e-node's children to lower levels than its class keeps
-        any selection built from them acyclic.
+        candidate node's children to lower levels than its class keeps any
+        selection built from them acyclic.
         """
 
         cached = cache.get(cid)
@@ -584,10 +723,10 @@ class DagExtractor:
         while stack:
             current, expanded = stack.pop()
             if expanded:
-                node = tree_best[current][1]
+                key = tree_best[current][1]
                 lv = 0
-                for child in node.children:
-                    lv = max(lv, cache[find(child)])
+                for i in range(2, len(key)):
+                    lv = max(lv, cache[find(key[i])])
                 cache[current] = lv + 1
                 in_progress.discard(current)
                 continue
@@ -602,19 +741,20 @@ class DagExtractor:
                 raise ExtractionError(f"no finite-cost term for e-class {current}")
             in_progress.add(current)
             stack.append((current, True))
-            for child in entry[1].children:
-                c = find(child)
+            key = entry[1]
+            for i in range(2, len(key)):
+                c = find(key[i])
                 if c not in cache:
                     stack.append((c, False))
         return cache[cid]
 
     def _improve_dag(
-        self, roots: Sequence[int], choices: Dict[int, ENode], max_passes: int = 8
+        self, roots: Sequence[int], choices: Dict[int, NodeKey], max_passes: int = 8
     ) -> None:
         """Savings-aware local search over the selected DAG (in place).
 
         The per-class tree-optimal selection is blind to sharing: an
-        equal-tree-cost e-node can pull in a chain of classes used nowhere
+        equal-tree-cost node can pull in a chain of classes used nowhere
         else while an alternative reuses classes the selection already
         pays for (the paper's CSE objective).  Starting from the greedy
         selection, repeatedly switch one class's choice when the *DAG*
@@ -628,14 +768,38 @@ class DagExtractor:
 
         egraph = self.egraph
         find = egraph.uf.find
-        cost_of = self.cost_function.enode_cost
+        parent = egraph.uf._parent
+        state = self._tree._state
+        key_order = state.key_order
+        # every key this search touches (class members, tree-best choices)
+        # was priced by the DP build, so cost lookups are direct indexing
+        cost_of = state._cost_cache.__getitem__
+        # the graph does not mutate during the local search, so canonical
+        # child sets can be memoized per key for the whole call
+        ch_memo: Dict[NodeKey, frozenset] = {}
+
+        def children_of(key: NodeKey) -> frozenset:
+            result = ch_memo.get(key)
+            if result is None:
+                tail = key[2:]
+                # selection keys are canonical after rebuild; skip find()
+                # unless a child id is stale (inlined UnionFind.is_root)
+                for c in tail:
+                    if parent[c] != c:
+                        result = frozenset(find(x) for x in tail)
+                        break
+                else:
+                    result = frozenset(tail)
+                ch_memo[key] = result
+            return result
+
         tree_best = self._tree._best
         levels: Dict[int, int] = {}
 
         protected = set(roots)
         refs: Dict[int, int] = {cid: 0 for cid in choices}
-        for node in choices.values():
-            for ch in {find(c) for c in node.children}:
+        for key in choices.values():
+            for ch in children_of(key):
                 refs[ch] = refs.get(ch, 0) + 1
 
         #: None = full sweep; afterwards only classes whose selection
@@ -651,12 +815,17 @@ class DagExtractor:
                 if cid not in choices:
                     continue  # dropped by an earlier cascade this pass
                 current = choices[cid]
+                cls_keys = egraph.keys_of(cid)
+                if len(cls_keys) == 1:
+                    # the current choice is the only node: no candidate can
+                    # exist, so skip the releasable-cost cascade outright
+                    continue
                 try:
                     class_level = self._tree_level(cid, levels)
                 except ExtractionError:
                     continue
                 cur_cost = cost_of(current)
-                cur_children = frozenset(find(c) for c in current.children)
+                cur_children = children_of(current)
                 # Candidate-independent upper bound on the releasable cost:
                 # cascade as if every current child lost its reference.
                 # Excluding a candidate's reused children or counting its
@@ -665,34 +834,85 @@ class DagExtractor:
                 # never produce a negative delta (added_cost >= 0) and is
                 # rejected before the per-candidate simulation.
                 freed_ub = 0.0
-                ub_dec: Dict[int, int] = {}
-                ub_removed: Set[int] = set()
-                process = list(cur_children)
-                for ch in process:
-                    ub_dec[ch] = ub_dec.get(ch, 0) + 1
-                while process:
-                    c = process.pop()
-                    if c in ub_removed or c in protected or c not in choices:
-                        continue
-                    if refs.get(c, 0) - ub_dec.get(c, 0) > 0:
-                        continue
-                    ub_removed.add(c)
-                    freed_ub += cost_of(choices[c])
-                    for gc in {find(x) for x in choices[c].children}:
-                        ub_dec[gc] = ub_dec.get(gc, 0) + 1
-                        process.append(gc)
+                # the cascade can only free anything if some direct child
+                # loses its last reference; checking that first avoids the
+                # per-class dict/set allocations in the common no-op case
+                # (the check is exactly the cascade's first level)
+                releasable = False
+                for ch in cur_children:
+                    if (
+                        refs.get(ch, 0) <= 1
+                        and ch not in protected
+                        and ch in choices
+                    ):
+                        releasable = True
+                        break
+                if releasable:
+                    ub_dec: Dict[int, int] = {}
+                    ub_removed: Set[int] = set()
+                    process = list(cur_children)
+                    for ch in process:
+                        ub_dec[ch] = ub_dec.get(ch, 0) + 1
+                    while process:
+                        c = process.pop()
+                        if c in ub_removed or c in protected or c not in choices:
+                            continue
+                        if refs.get(c, 0) - ub_dec.get(c, 0) > 0:
+                            continue
+                        ub_removed.add(c)
+                        removed_key = choices[c]
+                        freed_ub += cost_of(removed_key)
+                        for gc in children_of(removed_key):
+                            ub_dec[gc] = ub_dec.get(gc, 0) + 1
+                            process.append(gc)
                 threshold = cur_cost + freed_ub - 1e-9
                 candidates = [
-                    n
-                    for n in egraph.nodes_of(cid)
-                    if n != current and cost_of(n) < threshold
+                    k
+                    for k in cls_keys
+                    if k != current and cost_of(k) < threshold
                 ]
                 if not candidates:
                     continue
                 best = None
-                for cand in sorted(candidates, key=_node_order_key):
-                    cand_children = frozenset(find(c) for c in cand.children)
+                if len(candidates) > 1:
+                    candidates.sort(key=key_order)
+                commit_bar = -1e-9  # tightens to the best delta as commits land
+                for cand in candidates:
+                    cand_children = children_of(cand)
                     if cid in cand_children:
+                        continue
+                    if cand_children == cur_children:
+                        # same child set (commuted/reassociated spelling
+                        # over the same classes — the common case in a
+                        # saturated class): no class is added or freed, so
+                        # the exact delta is the node-cost difference and
+                        # the cascade simulation is a no-op.  The tree-level
+                        # guard also holds trivially (the children already
+                        # support the current choice at this level).
+                        delta = cost_of(cand) - cur_cost
+                        if delta < commit_bar:
+                            best = (delta, cand, [], {}, {}, [])
+                            commit_bar = delta
+                        continue
+                    # Branch-and-bound: delta = cost(cand) - cur_cost +
+                    # added_cost - freed, with freed <= freed_ub and
+                    # added_cost at least the node costs of cand's direct
+                    # children outside the selection (the closure only adds
+                    # more).  The commit rule is strictly-less-than, so a
+                    # candidate whose lower bound reaches the bar can never
+                    # displace the best — skip its cascade simulation.
+                    added_lb = 0.0
+                    feasible = True
+                    for ch in cand_children:
+                        if ch not in choices:
+                            entry = tree_best.get(ch)
+                            if entry is None:
+                                feasible = False
+                                break
+                            added_lb += cost_of(entry[1])
+                    if not feasible:
+                        continue
+                    if cost_of(cand) - cur_cost + added_lb - freed_ub >= commit_bar:
                         continue
                     try:
                         if any(
@@ -721,8 +941,9 @@ class DagExtractor:
                         added_set.add(c)
                         added.append(c)
                         added_cost += cost_of(entry[1])
-                        for gc in entry[1].children:
-                            g = find(gc)
+                        entry_key = entry[1]
+                        for i in range(2, len(entry_key)):
+                            g = find(entry_key[i])
                             if g not in choices and g not in added_set:
                                 stack.append(g)
                     if not feasible:
@@ -736,7 +957,8 @@ class DagExtractor:
                     for ch in cand_children - cur_children:
                         inc[ch] = inc.get(ch, 0) + 1
                     for c in added:
-                        for gc in {find(x) for x in tree_best[c][1].children}:
+                        added_key = tree_best[c][1]
+                        for gc in children_of(added_key):
                             inc[gc] = inc.get(gc, 0) + 1
                     dec: Dict[int, int] = {}
                     freed = 0.0
@@ -753,14 +975,16 @@ class DagExtractor:
                             continue
                         removed_set.add(c)
                         removed.append(c)
-                        freed += cost_of(choices[c])
-                        for gc in {find(x) for x in choices[c].children}:
+                        removed_key = choices[c]
+                        freed += cost_of(removed_key)
+                        for gc in children_of(removed_key):
                             dec[gc] = dec.get(gc, 0) + 1
                             process.append(gc)
 
                     delta = cost_of(cand) - cur_cost + added_cost - freed
-                    if delta < (best[0] if best is not None else -1e-9):
+                    if delta < commit_bar:
                         best = (delta, cand, added, inc, dec, removed)
+                        commit_bar = delta
 
                 if best is None:
                     continue
@@ -787,9 +1011,9 @@ class DagExtractor:
             # choice references one (their freed_ub / sharing opportunities
             # may have shifted)
             dirty = set(changed_classes)
-            for c, node in choices.items():
-                for ch in node.children:
-                    if find(ch) in changed_classes:
+            for c, key in choices.items():
+                for i in range(2, len(key)):
+                    if find(key[i]) in changed_classes:
                         dirty.add(c)
                         break
 
@@ -834,6 +1058,8 @@ class ILPExtractor:
     * ``level[child] <= level[class] - 1 + M * (1 - select)`` forbids cycles.
 
     Objective: minimise the sum of selected e-node costs (DAG cost).
+    Works over the ENode boundary views: the solver dominates the runtime,
+    so the view construction cost is irrelevant here.
     """
 
     def __init__(
@@ -972,14 +1198,16 @@ class ILPExtractor:
     def _reachable_closure(self, roots: Sequence[int]) -> Set[int]:
         seen: Set[int] = set()
         stack = list(roots)
+        egraph = self.egraph
+        find = egraph.uf.find
         while stack:
-            cid = self.egraph.find(stack.pop())
+            cid = find(stack.pop())
             if cid in seen:
                 continue
             seen.add(cid)
-            for node in self.egraph.nodes_of(cid):
-                for child in node.children:
-                    stack.append(child)
+            for key in egraph.keys_of(cid):
+                for i in range(2, len(key)):
+                    stack.append(key[i])
         return seen
 
 

@@ -14,16 +14,19 @@ Two matching engines coexist:
 
 * the **naive reference matcher** (:meth:`Pattern.search_naive`,
   :func:`_match_pattern`) — a backtracking generator that re-walks the
-  pattern dataclass tree against every e-class.  It is kept as the
-  executable specification the fast engine is tested against.
+  pattern dataclass tree against every e-class, through the ENode boundary
+  views.  It is kept as the executable specification the fast engine is
+  tested against.
 * the **compiled matcher** (:class:`CompiledPattern`) — each pattern is
-  lowered once into a flat tuple program with pattern variables resolved
-  to integer slots.  Matching runs over a mutable slot environment with
-  trail-based backtracking (no per-binding dict copies), pulls its root
-  candidates from the e-graph's op-index (only classes that actually
-  contain the root operator are visited), and walks per-class
-  ``nodes_by_op`` buckets so payload/arity checks only run on nodes whose
-  operator already matches.  ``CompiledPattern.search`` optionally takes a
+  lowered once into a specialised Python function that indexes the
+  e-graph's interned arena directly.  A call-time prologue resolves the
+  pattern's operator names and payload constants to the graph's interned
+  ids (a pattern op the graph never interned cannot match anywhere, so the
+  function returns immediately); the inner loops then walk per-class
+  ``buckets_by_op_id`` buckets of raw key tuples — child ids are
+  ``key[i]`` index reads, arity is ``len(key)``, payload guards are
+  integer membership tests.  No attribute lookups or node objects survive
+  into the match path.  ``CompiledPattern.search`` optionally takes a
   ``since`` version stamp and then skips classes untouched since that
   stamp — the incremental half of the engine (see
   :meth:`repro.egraph.egraph.EGraph.rebuild` for how *touched* stamps are
@@ -31,7 +34,9 @@ Two matching engines coexist:
 
 :func:`compile_pattern` memoises the lowering, and :func:`parse_pattern`
 memoises parsing, so building a ruleset repeatedly (as benchmark loops do)
-costs one compilation total per distinct pattern.
+costs one compilation total per distinct pattern.  The compiled functions
+are graph-agnostic: interned ids are resolved per call, so one compiled
+pattern serves every e-graph in the process.
 """
 
 from __future__ import annotations
@@ -189,13 +194,17 @@ class Pattern:
 class _MatcherCodegen:
     """Lower one pattern into a specialised Python search function.
 
-    The generated function has one ``for`` loop per operator node of the
-    pattern, iterating the candidate class's ``nodes_by_op`` bucket, with
-    payload/arity pre-filters emitted as inline guards and pattern
-    variables bound to plain locals (a repeated variable becomes an ``!=``
-    guard).  No interpreter dispatch, goal stacks, or per-binding dict
-    copies survive into the hot loop; a substitution dict is only built
-    when a complete match is emitted.
+    The generated function resolves every operator / payload constant of
+    the pattern to the target graph's interned ids in a short prologue
+    (returning immediately when the graph has never interned one of them),
+    then runs one ``for`` loop per operator node of the pattern over the
+    candidate class's ``buckets_by_op_id`` bucket of raw key tuples.
+    Arity and payload pre-filters are inline integer guards, child class
+    ids are direct ``key[i]`` reads, and pattern variables bind to plain
+    locals (a repeated variable becomes an ``!=`` guard).  No interpreter
+    dispatch, node objects, or per-binding dict copies survive into the
+    hot loop; a substitution dict is only built when a complete match is
+    emitted.
     """
 
     def __init__(self, pattern: Pattern) -> None:
@@ -205,6 +214,12 @@ class _MatcherCodegen:
         self.counter = 0
         self.order: List[str] = pattern.variables()
         self.pattern = pattern
+        #: op name -> prologue local holding its interned id.
+        self.op_locals: Dict[str, str] = {}
+        #: (payload type name, payload) -> prologue local holding its
+        #: matching-id tuple.
+        self.payload_locals: Dict[tuple, str] = {}
+        self.prologue: List[str] = []
 
     def _name(self, prefix: str) -> str:
         self.counter += 1
@@ -215,8 +230,48 @@ class _MatcherCodegen:
         self.consts[name] = value
         return name
 
+    def _op_local(self, op: str) -> str:
+        """Prologue local for the interned id of *op* (early-out if absent)."""
+
+        local = self.op_locals.get(op)
+        if local is None:
+            local = f"_o{len(self.op_locals)}"
+            self.op_locals[op] = local
+            self.prologue.append(f"{local} = _opid({self._const(op)})")
+            self.prologue.append(f"if {local} is None: return")
+        return local
+
+    def _payload_local(self, payload: object) -> str:
+        """Prologue local for the ids matching *payload* (early-out if none).
+
+        Payload guards mirror the object engine's plain ``!=`` check —
+        type-insensitive — so the ids of every ``==``-equal interned
+        payload are accepted (``EGraph.payload_ids_matching``).
+        """
+
+        memo_key = (type(payload).__name__, payload)
+        local = self.payload_locals.get(memo_key)
+        if local is None:
+            local = f"_p{len(self.payload_locals)}"
+            self.payload_locals[memo_key] = local
+            self.prologue.append(f"{local} = _pids({self._const(payload)})")
+            self.prologue.append(f"if not {local}: return")
+        return local
+
     def _emit(self, depth: int, text: str) -> None:
         self.lines.append("    " * depth + text)
+
+    def _emit_canon(self, depth: int, target: str, expr: str) -> None:
+        """Assign the canonical id of *expr* to *target*.
+
+        Child ids in arena keys are canonical whenever search runs on a
+        rebuilt graph (the runner always does), so the emitted code checks
+        the union-find parent array inline and only pays the ``find`` call
+        on a stale id.
+        """
+
+        self._emit(depth, f"{target} = {expr}")
+        self._emit(depth, f"if parent[{target}] != {target}: {target} = find({target})")
 
     def _emit_seq(self, items: List[Tuple[PatternNode, str, bool]], depth: int) -> None:
         """Emit matching code for *items* (node, class-id expression, canonical)."""
@@ -228,13 +283,20 @@ class _MatcherCodegen:
         (node, expr, is_canonical), rest = items[0], items[1:]
         if isinstance(node, PatternVar):
             bound = self.slots.get(node.name)
-            value = expr if is_canonical else f"find({expr})"
             if bound is None:
                 var = self._name("v")
                 self.slots[node.name] = var
-                self._emit(depth, f"{var} = {value}")
+                if is_canonical:
+                    self._emit(depth, f"{var} = {expr}")
+                else:
+                    self._emit_canon(depth, var, expr)
             else:
-                self._emit(depth, f"if {bound} != {value}: continue")
+                if is_canonical:
+                    self._emit(depth, f"if {bound} != {expr}: continue")
+                else:
+                    tmp = self._name("t")
+                    self._emit_canon(depth, tmp, expr)
+                    self._emit(depth, f"if {bound} != {tmp}: continue")
             self._emit_seq(rest, depth)
             return
 
@@ -242,68 +304,148 @@ class _MatcherCodegen:
             cls_expr = expr
         else:
             cls_expr = self._name("c")
-            self._emit(depth, f"{cls_expr} = find({expr})")
-        enode = self._name("n")
-        children = self._name("ch")
-        self._emit(depth, f"for {enode} in nbo({cls_expr}, {self._const(node.op)}):")
+            self._emit_canon(depth, cls_expr, expr)
+        key = self._name("n")
+        self._emit(depth, f"for {key} in buckets({cls_expr}, {self._op_local(node.op)}):")
         depth += 1
-        self._emit(depth, f"{children} = {enode}.children")
-        self._emit(depth, f"if len({children}) != {len(node.children)}: continue")
+        self._emit(depth, f"if len({key}) != {2 + len(node.children)}: continue")
         if node.payload is not None:
             self._emit(
-                depth, f"if {enode}.payload != {self._const(node.payload)}: continue"
+                depth,
+                f"if {key}[1] not in {self._payload_local(node.payload)}: continue",
             )
         child_items = [
-            (child, f"{children}[{i}]", False) for i, child in enumerate(node.children)
+            (child, f"{key}[{i + 2}]", False) for i, child in enumerate(node.children)
         ]
         self._emit_seq(child_items + rest, depth)
 
     def build(self):
+        self._emit_seq([(self.pattern, "cid", True)], 2)
+        body = self.lines
+        self.lines = []
         self._emit(0, "def _search(eg, candidates, out):")
+        self._emit(1, "_opid = eg._op_ids.get")
+        self._emit(1, "_pids = eg.payload_ids_matching")
+        for line in self.prologue:
+            self._emit(1, line)
         self._emit(1, "find = eg.uf.find")
-        self._emit(1, "nbo = eg.nodes_by_op")
+        self._emit(1, "parent = eg.uf._parent")
+        self._emit(1, "buckets = eg.buckets_by_op_id")
         self._emit(1, "append = out.append")
         self._emit(1, "for cid in candidates:")
-        self._emit_seq([(self.pattern, "cid", True)], 2)
+        self.lines.extend(body)
         namespace: Dict[str, object] = {"len": len}
         namespace.update(self.consts)
         exec("\n".join(self.lines), namespace)  # noqa: S102 - trusted codegen
         return namespace["_search"]
 
 
+#: Process-wide sequence for instantiator identity (indexes the per-graph
+#: resolved-constant cache ``EGraph._inst_consts``).
+_INST_SEQ = iter(range(1 << 62)).__next__
+
+
 class _InstantiatorCodegen:
     """Lower a right-hand-side pattern into a specialised builder function.
 
-    Produces a single nested ``eg.add(ENode(...))`` expression mirroring
-    the recursive instantiation order (children left-to-right, bottom-up).
+    Emits a statement sequence mirroring the recursive instantiation order
+    (children left-to-right, bottom-up) with the arena's hashcons **hit
+    path inlined**: per node, build the ``(op_id, payload_id, child...)``
+    key, canonicalise the child ids only if one went stale (an inline
+    parent-array check — a sibling's add can merge a child away via
+    constant folding), probe ``eg.hashcons`` directly, and only fall back
+    to ``eg.add_key`` on a miss.  Saturation overwhelmingly re-derives
+    nodes that already exist, so the common per-node cost is one tuple
+    build plus one dict probe, with no function call.  The pattern's
+    operator/payload ids are interned once per (graph, pattern) and cached
+    in ``eg._inst_consts`` (interned ids are append-only, so the cache
+    never goes stale), making the per-call prologue two attribute binds
+    and one dict probe.
     """
 
     def __init__(self) -> None:
-        self.consts: Dict[str, object] = {}
+        self.const_values: List[object] = []   # op names / payloads, in order
+        self.const_kinds: List[str] = []       # "op" | "payload"
+        self.id_locals: Dict[tuple, str] = {}
+        self.body: List[str] = []
+        self.var_locals: Dict[str, str] = {}
+        self.counter = 0
 
-    def _const(self, value: object) -> str:
-        name = f"_k{len(self.consts)}"
-        self.consts[name] = value
-        return name
+    def _id_local(self, kind: str, value: object) -> str:
+        memo_key = (kind, type(value).__name__, value)
+        local = self.id_locals.get(memo_key)
+        if local is None:
+            local = f"_i{len(self.id_locals)}"
+            self.id_locals[memo_key] = local
+            self.const_values.append(value)
+            self.const_kinds.append(kind)
+        return local
 
-    def _expr(self, node: PatternNode) -> str:
+    def _name(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def _node(self, node: PatternNode) -> str:
+        """Emit statements computing *node*'s class id; return its local."""
+
         if isinstance(node, PatternVar):
-            return f"subst[{node.name!r}]"
-        children = ", ".join(self._expr(child) for child in node.children)
-        if node.children:
-            children += ","
-        payload = "None" if node.payload is None else self._const(node.payload)
-        return f"add(ENode({self._const(node.op)}, ({children}), {payload}))"
+            local = self.var_locals.get(node.name)
+            if local is None:
+                local = self._name("_s")
+                self.var_locals[node.name] = local
+                self.body.append(f"{local} = subst[{node.name!r}]")
+            return local
+        child_vars = [self._node(child) for child in node.children]
+        key = self._name("_t")
+        value = self._name("_v")
+        payload_expr = (
+            "0" if node.payload is None else self._id_local("payload", node.payload)
+        )
+        parts = [self._id_local("op", node.op), payload_expr]
+        parts.extend(child_vars)
+        self.body.append(f"{key} = ({', '.join(parts)},)")
+        if child_vars:
+            stale = " or ".join(f"parent[{v}] != {v}" for v in child_vars)
+            canon = ", ".join(f"find({v})" for v in child_vars)
+            self.body.append(f"if {stale}:")
+            self.body.append("    find = eg.uf.find")
+            self.body.append(f"    {key} = ({', '.join(parts[:2])}, {canon},)")
+        self.body.append(f"{value} = hc({key})")
+        self.body.append(f"if {value} is None: {value} = eg.add_key({key})")
+        self.body.append(
+            f"elif parent[{value}] != {value}: {value} = eg.uf.find({value})"
+        )
+        return value
 
     def build(self, pattern: Pattern):
-        source = (
-            "def _instantiate(eg, subst):\n"
-            "    add = eg.add\n"
-            f"    return {self._expr(pattern)}\n"
-        )
-        namespace: Dict[str, object] = {"ENode": ENode}
-        namespace.update(self.consts)
-        exec(source, namespace)  # noqa: S102 - trusted codegen
+        result = self._node(pattern)
+        seq = _INST_SEQ()
+        unpack = ", ".join(f"_i{i}" for i in range(len(self.id_locals)))
+        lines = [
+            "def _instantiate(eg, subst):",
+            "    hc = eg.hashcons.get",
+            "    parent = eg.uf._parent",
+            f"    _ids = eg._inst_consts.get({seq})",
+            "    if _ids is None:",
+            "        _ids = _resolve(eg)",
+            f"        eg._inst_consts[{seq}] = _ids",
+        ]
+        if unpack:
+            lines.append(f"    {unpack}{',' if len(self.id_locals) == 1 else ''} = _ids")
+        lines.extend(f"    {line}" for line in self.body)
+        lines.append(f"    return {result}")
+
+        kinds = tuple(self.const_kinds)
+        values = tuple(self.const_values)
+
+        def _resolve(eg) -> tuple:
+            return tuple(
+                eg._intern_op(value) if kind == "op" else eg._intern_payload(value)
+                for kind, value in zip(kinds, values)
+            )
+
+        namespace: Dict[str, object] = {"_resolve": _resolve}
+        exec("\n".join(lines), namespace)  # noqa: S102 - trusted codegen
         return namespace["_instantiate"]
 
 

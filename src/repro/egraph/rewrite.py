@@ -99,13 +99,39 @@ class Rewrite:
         applied = 0
         compiled_rhs = self._compiled_rhs
         if compiled_rhs is not None:
-            instantiate = compiled_rhs.instantiate
             find = egraph.uf.find
-            merge = egraph.merge
+            parent = egraph.uf._parent
+            merge_roots = egraph.merge_roots
+            # bind the generated arena builder directly (skips a method
+            # dispatch per match); a bare-variable RHS has no builder and
+            # resolves to the bound class.  The builder returns a canonical
+            # root, and a matched class id is only stale if an earlier
+            # match of this batch merged it — the inline parent-array check
+            # skips the find call in the common still-canonical case.
+            inst = compiled_rhs._inst
+            if inst is None:
+                bare = compiled_rhs._bare_var
+                for eclass_id, subst in matches:
+                    ra = find(subst[bare])
+                    rb = eclass_id
+                    if parent[rb] != rb:
+                        rb = find(rb)
+                    if ra != rb:
+                        merge_roots(ra, rb)
+                        applied += 1
+                return applied
             for eclass_id, subst in matches:
-                new_id = instantiate(egraph, subst)
-                if find(new_id) != find(eclass_id):
-                    merge(new_id, eclass_id)
+                # the builder's class can be merged away before it returns
+                # (constant folding's `modify` unions the folded literal
+                # in), so its id needs the same staleness check
+                ra = inst(egraph, subst)
+                if parent[ra] != ra:
+                    ra = find(ra)
+                rb = eclass_id
+                if parent[rb] != rb:
+                    rb = find(rb)
+                if ra != rb:
+                    merge_roots(ra, rb)
                     applied += 1
             return applied
 

@@ -154,6 +154,12 @@ class RunnerReport:
     egraph_classes: int = 0
     #: Per-rule profiling stats, keyed by rule name.
     rule_stats: Dict[str, RuleStats] = field(default_factory=dict)
+    #: Wall-clock seconds the pipeline spent extracting from the saturated
+    #: e-graph (filled in by the extraction stage; 0.0 when extraction did
+    #: not run or the report came from a bare Runner).  Kept on the report
+    #: so one JSON object carries the full search/apply/rebuild/extract
+    #: phase profile of a kernel.
+    extract_time: float = 0.0
 
     @property
     def num_iterations(self) -> int:
@@ -175,6 +181,24 @@ class RunnerReport:
     def total_rebuild_time(self) -> float:
         return sum(it.rebuild_time for it in self.iterations)
 
+    @property
+    def phase_times(self) -> Dict[str, float]:
+        """Where the saturation wall-clock went, by phase.
+
+        ``search`` / ``apply`` / ``rebuild`` aggregate the per-iteration
+        rows; ``extract`` is the downstream extraction time when the
+        pipeline attached it (see :attr:`extract_time`).  Surfaced in
+        ``BENCH_engine.json`` so perf work can see where time goes without
+        re-profiling.
+        """
+
+        return {
+            "search": self.total_search_time,
+            "apply": self.total_apply_time,
+            "rebuild": self.total_rebuild_time,
+            "extract": self.extract_time,
+        }
+
     def summary(self) -> str:
         return (
             f"stop={self.stop_reason.value} iters={self.num_iterations} "
@@ -194,6 +218,7 @@ class RunnerReport:
             "egraph_classes": self.egraph_classes,
             "iterations": [it.as_dict() for it in self.iterations],
             "rule_stats": {name: rs.as_dict() for name, rs in self.rule_stats.items()},
+            "phase_times": self.phase_times,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -201,6 +226,9 @@ class RunnerReport:
 
     @staticmethod
     def from_dict(data: Dict[str, object]) -> "RunnerReport":
+        # search/apply/rebuild are derived from the iteration rows; only
+        # the pipeline-attached extract time needs restoring explicitly
+        phases = data.get("phase_times", {})
         return RunnerReport(
             stop_reason=StopReason(data["stop_reason"]),
             iterations=[IterationReport.from_dict(d) for d in data["iterations"]],
@@ -211,6 +239,7 @@ class RunnerReport:
                 name: RuleStats.from_dict(d)
                 for name, d in data.get("rule_stats", {}).items()
             },
+            extract_time=phases.get("extract", 0.0),
         )
 
     @staticmethod

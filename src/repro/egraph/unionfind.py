@@ -72,6 +72,15 @@ class UnionFind:
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
             return ra
+        return self.union_roots(ra, rb)
+
+    def union_roots(self, ra: int, rb: int) -> int:
+        """Merge two sets given their (distinct) roots — no finds.
+
+        Same survivor rule as :meth:`union`: the larger set's root wins,
+        ties keep *ra*.
+        """
+
         if self._size[ra] < self._size[rb]:
             ra, rb = rb, ra
         self._parent[rb] = ra
@@ -82,6 +91,21 @@ class UnionFind:
         """Return True if *a* and *b* are in the same set."""
 
         return self.find(a) == self.find(b)
+
+    def all_roots(self, ids) -> bool:
+        """True if every id in *ids* is canonical — one array read per id.
+
+        The steady-state fast path of the op-index and the hashcons sweep:
+        after a rebuild most entries are already canonical, and answering
+        that without calling :meth:`find` per element keeps those batched
+        integer loops cheap.
+        """
+
+        parent = self._parent
+        for x in ids:
+            if parent[x] != x:
+                return False
+        return True
 
     def roots(self) -> List[int]:
         """Return every canonical representative currently live."""

@@ -31,9 +31,10 @@ flow, so the harness sits on the **session architecture**
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Iterable, Sequence, Tuple, Union
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.benchsuite.base import BenchmarkSpec, KernelSpec
 from repro.codegen.generator import KernelCodeStats
@@ -52,9 +53,12 @@ from repro.gpusim import (
 )
 from repro.saturator import SaturatorConfig, Variant
 from repro.session import (
+    ArtifactCache,
     BatchExecutor,
+    DiskCache,
     MemoryCache,
     OptimizationSession,
+    TieredCache,
     make_executor,
 )
 
@@ -63,6 +67,7 @@ __all__ = [
     "VARIANT_ORDER",
     "characterize_kernel",
     "clear_pipeline_cache",
+    "configure_pipeline_cache",
     "evaluate_kernel",
     "evaluate_benchmark",
     "format_speedup_table",
@@ -92,12 +97,62 @@ class EvaluationSettings:
 
 _DEFAULT_SETTINGS = EvaluationSettings()
 
-#: Session cache shared by every experiment module in the process; the
-#: cache key covers the full SaturatorConfig, so different settings never
-#: collide.  512 entries comfortably hold both configs of every kernel in
-#: both suites.
-_PIPELINE_CACHE = MemoryCache(max_entries=512)
+def _default_pipeline_cache() -> ArtifactCache:
+    """The harness's artifact cache backend.
+
+    With ``REPRO_CACHE_DIR`` set, pipeline artifacts are shared through a
+    disk-backed tier (memory in front for O(1) repeat hits), so repeated
+    figure/table sweeps — and separate processes, e.g. the CI bench smoke
+    or a process-pool fleet — skip cold pipeline runs entirely.  Without
+    it, the in-memory backend serves the single-process case.  512 memory
+    entries comfortably hold both configs of every kernel in both suites;
+    the cache key covers the full SaturatorConfig, so different settings
+    never collide.
+    """
+
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    memory = MemoryCache(max_entries=512)
+    if cache_dir:
+        return TieredCache(memory=memory, disk=DiskCache(cache_dir))
+    return memory
+
+
+#: Session cache shared by every experiment module in the process (see
+#: :func:`_default_pipeline_cache`; reconfigure at runtime with
+#: :func:`configure_pipeline_cache`).
+_PIPELINE_CACHE: ArtifactCache = _default_pipeline_cache()
 _SESSION = OptimizationSession(cache=_PIPELINE_CACHE)
+
+
+def configure_pipeline_cache(
+    cache_dir: Union[None, str, "os.PathLike"] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> ArtifactCache:
+    """Rebind the harness's shared pipeline cache.
+
+    ``cache_dir`` wires a disk-backed tier at that path (the programmatic
+    twin of the ``REPRO_CACHE_DIR`` environment variable); ``cache``
+    installs an arbitrary pre-built backend; with neither, the default
+    backend is rebuilt from the environment.  Derived-stat memos are
+    dropped so every figure/table cell re-reads through the new backend.
+    Returns the installed cache.
+    """
+
+    global _PIPELINE_CACHE, _SESSION
+    if cache is not None and cache_dir is not None:
+        raise ValueError("pass either cache_dir or cache, not both")
+    if cache is None:
+        if cache_dir is not None:
+            cache = TieredCache(
+                memory=MemoryCache(max_entries=512),
+                disk=DiskCache(os.fspath(cache_dir)),
+            )
+        else:
+            cache = _default_pipeline_cache()
+    _PIPELINE_CACHE = cache
+    _SESSION = OptimizationSession(cache=_PIPELINE_CACHE)
+    _pipeline_stats.cache_clear()
+    return cache
 
 
 def pipeline_cache_stats() -> Dict[str, object]:

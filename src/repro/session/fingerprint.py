@@ -21,7 +21,20 @@ import hashlib
 import json
 from typing import NamedTuple
 
-__all__ = ["CacheKey", "fingerprint_config", "fingerprint_text", "stage_key"]
+__all__ = [
+    "CacheKey",
+    "ENGINE_SCHEMA",
+    "fingerprint_config",
+    "fingerprint_text",
+    "stage_key",
+]
+
+#: Engine-representation tag mixed into every config fingerprint.  Bump it
+#: when the e-graph core's representation or report payloads change shape
+#: (e.g. the arena/interning rewrite) so artifacts pickled by an older
+#: engine are never replayed into a newer one — the cache simply re-misses
+#: and repopulates.
+ENGINE_SCHEMA = "arena-v1"
 
 
 def fingerprint_text(text: str) -> str:
@@ -50,9 +63,17 @@ def _encode(value: object) -> object:
 
 
 def fingerprint_config(config: object) -> str:
-    """Canonical fingerprint of a (dataclass) configuration object."""
+    """Canonical fingerprint of a (dataclass) configuration object.
 
-    payload = {"__class__": type(config).__qualname__, "fields": _encode(config)}
+    Includes :data:`ENGINE_SCHEMA`, so disk artifacts written by a
+    different engine representation miss instead of replaying.
+    """
+
+    payload = {
+        "__class__": type(config).__qualname__,
+        "__engine__": ENGINE_SCHEMA,
+        "fields": _encode(config),
+    }
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 

@@ -191,6 +191,10 @@ class ExtractionStage(Stage):
         else:
             ctx.extraction = ExtractionResult({}, {}, 0.0, 0.0, config.extraction)
         ctx.report.extracted_cost = ctx.extraction.dag_cost
+        if ctx.report.runner is not None:
+            # complete the runner's search/apply/rebuild phase profile with
+            # the extraction time so one report carries the full breakdown
+            ctx.report.runner.extract_time = ctx.extraction.elapsed
         if ctx.extraction_memo is not None:
             ctx.report.extraction_memo = ctx.extraction_memo.stats_dict()
 

@@ -1,0 +1,273 @@
+"""Property tests pinning the arena e-graph core to a reference model.
+
+The flat interned representation (``(op_id, payload_id, *child_ids)`` keys,
+batched rebuild, boundary ENode views) must be observationally identical to
+a straightforward e-graph: randomized interleavings of add / merge /
+rebuild / extract are mirrored into a naive reference implementation that
+recomputes congruence closure by whole-graph fixpoint, and the two are
+compared on
+
+* the **equivalence partition** over every added class id (congruence
+  closure finds exactly the same equalities),
+* the **canonical node multiset** (same operators/payloads/child classes,
+  up to the id renaming between the two implementations),
+* **extraction**: per-root minimum tree costs match a reference DP exactly,
+  and the arena's extracted term is well-formed with the cost it claims.
+
+``check_invariants`` (hashcons coherence, op-index coverage, interning
+table consistency, O(1) node count) runs after every rebuild.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.extract import TreeExtractor
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation: naive congruence closure + naive tree DP
+# ---------------------------------------------------------------------------
+
+
+class RefEGraph:
+    """A deliberately simple e-graph: no hashcons upkeep, no worklists.
+
+    Nodes are ``(op, payload-type, payload, child...)`` tuples over *ref*
+    class ids; congruence closure is restored by running "merge everything
+    congruent" to a fixpoint over all node pairs.  Quadratic and slow —
+    which is the point: it is obviously correct.
+    """
+
+    def __init__(self):
+        self.parent = []
+        self.nodes = {}  # canonical spelling -> class id (after closure)
+        self.pending = []  # (spelling, class) added since the last closure
+
+    # -- union-find ----------------------------------------------------------
+
+    def find(self, x):
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def _union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+        return self.find(ra)
+
+    # -- operations mirrored from the arena ----------------------------------
+
+    def _spell(self, op, payload, children):
+        return (op, type(payload).__name__, payload) + tuple(
+            self.find(c) for c in children
+        )
+
+    def add(self, op, payload, children):
+        spelling = self._spell(op, payload, children)
+        known = self._lookup(spelling)
+        if known is not None:
+            return known
+        cid = len(self.parent)
+        self.parent.append(cid)
+        self.pending.append((spelling, cid))
+        return cid
+
+    def _lookup(self, spelling):
+        for known, kid in list(self.nodes.items()) + self.pending:
+            if known == spelling:
+                return self.find(kid)
+        return None
+
+    def merge(self, a, b):
+        self._union(a, b)
+
+    def rebuild(self):
+        """Whole-graph congruence closure by fixpoint."""
+
+        entries = list(self.nodes.items()) + self.pending
+        self.pending = []
+        changed = True
+        while changed:
+            changed = False
+            respelled = {}
+            for spelling, cid in entries:
+                head = spelling[:3]
+                canon = head + tuple(self.find(c) for c in spelling[3:])
+                other = respelled.get(canon)
+                if other is None:
+                    respelled[canon] = self.find(cid)
+                elif self.find(other) != self.find(cid):
+                    self._union(other, cid)
+                    changed = True
+            entries = list(respelled.items())
+        self.nodes = dict(entries)
+
+    # -- queries --------------------------------------------------------------
+
+    def canonical_nodes(self):
+        """Multiset of canonical nodes as (op, payload type, payload, kids)."""
+
+        return sorted(
+            spelling[:3] + tuple(self.find(c) for c in spelling[3:])
+            for spelling in self.nodes
+        )
+
+    def tree_costs(self, cost_of_op):
+        """Min tree cost per canonical class, by naive whole-graph fixpoint."""
+
+        best = {}
+        changed = True
+        while changed:
+            changed = False
+            for spelling, cid in self.nodes.items():
+                cid = self.find(cid)
+                total = cost_of_op(spelling[0])
+                feasible = True
+                for child in spelling[3:]:
+                    child_cost = best.get(self.find(child))
+                    if child_cost is None:
+                        feasible = False
+                        break
+                    total += child_cost
+                if feasible and total < best.get(cid, float("inf")):
+                    best[cid] = total
+                    changed = True
+        return best
+
+
+class _OpCost:
+    """Tiny cost model for the property tests (op-dependent, payload-free)."""
+
+    COSTS = {"sym": 1.0, "f": 2.0, "+": 10.0, "*": 10.0, "-": 10.0}
+
+    def enode_cost(self, enode: ENode) -> float:
+        return self.COSTS.get(enode.op, 5.0)
+
+    @classmethod
+    def of_op(cls, op: str) -> float:
+        return cls.COSTS.get(op, 5.0)
+
+
+# ---------------------------------------------------------------------------
+# The interleaving property
+# ---------------------------------------------------------------------------
+
+_OPS = ["+", "*", "-", "f"]
+
+#: One step of the randomized interleaving:
+#: ("add", op index, arity, child picks) / ("merge", pick, pick) /
+#: ("rebuild",) / ("extract", pick)
+_steps = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("add"),
+            st.integers(0, len(_OPS) - 1),
+            st.integers(0, 2),
+            st.tuples(st.integers(0, 10 ** 6), st.integers(0, 10 ** 6)),
+        ),
+        st.tuples(st.just("merge"), st.integers(0, 10 ** 6), st.integers(0, 10 ** 6)),
+        st.tuples(st.just("rebuild")),
+        st.tuples(st.just("extract"), st.integers(0, 10 ** 6)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _compare_partitions(eg: EGraph, ref: RefEGraph, ids, ref_ids):
+    """Both implementations must equate exactly the same pairs of adds."""
+
+    n = len(ids)
+    for i in range(n):
+        for j in range(i + 1, n):
+            assert eg.is_equal(ids[i], ids[j]) == (
+                ref.find(ref_ids[i]) == ref.find(ref_ids[j])
+            ), f"equivalence of adds #{i} and #{j} diverges"
+
+
+def _compare_nodes(eg: EGraph, ref: RefEGraph, ids, ref_ids):
+    """Canonical node multisets agree modulo the class-id renaming."""
+
+    # build the (partial) id bijection from the paired add handles
+    rename = {}
+    for a, r in zip(ids, ref_ids):
+        rename[eg.find(a)] = ref.find(r)
+    arena = sorted(
+        (node.op, type(node.payload).__name__, node.payload)
+        + tuple(rename[eg.find(c)] for c in node.children)
+        for _, node in eg.canonical_nodes()
+    )
+    assert arena == ref.canonical_nodes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_steps)
+def test_arena_matches_reference_under_interleavings(steps):
+    eg = EGraph()
+    ref = RefEGraph()
+    cost = _OpCost()
+
+    ids = []      # arena class id per add, in op order
+    ref_ids = []  # reference class id per add, same order
+    seeded = [
+        (eg.add(ENode("sym", (), f"s{i}")), ref.add("sym", f"s{i}", ()))
+        for i in range(3)
+    ]
+    for a, r in seeded:
+        ids.append(a)
+        ref_ids.append(r)
+
+    dirty = False
+    for step in steps:
+        kind = step[0]
+        if kind == "add":
+            _, op_index, arity, picks = step
+            chosen = [picks[k % 2] % len(ids) for k in range(arity)]
+            op = _OPS[op_index]
+            a = eg.add(ENode(op, tuple(eg.find(ids[c]) for c in chosen)))
+            r = ref.add(op, None, tuple(ref_ids[c] for c in chosen))
+            ids.append(a)
+            ref_ids.append(r)
+            dirty = True
+        elif kind == "merge":
+            _, x, y = step
+            i, j = x % len(ids), y % len(ids)
+            eg.merge(ids[i], ids[j])
+            ref.merge(ref_ids[i], ref_ids[j])
+            dirty = True
+        elif kind == "rebuild":
+            eg.rebuild()
+            ref.rebuild()
+            eg.check_invariants()
+            dirty = False
+        else:  # extract
+            if dirty:
+                # both engines only promise closure after an explicit rebuild
+                continue
+            _, x = step
+            i = x % len(ids)
+            expected = ref.tree_costs(_OpCost.of_op).get(ref.find(ref_ids[i]))
+            extractor = TreeExtractor(eg, cost)
+            if expected is None:
+                continue
+            assert extractor.best_cost(ids[i]) == expected
+            term = extractor.extract_term(ids[i])
+            # the extracted term is well-formed and priced consistently
+            assert sum(_OpCost.of_op(t.op) for t in term.walk()) == expected
+
+    eg.rebuild()
+    ref.rebuild()
+    eg.check_invariants()
+    _compare_partitions(eg, ref, ids, ref_ids)
+    _compare_nodes(eg, ref, ids, ref_ids)
+
+    # final extraction comparison on every class with a finite cost
+    expected_costs = ref.tree_costs(_OpCost.of_op)
+    extractor = TreeExtractor(eg, cost)
+    for i, (a, r) in enumerate(zip(ids, ref_ids)):
+        expected = expected_costs.get(ref.find(r))
+        if expected is None:
+            continue
+        assert extractor.best_cost(a) == expected, f"tree cost of add #{i}"

@@ -222,6 +222,38 @@ class TestProfiler:
         assert "rule_stats" in data["runner"]
         json.dumps(data)  # fully serialisable
 
+    def test_phase_breakdown_round_trips(self):
+        """search/apply/rebuild phases aggregate the iteration rows, the
+        pipeline-attached extract time survives the JSON round trip, and
+        the phase split appears in ``as_dict``."""
+
+        report = self._report()
+        phases = report.phase_times
+        assert set(phases) == {"search", "apply", "rebuild", "extract"}
+        assert phases["search"] == sum(it.search_time for it in report.iterations)
+        assert phases["apply"] == sum(it.apply_time for it in report.iterations)
+        assert phases["rebuild"] == sum(it.rebuild_time for it in report.iterations)
+        assert phases["extract"] == 0.0  # bare Runner: no extraction attached
+
+        report.extract_time = 0.125
+        restored = RunnerReport.from_json(report.to_json())
+        assert restored.extract_time == 0.125
+        assert restored.as_dict()["phase_times"] == report.phase_times
+
+    def test_pipeline_attaches_extract_time_to_runner(self):
+        from repro.benchsuite.npb.cg import CG
+        from repro.saturator import SaturatorConfig, optimize_source
+
+        spec = CG.kernels[0]
+        result = optimize_source(
+            spec.source, SaturatorConfig(limits=RunnerLimits(500, 2, 5.0))
+        )
+        kernel = result.kernels[0]
+        assert kernel.runner.extract_time > 0.0
+        assert kernel.as_dict()["runner"]["phase_times"]["extract"] == (
+            kernel.runner.extract_time
+        )
+
 
 class TestTimeLimits:
     def test_time_limit_checked_between_phases(self):

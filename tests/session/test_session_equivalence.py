@@ -24,7 +24,7 @@ for (int i = 0; i < n; i++) {
 
 _TIME_KEYS = ("ssa_codegen_time", "saturation_time", "extraction_time",
               "search_time", "apply_time", "rebuild_time", "total_time",
-              "hit_rate")
+              "phase_times", "hit_rate")
 
 
 def _strip_volatile(obj):
