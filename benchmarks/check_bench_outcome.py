@@ -1,14 +1,22 @@
 #!/usr/bin/env python
 """Guard saturation outcomes against silent drift.
 
-Compares the ``pipeline_outcome`` and ``saturation_large_outcome`` records
-of a freshly produced ``BENCH_engine.json`` against the committed one.
-Timings are machine-dependent and never compared; the outcome records
-(stop reason, e-node and e-class counts) are pure functions of (source,
+Compares the outcome records of a freshly produced ``BENCH_engine.json``
+against the committed one.  Timings are machine-dependent and never
+compared; the outcome records (stop reason, e-node and e-class counts,
+and — for the PR-4 scheduling cases — iteration counts, extracted costs
+and the per-iteration trajectories) are pure functions of (source,
 config) — the determinism contract of ``tests/egraph/test_determinism.py``
 — so any deviation means a change to the engine altered saturation
 results, which must be an explicit, committed decision rather than a
 side effect.
+
+``pipeline_outcome`` and ``saturation_large_outcome`` are produced under
+the **default** configuration (``SimpleScheduler``, anytime extraction
+off): their match is the CI assertion that the default scheduler still
+reproduces the committed outcomes exactly.  ``saturation_backoff_outcome``
+and ``pipeline_anytime_outcome`` guard the backoff and anytime paths the
+same way.
 
 Usage::
 
@@ -23,7 +31,14 @@ import json
 import os
 import sys
 
-_OUTCOME_KEYS = ("pipeline_outcome", "saturation_large_outcome")
+_OUTCOME_KEYS = (
+    # default configuration — SimpleScheduler, anytime off
+    "pipeline_outcome",
+    "saturation_large_outcome",
+    # adaptive scheduling (PR 4)
+    "saturation_backoff_outcome",
+    "pipeline_anytime_outcome",
+)
 
 
 def main(argv=None) -> int:

@@ -23,6 +23,15 @@ through a session with an artifact cache (vs ``pipeline_variants_cold``
 without one).  The cache hit/miss counters and memo statistics behind
 those rows are recorded under ``"cache"``.
 
+Two scheduling rows (PR 4) exercise the adaptive saturation loop:
+``saturation_backoff`` re-runs the saturation micro-workload under the
+egg-style exponential-backoff rule scheduler, and ``pipeline_anytime``
+runs the BT-jacobian pipeline with in-loop anytime extraction and
+plateau-based early stopping.  Both record deterministic outcome records
+(guarded by CI next to the default-scheduler outcomes, which must stay
+byte-identical to the committed figures) plus per-iteration
+node/class/cost trajectories under ``"scheduling"``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_engine_bench.py [-o OUT] [-n REPEATS]
@@ -45,7 +54,14 @@ if _SRC not in sys.path:
 from repro.benchsuite.npb.bt import BT_JACOBIAN_SOURCE
 from repro.benchsuite.npb.lu import LU_JACLD_SOURCE
 from repro.cost import DEFAULT_COST_MODEL
-from repro.egraph import EGraph, ExtractionMemo, Runner, RunnerLimits, extract_best
+from repro.egraph import (
+    AnytimeExtraction,
+    EGraph,
+    ExtractionMemo,
+    Runner,
+    RunnerLimits,
+    extract_best,
+)
 from repro.egraph.language import op, sym
 from repro.frontend import parse_statement
 from repro.frontend.normalize import normalize_blocks
@@ -84,6 +100,44 @@ def _saturated_egraph():
     root = eg.add_term(_bench_term())
     report = Runner(eg, default_ruleset(), RunnerLimits(2000, 5, _TIME_LIMIT)).run()
     return eg, root, report
+
+
+#: Backoff parameters of the ``saturation_backoff`` row: small enough that
+#: bans actually trigger on the micro workload, so the row exercises the
+#: skip/drop machinery rather than degenerating into the simple policy.
+_BACKOFF_SPEC = "backoff:200:2"
+
+
+def _backoff_egraph(anytime=False):
+    eg = EGraph(constant_folding_analysis())
+    root = eg.add_term(_bench_term())
+    hook = None
+    if anytime:
+        # patience is effectively infinite: the hook only records the cost
+        # trajectory, it never changes where this run stops
+        hook = AnytimeExtraction(
+            roots=[root], cost_model=DEFAULT_COST_MODEL, interval=1, patience=10**6
+        )
+    report = Runner(
+        eg, default_ruleset(), RunnerLimits(2000, 5, _TIME_LIMIT),
+        scheduler=_BACKOFF_SPEC, anytime=hook,
+    ).run()
+    return eg, root, report
+
+
+def _trajectory(report):
+    """Deterministic per-iteration rows (no wall-clock fields)."""
+
+    return [
+        {
+            "iteration": it.index,
+            "applied": it.applied,
+            "egraph_nodes": it.egraph_nodes,
+            "egraph_classes": it.egraph_classes,
+            "extracted_cost": it.extracted_cost,
+        }
+        for it in report.iterations
+    ]
 
 
 def main(argv=None) -> int:
@@ -143,6 +197,23 @@ def main(argv=None) -> int:
     def saturation_large():
         return optimize_source(BT_JACOBIAN_SOURCE, large_config)
 
+    # -- adaptive scheduling rows (PR 4) -----------------------------------
+
+    def saturation_backoff():
+        return _backoff_egraph()
+
+    # anytime extraction with plateau patience 1 on the BT-jacobian
+    # pipeline: stop saturating as soon as one in-loop extraction fails to
+    # improve on the best cost so far
+    anytime_config = SaturatorConfig(
+        variant=Variant.CSE_SAT, limits=RunnerLimits(2000, 4, _TIME_LIMIT),
+        anytime_extraction=True, plateau_patience=1,
+    )
+    optimize_source(BT_JACOBIAN_SOURCE, anytime_config)  # warm
+
+    def pipeline_anytime():
+        return optimize_source(BT_JACOBIAN_SOURCE, anytime_config)
+
     # -- repeated-workload rows (the session architecture's home turf) -----
 
     memo = ExtractionMemo()
@@ -172,11 +243,13 @@ def main(argv=None) -> int:
     results = {
         "parse_ssa": _median_time(parse_and_ssa, args.repeats),
         "saturation": _median_time(saturation, args.repeats),
+        "saturation_backoff": _median_time(saturation_backoff, args.repeats),
         "saturation_large": _median_time(saturation_large, args.repeats),
         "rule_search": _median_time(rule_search, args.repeats),
         "extraction": _median_time(extraction, args.repeats),
         "extraction_memoized": _median_time(extraction_memoized, args.repeats),
         "full_pipeline": _median_time(full_pipeline, args.repeats),
+        "pipeline_anytime": _median_time(pipeline_anytime, args.repeats),
         "pipeline_variants_cold": _median_time(pipeline_variants_cold, args.repeats),
         "pipeline_variants_cached": _median_time(pipeline_variants_cached, args.repeats),
     }
@@ -185,6 +258,13 @@ def main(argv=None) -> int:
     kernel_report = pipeline_result.kernels[0]
     large_result = optimize_source(BT_JACOBIAN_SOURCE, large_config)
     large_report = large_result.kernels[0]
+
+    # scheduling outcome records + trajectories: one instrumented backoff
+    # run (the cost-recording hook never changes where the run stops) and
+    # one anytime pipeline run
+    _, _, backoff_report = _backoff_egraph(anytime=True)
+    anytime_result = optimize_source(BT_JACOBIAN_SOURCE, anytime_config)
+    anytime_report = anytime_result.kernels[0]
 
     payload = {
         "schema": "repro-engine-bench/1",
@@ -207,6 +287,26 @@ def main(argv=None) -> int:
             "egraph_nodes": large_report.egraph_nodes,
             "egraph_classes": large_report.egraph_classes,
         },
+        # adaptive-scheduling outcomes: pure functions of (source, config)
+        # like the records above (the trajectories carry no wall-clock
+        # fields), so CI guards them against silent drift too
+        "saturation_backoff_outcome": {
+            "scheduler": _BACKOFF_SPEC,
+            "stop_reason": backoff_report.stop_reason.value,
+            "egraph_nodes": backoff_report.egraph_nodes,
+            "egraph_classes": backoff_report.egraph_classes,
+            "iterations": backoff_report.num_iterations,
+            "extracted_cost": backoff_report.extracted_cost,
+            "trajectory": _trajectory(backoff_report),
+        },
+        "pipeline_anytime_outcome": {
+            "stop_reason": anytime_report.runner.stop_reason.value,
+            "egraph_nodes": anytime_report.egraph_nodes,
+            "egraph_classes": anytime_report.egraph_classes,
+            "iterations": anytime_report.runner.num_iterations,
+            "extracted_cost": anytime_report.extracted_cost,
+            "trajectory": _trajectory(anytime_report.runner),
+        },
         # where the benchmark kernel's saturation wall-clock goes —
         # search / apply / rebuild / extract — so future perf PRs can see
         # the phase split without re-profiling
@@ -217,6 +317,23 @@ def main(argv=None) -> int:
         "rule_stats": {
             name: stats.as_dict()
             for name, stats in kernel_report.runner.rule_stats.items()
+        },
+        # what adaptive scheduling buys on the large workload: anytime
+        # early stopping vs the fixed-budget default (same source, same
+        # limits), as a cost ratio and a wall-clock speedup
+        "scheduling": {
+            "anytime_vs_default_cost_ratio": (
+                anytime_report.extracted_cost / large_report.extracted_cost
+                if large_report.extracted_cost else float("inf")
+            ),
+            "anytime_vs_default_iterations": [
+                anytime_report.runner.num_iterations,
+                large_report.runner.num_iterations,
+            ],
+            "speedup_pipeline_anytime": (
+                results["saturation_large"] / results["pipeline_anytime"]
+                if results["pipeline_anytime"] > 0 else float("inf")
+            ),
         },
         # hit/miss counters behind the repeated-workload rows, and the
         # speedups the session architecture buys on them

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.egraph.runner import RunnerLimits
+from repro.egraph.schedule import make_scheduler
 from repro.saturator import SaturatorConfig, Variant
 from repro.session import DiskCache, OptimizationSession
 
@@ -68,6 +69,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="iteration limit for saturation (default 10)")
     parser.add_argument("--time-limit", type=float, default=10.0,
                         help="saturation time limit in seconds (default 10)")
+    parser.add_argument(
+        "--scheduler",
+        default="simple",
+        help="rule scheduler: simple (default), backoff[:MATCH_LIMIT[:BAN_LENGTH]] "
+             "or match-budget[:BUDGET]",
+    )
+    parser.add_argument(
+        "--anytime",
+        action="store_true",
+        help="extract in-loop every iteration and stop saturating once the "
+             "extracted cost plateaus (see --plateau-patience)",
+    )
+    parser.add_argument(
+        "--plateau-patience", type=int, default=3,
+        help="with --anytime: consecutive non-improving extractions before "
+             "stopping (default 3)",
+    )
     parser.add_argument(
         "--jobs", "-j", type=int, default=1,
         help="optimize input files in parallel with N workers (default 1)",
@@ -119,11 +137,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(str(exc))
         return 2  # pragma: no cover - parser.error raises
 
+    try:
+        make_scheduler(args.scheduler)  # fail fast on a bad spelling
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.plateau_patience < 1:
+        parser.error("--plateau-patience must be at least 1")
+
     config = SaturatorConfig(
         variant=variant,
         ruleset=args.ruleset,
         extraction=args.extraction,
         limits=RunnerLimits(args.node_limit, args.iter_limit, args.time_limit),
+        scheduler=args.scheduler,
+        anytime_extraction=args.anytime,
+        plateau_patience=args.plateau_patience,
     )
 
     if args.jobs < 1:

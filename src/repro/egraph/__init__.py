@@ -45,19 +45,33 @@ from repro.egraph.pattern import (
 )
 from repro.egraph.rewrite import Rewrite, rewrite
 from repro.egraph.runner import (
+    AnytimeExtraction,
     Runner,
     RunnerLimits,
     RunnerReport,
     RuleStats,
     StopReason,
 )
+from repro.egraph.schedule import (
+    BackoffScheduler,
+    MatchBudgetScheduler,
+    RuleScheduler,
+    SimpleScheduler,
+    make_scheduler,
+)
 from repro.egraph.unionfind import UnionFind
 
 __all__ = [
     "Analysis",
+    "AnytimeExtraction",
+    "BackoffScheduler",
     "CompiledPattern",
     "ConstantFoldingAnalysis",
     "DagExtractor",
+    "MatchBudgetScheduler",
+    "RuleScheduler",
+    "SimpleScheduler",
+    "make_scheduler",
     "EClass",
     "EGraph",
     "ENode",

@@ -393,6 +393,22 @@ class ExtractionMemo:
 
     # -- DP-table level -----------------------------------------------------
 
+    def refresh(self, egraph: EGraph, cost_function: CostFunction) -> int:
+        """Bring the DP table up to date with *egraph*; returns #recomputed.
+
+        The in-loop entry point for anytime extraction: call it at an
+        iteration boundary (after ``rebuild``, never mid-phase — the
+        incremental refresh reads canonical class ids and touched stamps)
+        and the table is ready for O(changed-region) extractions.  A plain
+        :func:`extract_best` with this memo performs the same refresh
+        implicitly; this method exists for callers that want the refresh
+        cost surfaced separately from the extraction proper.
+        """
+
+        before = self.recomputed_classes
+        self.table_for(egraph, cost_function)
+        return self.recomputed_classes - before
+
     def table_for(self, egraph: EGraph, cost_function: CostFunction) -> _DPState:
         """The up-to-date DP state for *egraph* under *cost_function*."""
 

@@ -65,23 +65,34 @@ class Rewrite:
     # ------------------------------------------------------------------
 
     def search(
-        self, egraph: EGraph, since: Optional[int] = None
+        self,
+        egraph: EGraph,
+        since: Optional[int] = None,
+        limit: Optional[int] = None,
     ) -> List[Tuple[int, Substitution]]:
-        """Find all matches of the left-hand side.
+        """Find matches of the left-hand side.
 
         With ``since`` set, only classes touched after that version stamp
         are scanned (incremental search); pass None for a full scan.
+        With ``limit`` set, at most that many (post-guard) matches are
+        returned — the *first* ``limit`` in the deterministic sorted-bucket
+        match order, so capped searches are reproducible across processes.
+        A caller that truncates (e.g. the match-budget scheduler) must not
+        advance its incremental-scan stamp past this scan, or the matches
+        beyond the cap are lost to future scans.
         """
 
         matches = self._compiled.search(egraph, since)
-        if self.guard is None:
-            return matches
-        guard = self.guard
-        return [
-            (eclass_id, subst)
-            for eclass_id, subst in matches
-            if guard(egraph, eclass_id, subst)
-        ]
+        if self.guard is not None:
+            guard = self.guard
+            matches = [
+                (eclass_id, subst)
+                for eclass_id, subst in matches
+                if guard(egraph, eclass_id, subst)
+            ]
+        if limit is not None and len(matches) > limit:
+            del matches[limit:]
+        return matches
 
     def apply(
         self, egraph: EGraph, matches: List[Tuple[int, Substitution]]

@@ -1,18 +1,40 @@
 """The equality-saturation loop, with per-rule saturation profiling.
 
-The :class:`Runner` repeatedly searches every rewrite, applies all matches,
+The :class:`Runner` repeatedly searches the rewrites, applies matches,
 and rebuilds the e-graph, until one of the stopping conditions is reached:
 
 * **saturation** — an iteration produces no new union (the e-graph is a
-  fixed point of the rule set),
+  fixed point of the rule set) while the scheduler curtailed nothing,
 * **node limit** — the e-graph grew past ``node_limit`` e-nodes,
 * **iteration limit** — ``iter_limit`` iterations executed,
 * **time limit** — wall-clock budget exhausted.  The budget is checked at
   the top of every iteration *and* between the search, apply and rebuild
-  phases, so one slow phase cannot blow far past ``time_limit``.
+  phases, so one slow phase cannot blow far past ``time_limit``,
+* **cost plateau** — with anytime extraction enabled (see below), the
+  extracted cost stopped improving.
 
 The defaults mirror the paper's §VII settings: 10,000 e-nodes, 10
 iterations and 10 seconds of saturation time.
+
+**Scheduling.**  Which rules search each iteration, and how many of their
+matches reach the apply phase, is delegated to a
+:class:`~repro.egraph.schedule.RuleScheduler`.  The default
+:class:`~repro.egraph.schedule.SimpleScheduler` reproduces the classic
+every-rule-every-match loop bit for bit; the backoff and match-budget
+schedulers ration the iteration budget (see :mod:`repro.egraph.schedule`).
+The runner only advances a rule's incremental-scan stamp when the
+scheduler admitted the *complete* match batch, so curtailed matches are
+re-found by a later scan instead of being lost.
+
+**Anytime extraction.**  With an :class:`AnytimeExtraction` hook, the
+runner refreshes a shared :class:`~repro.egraph.extract.ExtractionMemo`
+every ``interval`` iterations — always at an iteration boundary, after
+``rebuild``, so the DP refresh sees a canonical e-graph — and records the
+current best extracted DAG cost in
+:attr:`IterationReport.extracted_cost`.  When the cost has not improved
+for ``patience`` consecutive evaluations the run stops with
+:attr:`StopReason.COST_PLATEAU`: node-limit budgets no longer spend their
+tail growing an e-graph whose extraction stopped getting better.
 
 **Incremental search.** The runner remembers, per rule, the e-graph
 version at which the rule last scanned.  The next scan only visits
@@ -39,13 +61,18 @@ from __future__ import annotations
 import enum
 import json
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.rewrite import Rewrite
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.egraph.extract import CostFunction, ExtractionMemo
+    from repro.egraph.schedule import RuleScheduler
+
 __all__ = [
+    "AnytimeExtraction",
     "StopReason",
     "RunnerLimits",
     "IterationReport",
@@ -62,6 +89,9 @@ class StopReason(enum.Enum):
     NODE_LIMIT = "node_limit"
     ITER_LIMIT = "iter_limit"
     TIME_LIMIT = "time_limit"
+    #: Anytime extraction saw no cost improvement for ``patience``
+    #: consecutive evaluations (see :class:`AnytimeExtraction`).
+    COST_PLATEAU = "cost_plateau"
 
 
 @dataclass(frozen=True)
@@ -82,6 +112,49 @@ class RunnerLimits:
 
 
 @dataclass
+class AnytimeExtraction:
+    """In-loop extraction: refresh, record, stop on a cost plateau.
+
+    Attached to a :class:`Runner`, this hook extracts from the live
+    e-graph every ``interval`` iterations — after ``rebuild``, never
+    mid-phase — through :func:`~repro.egraph.extract.extract_best` with a
+    shared :class:`~repro.egraph.extract.ExtractionMemo`, so each
+    evaluation is an incremental DP refresh from the touched stamps
+    rather than a cold extraction.  The cost trajectory lands in
+    :attr:`IterationReport.extracted_cost`; once the best cost has not
+    improved for ``patience`` consecutive evaluations, the run stops with
+    :attr:`StopReason.COST_PLATEAU`.
+
+    Pass the *same* memo to the downstream extraction (the pipeline's
+    :class:`~repro.session.stages.SaturationStage` shares it with
+    :class:`~repro.session.stages.ExtractionStage` automatically): when
+    the loop stops right after an evaluation, the final extraction is a
+    whole-result cache hit.
+    """
+
+    #: Root e-classes to extract (the pipeline's assignment roots).
+    roots: Sequence[int]
+    #: Cost assignment for the extraction DP.
+    cost_model: "CostFunction"
+    #: Extraction method ("tree", "dag-greedy", "ilp").
+    method: str = "dag-greedy"
+    #: Extract every this many iterations (1 = every iteration).
+    interval: int = 1
+    #: Consecutive non-improving evaluations before COST_PLATEAU.
+    patience: int = 3
+    #: Shared DP/result memo; created on first use when None.
+    memo: Optional["ExtractionMemo"] = None
+    #: Extraction time limit (only the ILP method enforces it).
+    time_limit: float = 30.0
+
+    def validate(self) -> None:
+        if self.interval < 1:
+            raise ValueError("anytime interval must be at least 1")
+        if self.patience < 1:
+            raise ValueError("plateau patience must be at least 1")
+
+
+@dataclass
 class IterationReport:
     """Statistics for a single saturation iteration."""
 
@@ -92,6 +165,10 @@ class IterationReport:
     search_time: float
     apply_time: float
     rebuild_time: float
+    #: Best extracted DAG cost observed at this iteration's boundary, when
+    #: anytime extraction evaluated here; None otherwise (including every
+    #: pre-PR-4 report).
+    extracted_cost: Optional[float] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -102,11 +179,17 @@ class IterationReport:
             "search_time": self.search_time,
             "apply_time": self.apply_time,
             "rebuild_time": self.rebuild_time,
+            "extracted_cost": self.extracted_cost,
         }
 
     @staticmethod
     def from_dict(data: Dict[str, object]) -> "IterationReport":
-        return IterationReport(**data)  # type: ignore[arg-type]
+        # tolerate both pre-PR-4 rows (no extracted_cost — defaults) and
+        # rows written by a newer schema (unknown keys are dropped)
+        known = {f.name for f in fields(IterationReport)}
+        return IterationReport(
+            **{k: v for k, v in data.items() if k in known}  # type: ignore[arg-type]
+        )
 
 
 @dataclass
@@ -154,12 +237,15 @@ class RunnerReport:
     egraph_classes: int = 0
     #: Per-rule profiling stats, keyed by rule name.
     rule_stats: Dict[str, RuleStats] = field(default_factory=dict)
-    #: Wall-clock seconds the pipeline spent extracting from the saturated
-    #: e-graph (filled in by the extraction stage; 0.0 when extraction did
-    #: not run or the report came from a bare Runner).  Kept on the report
-    #: so one JSON object carries the full search/apply/rebuild/extract
-    #: phase profile of a kernel.
+    #: Wall-clock seconds spent extracting from this e-graph: the runner
+    #: accumulates its in-loop anytime evaluations here, and the pipeline's
+    #: extraction stage adds the final extraction on top, so one JSON
+    #: object carries the full search/apply/rebuild/extract phase profile
+    #: of a kernel.  0.0 when no extraction ran.
     extract_time: float = 0.0
+    #: Spelling of the rule scheduler that drove the run ("simple",
+    #: "backoff", "match-budget"); pre-PR-4 reports load as "simple".
+    scheduler: str = "simple"
 
     @property
     def num_iterations(self) -> int:
@@ -210,12 +296,22 @@ class RunnerReport:
     # JSON round-trip
     # ------------------------------------------------------------------
 
+    @property
+    def extracted_cost(self) -> Optional[float]:
+        """Last in-loop extracted cost (None when anytime never ran)."""
+
+        for it in reversed(self.iterations):
+            if it.extracted_cost is not None:
+                return it.extracted_cost
+        return None
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "stop_reason": self.stop_reason.value,
             "total_time": self.total_time,
             "egraph_nodes": self.egraph_nodes,
             "egraph_classes": self.egraph_classes,
+            "scheduler": self.scheduler,
             "iterations": [it.as_dict() for it in self.iterations],
             "rule_stats": {name: rs.as_dict() for name, rs in self.rule_stats.items()},
             "phase_times": self.phase_times,
@@ -227,7 +323,9 @@ class RunnerReport:
     @staticmethod
     def from_dict(data: Dict[str, object]) -> "RunnerReport":
         # search/apply/rebuild are derived from the iteration rows; only
-        # the pipeline-attached extract time needs restoring explicitly
+        # the pipeline-attached extract time needs restoring explicitly.
+        # PR-4 fields (scheduler, cost_plateau stop reason, per-iteration
+        # extracted_cost) are optional so pre-PR-4 reports still load.
         phases = data.get("phase_times", {})
         return RunnerReport(
             stop_reason=StopReason(data["stop_reason"]),
@@ -240,6 +338,7 @@ class RunnerReport:
                 for name, d in data.get("rule_stats", {}).items()
             },
             extract_time=phases.get("extract", 0.0),
+            scheduler=data.get("scheduler", "simple"),
         )
 
     @staticmethod
@@ -248,7 +347,13 @@ class RunnerReport:
 
 
 class Runner:
-    """Drive equality saturation of an :class:`EGraph` with a rule set."""
+    """Drive equality saturation of an :class:`EGraph` with a rule set.
+
+    ``scheduler`` mediates the search and apply phases (a
+    :class:`~repro.egraph.schedule.RuleScheduler`, or its string spelling
+    — see :func:`~repro.egraph.schedule.make_scheduler`); ``anytime``
+    attaches in-loop extraction with plateau-based early stopping.
+    """
 
     def __init__(
         self,
@@ -256,7 +361,11 @@ class Runner:
         rewrites: Sequence[Rewrite],
         limits: Optional[RunnerLimits] = None,
         incremental: bool = True,
+        scheduler: Union[None, str, "RuleScheduler"] = None,
+        anytime: Optional[AnytimeExtraction] = None,
     ) -> None:
+        from repro.egraph.schedule import make_scheduler
+
         self.egraph = egraph
         self.rewrites = list(rewrites)
         seen: set = set()
@@ -272,9 +381,144 @@ class Runner:
         self.limits.validate()
         #: Skip classes untouched since each rule's previous scan.
         self.incremental = incremental
-        #: Per-rule e-graph version of the last *applied* scan (parallel to
-        #: :attr:`rewrites`); -1 forces a full first scan.
+        self.scheduler = make_scheduler(scheduler)
+        self.anytime = anytime
+        if anytime is not None:
+            anytime.validate()
+        #: Per-rule e-graph version of the last *committed* scan (parallel
+        #: to :attr:`rewrites`); -1 forces a full first scan.  Only
+        #: advanced when the scheduler admitted the complete match batch.
         self._last_scan: List[int] = [-1] * len(self.rewrites)
+        # -- anytime-extraction state (per run) ---------------------------
+        self._best_cost: Optional[float] = None
+        self._stale_evals: int = 0
+
+    # ------------------------------------------------------------------
+    # phases (mediated by the scheduler)
+    # ------------------------------------------------------------------
+
+    def _search_phase(
+        self, iteration: int, stats: Dict[str, RuleStats]
+    ) -> List[tuple]:
+        """Search scheduled rules against the pre-iteration e-graph.
+
+        Every rule sees the same e-graph snapshot, so the result does not
+        depend on rule order within an iteration.  Returns
+        ``(index, rule, matches, complete)`` tuples — ``complete`` False
+        when the scheduler dropped or truncated the batch, which pins the
+        rule's incremental-scan stamp (see :meth:`_apply_phase`).
+        """
+
+        egraph = self.egraph
+        scheduler = self.scheduler
+        all_matches: List[tuple] = []
+        for index, rule in enumerate(self.rewrites):
+            if not scheduler.should_search(iteration, index, rule):
+                continue
+            # Guards may read state outside the match cone (touch
+            # stamps only track the cone), and dynamic appliers may
+            # compute different results as the graph evolves — both
+            # need full rescans to stay sound.
+            incremental = (
+                self.incremental
+                and rule.guard is None
+                and rule._compiled_rhs is not None
+            )
+            since = self._last_scan[index] if incremental else None
+            limit = scheduler.search_limit(iteration, index, rule)
+            rt0 = time.perf_counter()
+            matches = rule.search(egraph, since=since, limit=limit)
+            rt1 = time.perf_counter()
+            rs = stats[rule.name]
+            rs.searches += 1
+            if since is not None and since >= 0:
+                rs.incremental_searches += 1
+            rs.search_time += rt1 - rt0
+            rs.matches += len(matches)
+            found = len(matches)
+            matches, complete = scheduler.admit(iteration, index, rule, matches)
+            if limit is not None and found >= limit:
+                # a capped search may have stopped short of the full match
+                # set — never commit the scan stamp on its say-so, whatever
+                # the scheduler's admit() decided
+                complete = False
+            all_matches.append((index, rule, matches, complete))
+        return all_matches
+
+    def _apply_phase(
+        self,
+        all_matches: List[tuple],
+        scan_version: int,
+        stats: Dict[str, RuleStats],
+    ) -> int:
+        """Apply the admitted matches; returns the number of unions made.
+
+        A rule's incremental-scan stamp advances to *scan_version* only
+        when its batch was complete: matches the scheduler dropped must be
+        re-findable by the rule's next scan, and matches found after a
+        node-limit break were never applied at all.
+        """
+
+        egraph = self.egraph
+        node_limit = self.limits.node_limit
+        applied = 0
+        for index, rule, matches, complete in all_matches:
+            at0 = time.perf_counter()
+            n_applied = rule.apply(egraph, matches)
+            at1 = time.perf_counter()
+            if complete:
+                # matches up to scan_version are now committed; the next
+                # incremental scan may skip classes untouched since then
+                self._last_scan[index] = scan_version
+            rs = stats[rule.name]
+            rs.apply_time += at1 - at0
+            rs.applied += n_applied
+            applied += n_applied
+            if len(egraph) > node_limit:
+                break
+        return applied
+
+    def _anytime_evaluate(
+        self, iteration: int, report: RunnerReport
+    ) -> tuple:
+        """Run one in-loop extraction at an iteration boundary.
+
+        Called after ``rebuild`` only — the memo's incremental DP refresh
+        reads the e-graph's canonical state and touched stamps, both of
+        which are only coherent between iterations.  Returns
+        ``(extracted_cost, plateaued)``.
+        """
+
+        anytime = self.anytime
+        if anytime is None or (iteration + 1) % anytime.interval != 0:
+            return None, False
+        from repro.egraph.extract import ExtractionMemo, extract_best
+
+        if anytime.memo is None:
+            anytime.memo = ExtractionMemo()
+        et0 = time.perf_counter()
+        result = extract_best(
+            self.egraph,
+            anytime.roots,
+            anytime.cost_model,
+            anytime.method,
+            anytime.time_limit,
+            memo=anytime.memo,
+        )
+        report.extract_time += time.perf_counter() - et0
+        cost = result.dag_cost
+        if self._best_cost is None or cost < self._best_cost - 1e-12:
+            self._best_cost = cost
+            self._stale_evals = 0
+        else:
+            self._stale_evals += 1
+        # the column records the best cost seen so far (monotone
+        # non-increasing), not the raw per-boundary cost: greedy DAG
+        # extraction can regress as the e-graph grows, and the trajectory
+        # should show what an anytime stop at this boundary could deliver
+        return self._best_cost, self._stale_evals >= anytime.patience
+
+    # ------------------------------------------------------------------
 
     def run(self) -> RunnerReport:
         """Run until saturation or a limit is hit; returns the report."""
@@ -282,10 +526,14 @@ class Runner:
         start = time.perf_counter()
         egraph = self.egraph
         limits = self.limits
-        report = RunnerReport(StopReason.SATURATED)
+        scheduler = self.scheduler
+        report = RunnerReport(StopReason.SATURATED, scheduler=scheduler.name)
         stats = report.rule_stats
         for rule in self.rewrites:
             stats[rule.name] = RuleStats(rule.name)
+        scheduler.reset(self.rewrites)
+        self._best_cost = None
+        self._stale_evals = 0
 
         stop: Optional[StopReason] = None
         for iteration in range(limits.iter_limit):
@@ -296,32 +544,10 @@ class Runner:
                 stop = StopReason.NODE_LIMIT
                 break
 
-            # Search every rule against the same pre-iteration e-graph so the
-            # result does not depend on rule order within an iteration.
+            scheduler.begin_iteration(iteration)
             scan_version = egraph.version
             t0 = time.perf_counter()
-            all_matches = []
-            for index, rule in enumerate(self.rewrites):
-                # Guards may read state outside the match cone (touch
-                # stamps only track the cone), and dynamic appliers may
-                # compute different results as the graph evolves — both
-                # need full rescans to stay sound.
-                incremental = (
-                    self.incremental
-                    and rule.guard is None
-                    and rule._compiled_rhs is not None
-                )
-                since = self._last_scan[index] if incremental else None
-                rt0 = time.perf_counter()
-                matches = rule.search(egraph, since=since)
-                rt1 = time.perf_counter()
-                rs = stats[rule.name]
-                rs.searches += 1
-                if since is not None and since >= 0:
-                    rs.incremental_searches += 1
-                rs.search_time += rt1 - rt0
-                rs.matches += len(matches)
-                all_matches.append((index, rule, matches))
+            all_matches = self._search_phase(iteration, stats)
             t1 = time.perf_counter()
 
             if t1 - start > limits.time_limit:
@@ -342,20 +568,7 @@ class Runner:
                 stop = StopReason.TIME_LIMIT
                 break
 
-            applied = 0
-            for index, rule, matches in all_matches:
-                at0 = time.perf_counter()
-                n_applied = rule.apply(egraph, matches)
-                at1 = time.perf_counter()
-                # matches up to scan_version are now committed; the next
-                # incremental scan may skip classes untouched since then
-                self._last_scan[index] = scan_version
-                rs = stats[rule.name]
-                rs.apply_time += at1 - at0
-                rs.applied += n_applied
-                applied += n_applied
-                if len(egraph) > limits.node_limit:
-                    break
+            applied = self._apply_phase(all_matches, scan_version, stats)
             t2 = time.perf_counter()
             timed_out = t2 - start > limits.time_limit
 
@@ -363,6 +576,17 @@ class Runner:
             # a half-canonicalised e-graph
             egraph.rebuild()
             t3 = time.perf_counter()
+
+            scheduler.end_iteration(iteration, applied)
+            if timed_out:
+                # already over the wall-clock budget: skip the in-loop
+                # extraction (it could blow far past the limit) and let
+                # the TIME_LIMIT stop below win
+                extracted_cost, plateaued = None, False
+            else:
+                extracted_cost, plateaued = self._anytime_evaluate(
+                    iteration, report
+                )
 
             report.iterations.append(
                 IterationReport(
@@ -373,13 +597,17 @@ class Runner:
                     search_time=t1 - t0,
                     apply_time=t2 - t1,
                     rebuild_time=t3 - t2,
+                    extracted_cost=extracted_cost,
                 )
             )
 
-            if applied == 0:
+            if applied == 0 and scheduler.exhaustive():
                 stop = StopReason.SATURATED
                 break
-            if timed_out or t3 - start > limits.time_limit:
+            if plateaued:
+                stop = StopReason.COST_PLATEAU
+                break
+            if timed_out or time.perf_counter() - start > limits.time_limit:
                 stop = StopReason.TIME_LIMIT
                 break
             if len(egraph) > limits.node_limit:

@@ -86,12 +86,22 @@ class EvaluationSettings:
     iter_limit: int = 4
     time_limit: float = 5.0
     extraction: str = "dag-greedy"
+    #: Rule-scheduler spelling (``simple`` / ``backoff[:..]`` /
+    #: ``match-budget[:..]``); the CLI's ``--scheduler``.
+    scheduler: str = "simple"
+    #: Anytime extraction with plateau-based early stopping; the CLI's
+    #: ``--anytime``.
+    anytime: bool = False
+    plateau_patience: int = 3
 
     def config(self, variant: Variant) -> SaturatorConfig:
         return SaturatorConfig(
             variant=variant,
             limits=RunnerLimits(self.node_limit, self.iter_limit, self.time_limit),
             extraction=self.extraction,
+            scheduler=self.scheduler,
+            anytime_extraction=self.anytime,
+            plateau_patience=self.plateau_patience,
         )
 
 

@@ -74,6 +74,21 @@ class SaturatorConfig:
     #: its previous scan (sound — see :mod:`repro.egraph.runner`; set False
     #: to force full rescans every iteration).
     incremental_search: bool = True
+    #: Rule-scheduler spelling (see :func:`repro.egraph.schedule.make_scheduler`):
+    #: ``"simple"`` (default — the paper's every-rule-every-iteration loop),
+    #: ``"backoff[:MATCH_LIMIT[:BAN_LENGTH]]"`` or ``"match-budget[:BUDGET]"``.
+    #: Fingerprint-relevant: non-default schedulers change which e-nodes
+    #: exist when a limit truncates saturation.
+    scheduler: str = "simple"
+    #: Anytime extraction: extract from the live e-graph every
+    #: ``anytime_interval`` iterations (through the shared
+    #: :class:`~repro.egraph.extract.ExtractionMemo`, so each evaluation is
+    #: an incremental refresh) and stop saturating once the extracted cost
+    #: has not improved for ``plateau_patience`` consecutive evaluations.
+    #: Fingerprint-relevant: early stopping changes the saturated e-graph.
+    anytime_extraction: bool = False
+    anytime_interval: int = 1
+    plateau_patience: int = 3
 
     def with_variant(self, variant: Variant) -> "SaturatorConfig":
         """A copy of this config with a different variant."""

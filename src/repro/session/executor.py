@@ -11,7 +11,11 @@ The experiment harness and the CLI evaluate many independent units of work
   caches; best when cache hits dominate.
 * :class:`ProcessExecutor` — a process pool for CPU-bound cold runs.  The
   mapped callable and its arguments must be picklable (use module-level
-  functions), and per-process caches start cold.
+  functions).  Workers inherit the **disk cache tier**: with a
+  ``cache_dir`` (explicit, or from ``REPRO_CACHE_DIR``), every worker's
+  initializer exports the directory and rebinds the experiment harness's
+  pipeline cache onto it, so fleet workers hit warm on-disk artifacts
+  instead of re-running cold pipelines.
 
 ``map`` always returns results **in input order** regardless of completion
 order, so parallel evaluation is output-identical to serial evaluation.
@@ -23,7 +27,8 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+import sys
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar, Union
 
 __all__ = [
     "BatchExecutor",
@@ -78,12 +83,17 @@ class _PoolExecutor(BatchExecutor):
     def __init__(self, jobs: Optional[int] = None) -> None:
         super().__init__(jobs=jobs if jobs is not None else _default_jobs())
 
+    def _pool_kwargs(self) -> Dict[str, object]:
+        """Extra keyword arguments for the pool constructor."""
+
+        return {}
+
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
         items = list(items)
         if len(items) <= 1 or self.jobs == 1:
             return [fn(item) for item in items]
         workers = min(self.jobs, len(items))
-        with self._pool_cls(max_workers=workers) as pool:
+        with self._pool_cls(max_workers=workers, **self._pool_kwargs()) as pool:
             return list(pool.map(fn, items))
 
 
@@ -94,21 +104,70 @@ class ThreadExecutor(_PoolExecutor):
     _pool_cls = concurrent.futures.ThreadPoolExecutor
 
 
+def _worker_cache_init(cache_dir: str) -> None:
+    """Process-pool worker initializer: adopt the parent's disk cache tier.
+
+    Exports ``REPRO_CACHE_DIR`` so harness modules imported later in the
+    worker read the shared directory, and — when the experiment harness is
+    already imported (the fork start method copies the parent's modules) —
+    rebinds its pipeline cache onto the directory unless it is already
+    backed by it (rebinding would needlessly drop a warm memory tier).
+    """
+
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    common = sys.modules.get("repro.experiments.common")
+    if common is None:
+        return
+    cache = getattr(common, "_PIPELINE_CACHE", None)
+    disk = getattr(cache, "disk", None)
+    root = getattr(disk, "root", None)
+    if root is not None and os.path.abspath(os.fspath(root)) == os.path.abspath(cache_dir):
+        return
+    common.configure_pipeline_cache(cache_dir=cache_dir)
+
+
 class ProcessExecutor(_PoolExecutor):
-    """Run the batch on a process pool (callable/args must pickle)."""
+    """Run the batch on a process pool (callable/args must pickle).
+
+    ``cache_dir`` (default: the ``REPRO_CACHE_DIR`` environment variable,
+    resolved at ``map`` time) is handed to every worker through a pool
+    initializer — see :func:`_worker_cache_init` — so process fleets share
+    the content-addressed disk artifacts instead of starting cold.
+    """
 
     kind = "processes"
     _pool_cls = concurrent.futures.ProcessPoolExecutor
 
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Union[None, str, "os.PathLike"] = None,
+    ) -> None:
+        super().__init__(jobs)
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+
+    def _pool_kwargs(self) -> Dict[str, object]:
+        cache_dir = self.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+        if cache_dir:
+            return {
+                "initializer": _worker_cache_init,
+                "initargs": (cache_dir,),
+            }
+        return {}
+
 
 def make_executor(
-    spec: Union[None, int, str, BatchExecutor] = None
+    spec: Union[None, int, str, BatchExecutor] = None,
+    cache_dir: Union[None, str, "os.PathLike"] = None,
 ) -> BatchExecutor:
     """Build an executor from a CLI-style spec.
 
     ``None``, ``"serial"`` and ``1`` mean serial; an integer ``N > 1``
     means ``N`` threads; ``"threads[:N]"`` / ``"processes[:N]"`` select the
-    pool type explicitly (``N`` defaults to the CPU count).  An existing
+    pool type explicitly (``N`` defaults to the CPU count).  ``cache_dir``
+    is forwarded to a :class:`ProcessExecutor` so its workers inherit the
+    disk cache tier; other executor kinds ignore it (threads and serial
+    already share the in-process cache).  An existing
     :class:`BatchExecutor` passes through unchanged.
     """
 
@@ -130,7 +189,7 @@ def make_executor(
     if name == "threads":
         return ThreadExecutor(jobs) if jobs != 1 else SerialExecutor()
     if name == "processes":
-        return ProcessExecutor(jobs) if jobs != 1 else SerialExecutor()
+        return ProcessExecutor(jobs, cache_dir=cache_dir) if jobs != 1 else SerialExecutor()
     if name.isdigit():
         return make_executor(int(name))
     raise ValueError(

@@ -33,8 +33,10 @@ __all__ = [
 #: when the e-graph core's representation or report payloads change shape
 #: (e.g. the arena/interning rewrite) so artifacts pickled by an older
 #: engine are never replayed into a newer one — the cache simply re-misses
-#: and repopulates.
-ENGINE_SCHEMA = "arena-v1"
+#: and repopulates.  arena-v2: PR-4 report payloads grew scheduler /
+#: extracted_cost fields (old pickles would lack the attributes), and the
+#: new scheduler/anytime config knobs re-key every artifact anyway.
+ENGINE_SCHEMA = "arena-v2"
 
 
 def fingerprint_text(text: str) -> str:

@@ -20,6 +20,7 @@ variant and extractor.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.saturator.config import SaturatorConfig
@@ -59,6 +60,18 @@ def _optimize_task(args: Tuple[str, SaturatorConfig, str]) -> OptimizationResult
     return optimize_source(source, config, name_prefix)
 
 
+def _cache_dir_of(cache: Optional[ArtifactCache]) -> Optional[str]:
+    """Directory of the cache's disk tier, if it has one.
+
+    Handed to process executors so their workers inherit the on-disk
+    artifacts (``DiskCache.root`` directly, or ``TieredCache.disk``).
+    """
+
+    disk = getattr(cache, "disk", None) or cache
+    root = getattr(disk, "root", None)
+    return None if root is None else os.fspath(root)
+
+
 class OptimizationSession:
     """A reusable, cache-aware context for running the staged pipeline.
 
@@ -78,7 +91,9 @@ class OptimizationSession:
     ) -> None:
         self.config = config or SaturatorConfig()
         self.cache = cache
-        self.executor = make_executor(executor)
+        # a process executor built from a spec inherits the session's disk
+        # cache directory, so its workers share the warm artifact tier
+        self.executor = make_executor(executor, cache_dir=_cache_dir_of(cache))
         self.stages = stages
 
     # ------------------------------------------------------------------

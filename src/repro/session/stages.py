@@ -38,7 +38,7 @@ from repro.codegen.generator import CodeGenerator, GeneratedKernel, count_ast_st
 from repro.cost import AccSaturatorCostModel
 from repro.egraph.egraph import EGraph
 from repro.egraph.extract import ExtractionMemo, ExtractionResult, extract_best
-from repro.egraph.runner import Runner
+from repro.egraph.runner import AnytimeExtraction, Runner
 from repro.frontend import cast as C
 from repro.frontend.normalize import normalize_blocks
 from repro.rules import constant_folding_analysis, ruleset_by_name
@@ -151,7 +151,17 @@ class EGraphBuildStage(Stage):
 
 
 class SaturationStage(Stage):
-    """Equality saturation (CSE+SAT / ACCSAT variants only)."""
+    """Equality saturation (CSE+SAT / ACCSAT variants only).
+
+    The saturation loop is driven by the rule scheduler named in
+    ``config.scheduler``; with ``config.anytime_extraction`` the runner
+    additionally extracts in-loop every ``config.anytime_interval``
+    iterations and stops on a ``config.plateau_patience`` cost plateau.
+    The anytime memo is shared through ``ctx.extraction_memo``, so the
+    downstream :class:`ExtractionStage` reuses the warm DP table — and,
+    when the loop stopped right after an evaluation, the final extraction
+    is a whole-result cache hit.
+    """
 
     name = "saturate"
     requires = ("egraph",)
@@ -160,9 +170,26 @@ class SaturationStage(Stage):
         config = ctx.config
         if config.variant.saturate:
             rules = ruleset_by_name(config.ruleset)
+            anytime = None
+            if config.anytime_extraction:
+                roots = list(ctx.root_of.values())
+                if roots:
+                    if ctx.extraction_memo is None:
+                        ctx.extraction_memo = ExtractionMemo()
+                    anytime = AnytimeExtraction(
+                        roots=roots,
+                        cost_model=AccSaturatorCostModel(),
+                        method=config.extraction,
+                        interval=config.anytime_interval,
+                        patience=config.plateau_patience,
+                        memo=ctx.extraction_memo,
+                        time_limit=config.extraction_time_limit,
+                    )
             runner = Runner(
                 ctx.egraph, rules, config.limits,
                 incremental=config.incremental_search,
+                scheduler=config.scheduler,
+                anytime=anytime,
             )
             ctx.report.runner = runner.run()
         ctx.report.egraph_nodes = len(ctx.egraph)
@@ -194,7 +221,9 @@ class ExtractionStage(Stage):
         if ctx.report.runner is not None:
             # complete the runner's search/apply/rebuild phase profile with
             # the extraction time so one report carries the full breakdown
-            ctx.report.runner.extract_time = ctx.extraction.elapsed
+            # (added on top of any in-loop anytime extraction time the
+            # runner already accumulated)
+            ctx.report.runner.extract_time += ctx.extraction.elapsed
         if ctx.extraction_memo is not None:
             ctx.report.extraction_memo = ctx.extraction_memo.stats_dict()
 

@@ -42,14 +42,48 @@ _SCRIPT = textwrap.dedent(
     """
 )
 
+#: The same kernel under a tightly parameterised backoff scheduler: the
+#: tiny match threshold forces real bans mid-run, so the digest covers
+#: the scheduler's skip/drop decisions as well as the match order.
+_BACKOFF_SCRIPT = textwrap.dedent(
+    """
+    import hashlib
+    from repro.egraph.runner import RunnerLimits
+    from repro.saturator import SaturatorConfig, Variant, optimize_source
 
-def _run_with_hash_seed(seed: str) -> str:
+    SOURCE = '''
+    #pragma acc parallel loop gang
+    for (int i = 1; i < n; i++) {
+      out[i] = w0 * a[i] + w1 * a[i-1] + w2 * a[i+1]
+             + w0 * b[i] + w1 * b[i-1] + w2 * b[i+1]
+             + w0 * a[i] * b[i];
+    }
+    '''
+    config = SaturatorConfig(
+        variant=Variant.CSE_SAT, limits=RunnerLimits(400, 8, 5.0),
+        scheduler="backoff:16:2",
+    )
+    result = optimize_source(SOURCE, config)
+    kernel = result.kernels[0]
+    assert kernel.runner.scheduler == "backoff"
+    searches = sorted(
+        (name, rs.searches, rs.matches, rs.applied)
+        for name, rs in kernel.runner.rule_stats.items()
+    )
+    digest = hashlib.sha256(result.code.encode()).hexdigest()
+    print(digest, kernel.egraph_nodes, kernel.egraph_classes,
+          kernel.extracted_cost, searches)
+    """
+)
+
+
+def _run_with_hash_seed(seed: str, script: str = _SCRIPT) -> str:
     src = Path(__file__).resolve().parents[2] / "src"
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = seed
     env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(
-        [sys.executable, "-c", _SCRIPT],
+        [sys.executable, "-c", script],
         capture_output=True, text=True, env=env, timeout=120,
     )
     assert proc.returncode == 0, proc.stderr
@@ -59,3 +93,15 @@ def _run_with_hash_seed(seed: str) -> str:
 def test_node_limited_saturation_is_hash_seed_independent():
     outputs = {_run_with_hash_seed(seed) for seed in ("0", "1", "12345")}
     assert len(outputs) == 1, f"outcomes diverged across hash seeds: {outputs}"
+
+
+def test_backoff_scheduled_saturation_is_hash_seed_independent():
+    """Backoff runs must be byte-identical across processes: the ban
+    decisions hang off deterministically ordered match counts, so the
+    generated code, the truncated e-graph, and the per-rule search/ban
+    history all reproduce under any PYTHONHASHSEED."""
+
+    outputs = {
+        _run_with_hash_seed(seed, _BACKOFF_SCRIPT) for seed in ("0", "1", "12345")
+    }
+    assert len(outputs) == 1, f"backoff outcomes diverged across hash seeds: {outputs}"

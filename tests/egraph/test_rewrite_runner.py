@@ -40,6 +40,36 @@ class TestRewrite:
         eg.rebuild()
         assert eg.lookup_term(op("+", sym("x"), sym("x"))) == eg.find(root)
 
+    def test_search_limit_truncates_deterministically(self):
+        eg = EGraph()
+        for i in range(4):
+            eg.add_term(op("+", sym(f"a{i}"), sym(f"b{i}")))
+        eg.rebuild()
+        rule = rewrite("comm", "(+ ?a ?b)", "(+ ?b ?a)")
+        full = rule.search(eg)
+        assert len(full) == 4
+        # the capped search returns the first `limit` of the same order
+        assert rule.search(eg, limit=2) == full[:2]
+        assert rule.search(eg, limit=10) == full
+        assert rule.search(eg, limit=0) == []
+
+    def test_search_limit_applies_after_guard(self):
+        eg = EGraph()
+        for i in range(4):
+            eg.add_term(op("+", sym(f"a{i}"), sym(f"b{i}")))
+        eg.rebuild()
+        seen = []
+
+        def guard(egraph, eclass, subst):
+            seen.append(eclass)
+            return len(seen) % 2 == 0  # veto every other match
+
+        rule = rewrite("comm-guarded", "(+ ?a ?b)", "(+ ?b ?a)", guard=guard)
+        capped = rule.search(eg, limit=1)
+        assert len(capped) == 1
+        # the cap counts post-guard survivors, not raw matches
+        assert len(seen) == 4
+
     def test_rule_application_is_idempotent_once_present(self):
         eg = EGraph()
         eg.add_term(op("+", sym("a"), op("*", sym("b"), sym("c"))))

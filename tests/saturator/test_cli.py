@@ -56,6 +56,27 @@ class TestCLI:
         data = json.loads(capsys.readouterr().out)
         assert data["files"][0]["input"].endswith("kernel.c")
 
+    def test_scheduler_and_anytime_flags(self, kernel_file, capsys):
+        assert main([
+            str(kernel_file), "--emit-report-only",
+            "--scheduler", "backoff:100:2", "--anytime", "--plateau-patience", "1",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        runner = report["files"][0]["kernels"][0]["runner"]
+        assert runner["scheduler"] == "backoff"
+        assert any(
+            it["extracted_cost"] is not None for it in runner["iterations"]
+        )
+
+    def test_bad_scheduler_rejected(self, kernel_file, capsys):
+        with pytest.raises(SystemExit):
+            main([str(kernel_file), "--scheduler", "nope"])
+        assert "unknown scheduler spec" in capsys.readouterr().err
+
+    def test_bad_plateau_patience_rejected(self, kernel_file):
+        with pytest.raises(SystemExit):
+            main([str(kernel_file), "--plateau-patience", "0"])
+
     def test_missing_file_fails(self, tmp_path):
         assert main([str(tmp_path / "absent.c")]) == 1
 
@@ -67,5 +88,6 @@ class TestCLI:
         parser = build_arg_parser()
         text = parser.format_help()
         for option in ("--variant", "--ruleset", "--extraction", "--node-limit",
-                       "--iter-limit", "--time-limit", "--report"):
+                       "--iter-limit", "--time-limit", "--report",
+                       "--scheduler", "--anytime", "--plateau-patience"):
             assert option in text
