@@ -1,0 +1,285 @@
+#!/usr/bin/env python
+"""Synthetic load generator for the optimization service: BENCH_service.json.
+
+Drives an :class:`~repro.service.OptimizationService` with a
+duplicate-heavy request mix — by default 200 requests spread over ~20
+distinct benchmark kernels, submitted in bursts so identical requests are
+in flight together (the trending-kernel traffic shape coalescing exists
+for) — and records:
+
+* **throughput** (requests/s) and **p50/p95 latency** (submit → terminal),
+* the **coalesce rate** (submissions attached to an in-flight job) and the
+  **cache-hit rate** of a follow-up wave re-requesting every kernel,
+* the same run with coalescing disabled (the baseline: every submission
+  enqueues its own job, duplicates popped concurrently each run the cold
+  pipeline), and the resulting **coalescing speedup**,
+* a **correctness audit**: every coalesced result must be byte-identical
+  (pickle) to the artifact of the job it attached to, and every job's
+  generated code must equal a solo ``optimize_source`` run of the same
+  (source, config).
+
+``--check`` turns the invariants into hard assertions (exit 1 on
+violation) — CI runs the generator at small scale in that mode to prove
+the service terminates every job and actually coalesces under load.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_service_bench.py [-o OUT]
+        [--requests N] [--kernels K] [--workers W] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import platform
+import statistics
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.egraph.runner import RunnerLimits
+from repro.experiments.common import pipeline_workload
+from repro.saturator import SaturatorConfig, Variant, optimize_source
+from repro.service import JobState, OptimizationService
+from repro.session import MemoryCache
+
+# Generous wall-clock limit (the node/iteration limits bind first), so the
+# produced artifacts are pure functions of (source, config) — which is what
+# makes the byte-identity audit meaningful on a noisy machine.
+_TIME_LIMIT = 300.0
+
+
+def _service_config(node_limit: int, iter_limit: int) -> SaturatorConfig:
+    """The per-job pipeline config: saturating, with anytime extraction on
+    so jobs stream per-iteration extracted-cost snapshots."""
+
+    return SaturatorConfig(
+        variant=Variant.CSE_SAT,
+        limits=RunnerLimits(node_limit, iter_limit, _TIME_LIMIT),
+        anytime_extraction=True,
+        plateau_patience=2,
+    )
+
+
+def _kernel_pool(count: int) -> list:
+    """Up to *count* distinct kernel sources from the benchmark suites."""
+
+    sources = []
+    seen = set()
+    for source, _config, name in pipeline_workload():
+        if source in seen:
+            continue
+        seen.add(source)
+        sources.append((name, source))
+        if len(sources) >= count:
+            break
+    return sources
+
+
+def _request_mix(kernels: list, requests: int) -> list:
+    """A bursty, duplicate-heavy request order (deterministic).
+
+    Requests for one kernel arrive back to back — the worst case for a
+    cache-only service (duplicates are popped while their twin is still
+    running) and exactly the case in-flight coalescing collapses.
+    """
+
+    mix = []
+    for index in range(requests):
+        mix.append(kernels[index * len(kernels) // requests])
+    return mix
+
+
+def _percentiles(values: list) -> tuple:
+    """(p50, p95) of *values*, interpolated like standard latency tooling."""
+
+    if not values:
+        return 0.0, 0.0
+    if len(values) == 1:
+        return values[0], values[0]
+    cuts = statistics.quantiles(values, n=20, method="inclusive")
+    return cuts[9], cuts[18]
+
+
+def _drive(mix, config, workers, coalesce):
+    """Submit the whole mix, start the workers, drain; return the record."""
+
+    service = OptimizationService(
+        config=config, cache=MemoryCache(), workers=workers, coalesce=coalesce
+    )
+    t0 = time.perf_counter()
+    handles = [
+        service.submit(source, priority=0, name_prefix=name)
+        for name, source in mix
+    ]
+    service.start()
+    service.join()
+    elapsed = time.perf_counter() - t0
+
+    latencies = [h.latency for h in handles if h.latency is not None]
+    p50, p95 = _percentiles(latencies)
+    stats = service.stats.snapshot()
+    record = {
+        "coalesce": coalesce,
+        "requests": len(handles),
+        "wall_seconds": elapsed,
+        "throughput_rps": len(handles) / elapsed if elapsed > 0 else float("inf"),
+        "latency_p50_s": p50,
+        "latency_p95_s": p95,
+        "pipeline_runs": stats["pipeline_runs"],
+        "coalesced": stats["coalesced"],
+        "coalesce_rate": stats["coalesced"] / max(1, stats["submitted"]),
+        "cache_hits": stats["cache_hits"],
+        "stats": stats,
+    }
+    return service, handles, record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output",
+        default=os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                             "BENCH_service.json"),
+        help="output JSON path (default: repo-root BENCH_service.json)",
+    )
+    parser.add_argument("--requests", type=int, default=200,
+                        help="requests in the main wave (default 200)")
+    parser.add_argument("--kernels", type=int, default=20,
+                        help="distinct kernels in the mix (default 20)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="service worker threads (default 8)")
+    parser.add_argument("--node-limit", type=int, default=1000,
+                        help="per-job saturation node limit (default 1000)")
+    parser.add_argument("--iter-limit", type=int, default=3,
+                        help="per-job saturation iteration limit (default 3)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the service invariants (CI smoke mode)")
+    args = parser.parse_args(argv)
+    if args.requests < args.kernels or args.kernels < 1:
+        parser.error("--requests must be >= --kernels >= 1")
+
+    config = _service_config(args.node_limit, args.iter_limit)
+    kernels = _kernel_pool(args.kernels)
+    mix = _request_mix(kernels, args.requests)
+
+    # -- main wave, coalescing on -----------------------------------------
+    service, handles, coalesced_record = _drive(
+        mix, config, args.workers, coalesce=True
+    )
+
+    # -- follow-up wave: every kernel again -> plain cache hits ------------
+    followup = [service.submit(source, priority=0, name_prefix=name)
+                for name, source in kernels]
+    service.start()
+    service.join()
+    followup_hits = sum(1 for h in followup if h.from_cache)
+    coalesced_record["followup_cache_hits"] = followup_hits
+    coalesced_record["stats"] = service.stats.snapshot()
+    service.stop()
+
+    # -- correctness audit -------------------------------------------------
+    # (a) each coalesced handle's result is byte-identical to the artifact
+    #     of the job it attached to
+    identical = True
+    by_job = {}
+    for handle in handles:
+        by_job.setdefault(id(handle._job), []).append(handle)
+    for group in by_job.values():
+        blobs = {pickle.dumps(h.result().kernels) for h in group}
+        if len(blobs) != 1:
+            identical = False
+    # (b) each job's generated code equals a solo run of (source, config)
+    solo_matches = True
+    solo_costs = {}
+    for name, source in kernels:
+        solo = optimize_source(source, config, name)
+        solo_costs[name] = [k.extracted_cost for k in solo.kernels]
+        served = next(h for h in handles if h.request.name_prefix == name)
+        if served.result().code != solo.code:
+            solo_matches = False
+
+    # -- baseline: coalescing off ------------------------------------------
+    baseline_service, baseline_handles, baseline_record = _drive(
+        mix, config, args.workers, coalesce=False
+    )
+    baseline_service.stop()
+
+    speedup = (
+        baseline_record["wall_seconds"] / coalesced_record["wall_seconds"]
+        if coalesced_record["wall_seconds"] > 0 else float("inf")
+    )
+
+    payload = {
+        "schema": "repro-service-bench/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "params": {
+            "requests": args.requests,
+            "kernels": len(kernels),
+            "workers": args.workers,
+            "node_limit": args.node_limit,
+            "iter_limit": args.iter_limit,
+        },
+        "coalescing": coalesced_record,
+        "no_coalescing_baseline": baseline_record,
+        "speedup_coalescing": speedup,
+        "checks": {
+            "all_terminal": all(h.done() for h in handles + followup),
+            "coalesced_results_identical": identical,
+            "matches_solo_run": solo_matches,
+        },
+    }
+
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    print(
+        f"  coalescing : {coalesced_record['throughput_rps']:8.1f} req/s "
+        f"(p50 {1e3 * coalesced_record['latency_p50_s']:.0f} ms, "
+        f"p95 {1e3 * coalesced_record['latency_p95_s']:.0f} ms, "
+        f"{coalesced_record['pipeline_runs']} pipeline runs)"
+    )
+    print(
+        f"  baseline   : {baseline_record['throughput_rps']:8.1f} req/s "
+        f"({baseline_record['pipeline_runs']} pipeline runs)"
+    )
+    print(f"  speedup    : {speedup:8.2f}x   "
+          f"coalesce rate {100 * coalesced_record['coalesce_rate']:.0f}%   "
+          f"follow-up cache hits {followup_hits}/{len(kernels)}")
+
+    if args.check:
+        failures = []
+        if not payload["checks"]["all_terminal"]:
+            failures.append("not every job reached a terminal state")
+        if coalesced_record["coalesced"] == 0:
+            failures.append("no submissions were coalesced")
+        if followup_hits == 0:
+            failures.append("follow-up wave produced no cache hits")
+        if not identical:
+            failures.append("coalesced results were not byte-identical")
+        if not solo_matches:
+            failures.append("served code deviates from a solo run")
+        if coalesced_record["pipeline_runs"] > len(kernels):
+            failures.append(
+                f"coalescing ran {coalesced_record['pipeline_runs']} pipelines "
+                f"for {len(kernels)} distinct kernels"
+            )
+        if failures:
+            print("service bench check FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("service bench checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart for the concurrent optimization service (PR 5).
+
+Shows the three ways to consume a submitted job:
+
+1. **submit + block** — ``handle.result()`` like a ``Future``,
+2. **poll** — inspect ``handle.state`` / ``handle.progress()`` while the
+   job runs,
+3. **stream** — iterate ``handle.stream()`` for per-iteration saturation
+   snapshots (``extracted_cost`` populated because the service config
+   enables anytime extraction).
+
+It also demonstrates the two mechanisms that make the service cheap under
+duplicate-heavy traffic: in-flight **coalescing** (identical concurrent
+submissions share one pipeline run) and the **artifact cache** (identical
+later submissions skip the pipeline entirely).
+
+Usage::
+
+    PYTHONPATH=src python examples/service_quickstart.py
+"""
+
+from repro.egraph.runner import RunnerLimits
+from repro.saturator import SaturatorConfig, Variant
+from repro.service import OptimizationRequest, OptimizationService
+
+KERNEL = """
+#pragma acc parallel loop gang
+for (int i = 0; i < n; i++) {
+#pragma acc loop vector
+  for (int j = 0; j < m; j++) {
+    out[i][j] = w0 * in[i][j] + w1 * (in[i][j-1] + in[i][j+1])
+              + w0 * in[i][j] * w1;
+  }
+}
+"""
+
+OTHER = """
+#pragma acc parallel loop
+for (int i = 0; i < n; i++) {
+  y[i] = (a[i] + b[i]) * (a[i] + b[i]) + c[i] / a[i];
+}
+"""
+
+#: Anytime extraction on -> jobs publish an extracted cost per iteration.
+CONFIG = SaturatorConfig(
+    variant=Variant.ACCSAT,
+    limits=RunnerLimits(node_limit=2000, iter_limit=6, time_limit=60.0),
+    anytime_extraction=True,
+    plateau_patience=2,
+)
+
+
+def main() -> None:
+    with OptimizationService(config=CONFIG, workers=4) as service:
+        # -- 1. submit + block --------------------------------------------
+        handle = service.submit(KERNEL)
+        result = handle.result(timeout=120)
+        print(f"blocking submit: {len(result.kernels)} kernel(s), "
+              f"extracted cost {result.kernels[0].extracted_cost:.1f}")
+
+        # -- 2. burst of duplicates: coalescing + cache -------------------
+        burst = [
+            service.submit(OptimizationRequest(OTHER, priority=index % 2))
+            for index in range(5)
+        ]
+        for index, h in enumerate(burst):
+            h.result(timeout=120)
+            print(f"burst[{index}]: coalesced={h.coalesced} "
+                  f"from_cache={h.from_cache}")
+        repeat = service.submit(OTHER)  # everything in flight finished
+        repeat.result(timeout=120)
+        print(f"repeat submission: from_cache={repeat.from_cache}")
+
+        # -- 3. stream progress of a fresh job ----------------------------
+        fresh = KERNEL.replace("w0", "k0").replace("w1", "k1")
+        streaming = service.submit(fresh)
+        print("streaming saturation progress:")
+        for event in streaming.stream(timeout=120):
+            cost = "-" if event.extracted_cost is None else f"{event.extracted_cost:.1f}"
+            print(f"  iter {event.iteration}: {event.egraph_nodes} e-nodes, "
+                  f"best extracted cost {cost}")
+        print(f"streamed job state: {streaming.state.value}")
+
+        # -- service accounting -------------------------------------------
+        print("service stats:", service.stats.snapshot())
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,14 @@ Examples::
     accsat kernel.c -o kernel.sat.c
     accsat --variant cse+bulk --report report.json nvc kernel.c
     accsat --emit-report-only --variant accsat kernel.c
+
+``accsat serve`` is the service mode: the input files become jobs of a
+concurrent :class:`~repro.service.OptimizationService` (duplicate inputs
+coalesce onto one pipeline run), per-iteration saturation progress can be
+streamed with ``--stream``, and the run ends with a service-stats summary::
+
+    accsat serve --workers 4 --anytime kernels/*.c
+    accsat serve --workers 8 --cache-dir /tmp/cache --report stats.json a.c a.c b.c
 """
 
 from __future__ import annotations
@@ -29,24 +37,14 @@ from repro.egraph.schedule import make_scheduler
 from repro.saturator import SaturatorConfig, Variant
 from repro.session import DiskCache, OptimizationSession
 
-__all__ = ["build_arg_parser", "main"]
+__all__ = ["build_arg_parser", "build_serve_parser", "main", "serve_main"]
 
 _KNOWN_COMPILERS = {"nvc", "nvcc", "gcc", "cc", "clang", "icc", "pgcc"}
 
 
-def build_arg_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="accsat",
-        description="Equality-saturation optimizer for OpenACC/OpenMP C kernels "
-                    "(ACC Saturator reproduction).",
-    )
-    parser.add_argument(
-        "inputs",
-        nargs="+",
-        help="input C file(s); an optional leading compiler name (nvc/gcc/clang) "
-             "is accepted and ignored",
-    )
-    parser.add_argument("-o", "--output", help="output file (default: <input>.sat.c)")
+def _add_config_options(parser: argparse.ArgumentParser) -> None:
+    """Pipeline-configuration options shared by the optimize and serve modes."""
+
     parser.add_argument(
         "--variant",
         default="accsat",
@@ -86,6 +84,48 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="with --anytime: consecutive non-improving extractions before "
              "stopping (default 3)",
     )
+
+
+def _config_from_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> SaturatorConfig:
+    """Validate the shared options and build the :class:`SaturatorConfig`."""
+
+    try:
+        variant = Variant.from_name(args.variant)
+    except ValueError as exc:
+        parser.error(str(exc))
+    try:
+        make_scheduler(args.scheduler)  # fail fast on a bad spelling
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.plateau_patience < 1:
+        parser.error("--plateau-patience must be at least 1")
+    return SaturatorConfig(
+        variant=variant,
+        ruleset=args.ruleset,
+        extraction=args.extraction,
+        limits=RunnerLimits(args.node_limit, args.iter_limit, args.time_limit),
+        scheduler=args.scheduler,
+        anytime_extraction=args.anytime,
+        plateau_patience=args.plateau_patience,
+    )
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="accsat",
+        description="Equality-saturation optimizer for OpenACC/OpenMP C kernels "
+                    "(ACC Saturator reproduction).",
+    )
+    parser.add_argument(
+        "inputs",
+        nargs="+",
+        help="input C file(s); an optional leading compiler name (nvc/gcc/clang) "
+             "is accepted and ignored",
+    )
+    parser.add_argument("-o", "--output", help="output file (default: <input>.sat.c)")
+    _add_config_options(parser)
     parser.add_argument(
         "--jobs", "-j", type=int, default=1,
         help="optimize input files in parallel with N workers (default 1)",
@@ -124,6 +164,9 @@ def _split_inputs(inputs: Sequence[str]) -> tuple[Optional[str], List[Path]]:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = build_arg_parser()
     args = parser.parse_args(argv)
 
@@ -131,28 +174,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not files:
         parser.error("no input files given")
 
-    try:
-        variant = Variant.from_name(args.variant)
-    except ValueError as exc:
-        parser.error(str(exc))
-        return 2  # pragma: no cover - parser.error raises
-
-    try:
-        make_scheduler(args.scheduler)  # fail fast on a bad spelling
-    except ValueError as exc:
-        parser.error(str(exc))
-    if args.plateau_patience < 1:
-        parser.error("--plateau-patience must be at least 1")
-
-    config = SaturatorConfig(
-        variant=variant,
-        ruleset=args.ruleset,
-        extraction=args.extraction,
-        limits=RunnerLimits(args.node_limit, args.iter_limit, args.time_limit),
-        scheduler=args.scheduler,
-        anytime_extraction=args.anytime,
-        plateau_patience=args.plateau_patience,
-    )
+    config = _config_from_args(parser, args)
+    variant = config.variant
 
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
@@ -214,6 +237,146 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.emit_report_only:
         json.dump(overall_report, sys.stdout, indent=2)
         print()
+    return exit_code
+
+
+# ---------------------------------------------------------------------------
+# service mode: ``accsat serve``
+# ---------------------------------------------------------------------------
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="accsat serve",
+        description="Optimize input files through the concurrent optimization "
+                    "service: duplicate inputs coalesce onto one pipeline run, "
+                    "progress streams per saturation iteration, and the run "
+                    "ends with a service-stats summary.",
+    )
+    parser.add_argument("inputs", nargs="+", help="input C file(s); duplicates allowed")
+    _add_config_options(parser)
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads of the service (default 4)",
+    )
+    parser.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable in-flight request coalescing (every submission runs)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="content-addressed artifact cache directory shared by the workers "
+             "(default: an in-memory cache for this run)",
+    )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="print a line per saturation iteration as jobs progress",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="overall deadline in seconds (default: wait for every job)",
+    )
+    parser.add_argument("--report", help="write a JSON report (per-job + service stats)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="do not write .sat.c outputs (report/stats only)")
+    parser.add_argument("--quiet", action="store_true", help="suppress per-job lines")
+    return parser
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``accsat serve`` service mode."""
+
+    from repro.service import JobState, OptimizationService
+    from repro.session import DiskCache, MemoryCache, TieredCache
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    config = _config_from_args(parser, args)
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    if args.cache_dir:
+        cache = TieredCache(memory=MemoryCache(), disk=DiskCache(args.cache_dir))
+    else:
+        cache = MemoryCache()
+
+    paths = [Path(item) for item in args.inputs]
+    missing = [path for path in paths if not path.exists()]
+    for path in missing:
+        print(f"accsat serve: error: no such file: {path}", file=sys.stderr)
+    paths = [path for path in paths if path.exists()]
+
+    service = OptimizationService(
+        config=config, cache=cache, workers=args.workers,
+        coalesce=not args.no_coalesce,
+    )
+    exit_code = 1 if missing else 0
+    service.start()
+    handles = [
+        service.submit(path.read_text(), priority=0, name_prefix=path.stem)
+        for path in paths
+    ]
+    deadline_exceeded = False
+    if args.stream:
+        try:
+            for path, handle in zip(paths, handles):
+                for event in handle.stream(timeout=args.timeout):
+                    cost = (
+                        "-" if event.extracted_cost is None
+                        else f"{event.extracted_cost:.1f}"
+                    )
+                    print(
+                        f"accsat serve: {path} iter={event.iteration} "
+                        f"nodes={event.egraph_nodes} cost={cost}"
+                    )
+        except TimeoutError:
+            deadline_exceeded = True
+    if not deadline_exceeded and not service.join(args.timeout):
+        deadline_exceeded = True
+    if deadline_exceeded:
+        print("accsat serve: error: deadline exceeded", file=sys.stderr)
+        # don't wait for in-flight pipelines: the workers are daemon
+        # threads, cancelling the queue is all a bounded exit needs
+        service.stop(wait=False, cancel_pending=True)
+        return 1
+    service.stop(wait=True)
+
+    report = {"files": [], "service": service.stats.snapshot(),
+              "cache": service.session.cache.stats.as_dict()}
+    for path, handle in zip(paths, handles):
+        entry = {"input": str(path), "state": handle.state.value,
+                 "coalesced": handle.coalesced, "from_cache": handle.from_cache}
+        if handle.state is JobState.DONE:
+            result = handle.result()
+            entry["kernels"] = [k.as_dict() for k in result.kernels]
+            if not args.no_write:
+                output = path.with_suffix(".sat.c")
+                output.write_text(result.code)
+                entry["output"] = str(output)
+            if not args.quiet:
+                print(
+                    f"accsat serve: {path} -> done "
+                    f"({len(result.kernels)} kernel(s)"
+                    f"{', coalesced' if handle.coalesced else ''}"
+                    f"{', cache hit' if handle.from_cache else ''})"
+                )
+        else:
+            entry["error"] = repr(handle.error) if handle.error else None
+            exit_code = 1
+            if not args.quiet:
+                print(f"accsat serve: {path} -> {handle.state.value}: "
+                      f"{handle.error}", file=sys.stderr)
+        report["files"].append(entry)
+
+    if not args.quiet:
+        stats = report["service"]
+        print(
+            "accsat serve: stats "
+            f"submitted={stats['submitted']} runs={stats['pipeline_runs']} "
+            f"coalesced={stats['coalesced']} cache_hits={stats['cache_hits']} "
+            f"failed={stats['failed']}"
+        )
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2))
     return exit_code
 
 

@@ -34,6 +34,7 @@ from repro.egraph.extract import (
     ILPExtractor,
     TreeExtractor,
     extract_best,
+    resolve_result,
 )
 from repro.egraph.language import Term
 from repro.egraph.pattern import (
@@ -46,6 +47,7 @@ from repro.egraph.pattern import (
 from repro.egraph.rewrite import Rewrite, rewrite
 from repro.egraph.runner import (
     AnytimeExtraction,
+    IterationCallback,
     Runner,
     RunnerLimits,
     RunnerReport,
@@ -91,7 +93,9 @@ __all__ = [
     "UnionFind",
     "compile_pattern",
     "ExtractionMemo",
+    "IterationCallback",
     "extract_best",
     "parse_pattern",
+    "resolve_result",
     "rewrite",
 ]

@@ -58,6 +58,7 @@ __all__ = [
     "DagExtractor",
     "ILPExtractor",
     "extract_best",
+    "resolve_result",
 ]
 
 
@@ -1054,6 +1055,67 @@ def _term_from_choices(
         return term
 
     return build(root, ())
+
+
+def resolve_result(
+    egraph: EGraph,
+    result: ExtractionResult,
+    roots: Sequence[int],
+    cost_function: CostFunction,
+) -> Optional[ExtractionResult]:
+    """Rebase a snapshot :class:`ExtractionResult` onto the current e-graph.
+
+    An anytime-extraction snapshot (see
+    :class:`~repro.egraph.runner.AnytimeExtraction`) selects e-nodes under
+    the class ids that were canonical at the iteration that produced it;
+    merges in later iterations may have re-canonicalized or collapsed
+    those classes.  This re-keys every choice through ``find``, resolves
+    collisions of collapsed classes deterministically (cheaper node first,
+    then the stable node order), re-derives reachability from *roots*,
+    rebuilds the per-root terms, and re-prices the selection as a DAG
+    under *cost_function*.
+
+    Returns ``None`` when the snapshot is no longer a valid selection —
+    a collapse routed a choice's children outside the selection, or made
+    the selection cyclic — in which case callers should fall back to a
+    fresh extraction.  E-nodes themselves are never invalidated by merges,
+    so for a snapshot taken on *this* e-graph that is the only failure
+    mode.
+    """
+
+    find = egraph.find
+    merged: Dict[int, ENode] = {}
+    for cid, node in result.choices.items():
+        canon = find(cid)
+        other = merged.get(canon)
+        if other is None or other is node:
+            merged[canon] = node
+            continue
+        # two snapshot classes collapsed into one: keep the cheaper node
+        # (the selection pays each class once), tie-broken deterministically
+        cost_node = cost_function.enode_cost(node)
+        cost_other = cost_function.enode_cost(other)
+        if (cost_node, _node_order_key(node)) < (cost_other, _node_order_key(other)):
+            merged[canon] = node
+
+    terms: Dict[int, Term] = {}
+    memo: Dict[int, Term] = {}
+    try:
+        for root in roots:
+            term = _term_from_choices(egraph, merged, root, memo)
+            terms[root] = term
+            terms[find(root)] = term
+        reachable = _reachable_from(egraph, roots, lambda c: merged[c])
+    except (ExtractionError, KeyError):
+        return None
+    choices = {cid: merged[cid] for cid in reachable}
+    return ExtractionResult(
+        choices,
+        terms,
+        _dag_cost(choices, cost_function),
+        result.elapsed,
+        result.method,
+    )
 
 
 # ---------------------------------------------------------------------------

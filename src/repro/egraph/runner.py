@@ -62,17 +62,18 @@ import enum
 import json
 import time
 from dataclasses import dataclass, field, fields
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.rewrite import Rewrite
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
-    from repro.egraph.extract import CostFunction, ExtractionMemo
+    from repro.egraph.extract import CostFunction, ExtractionMemo, ExtractionResult
     from repro.egraph.schedule import RuleScheduler
 
 __all__ = [
     "AnytimeExtraction",
+    "IterationCallback",
     "StopReason",
     "RunnerLimits",
     "IterationReport",
@@ -80,6 +81,10 @@ __all__ = [
     "RunnerReport",
     "Runner",
 ]
+
+#: Progress hook invoked after every completed saturation iteration with
+#: the iteration's finished :class:`IterationReport` (see :class:`Runner`).
+IterationCallback = Callable[["IterationReport"], None]
 
 
 class StopReason(enum.Enum):
@@ -146,6 +151,16 @@ class AnytimeExtraction:
     memo: Optional["ExtractionMemo"] = None
     #: Extraction time limit (only the ILP method enforces it).
     time_limit: float = 30.0
+    #: Keep the best in-loop :class:`~repro.egraph.extract.ExtractionResult`
+    #: alive (not just its cost) so downstream stages can ship the
+    #: best-seen selection after a plateau stop even when the final greedy
+    #: extraction regresses.  The snapshot's class ids are frozen at the
+    #: iteration that produced it; rebase them against later merges with
+    #: :func:`~repro.egraph.extract.resolve_result` before consuming it.
+    keep_best: bool = True
+    #: Best in-loop extraction so far (filled in by the runner; read-only —
+    #: the object may be shared with the memo's result cache).
+    best_result: Optional["ExtractionResult"] = None
 
     def validate(self) -> None:
         if self.interval < 1:
@@ -353,6 +368,14 @@ class Runner:
     :class:`~repro.egraph.schedule.RuleScheduler`, or its string spelling
     — see :func:`~repro.egraph.schedule.make_scheduler`); ``anytime``
     attaches in-loop extraction with plateau-based early stopping.
+
+    ``on_iteration`` is a progress hook called after every completed
+    iteration (post-rebuild, post-anytime-evaluation) with that iteration's
+    finished :class:`IterationReport` — the optimization service streams
+    per-iteration ``extracted_cost`` snapshots to job subscribers through
+    it.  The hook observes the loop, it must not mutate the e-graph; its
+    wall-clock cost counts against ``time_limit`` like any other phase.  An
+    exception raised by the hook aborts the run (it propagates).
     """
 
     def __init__(
@@ -363,6 +386,7 @@ class Runner:
         incremental: bool = True,
         scheduler: Union[None, str, "RuleScheduler"] = None,
         anytime: Optional[AnytimeExtraction] = None,
+        on_iteration: Optional[IterationCallback] = None,
     ) -> None:
         from repro.egraph.schedule import make_scheduler
 
@@ -383,6 +407,7 @@ class Runner:
         self.incremental = incremental
         self.scheduler = make_scheduler(scheduler)
         self.anytime = anytime
+        self.on_iteration = on_iteration
         if anytime is not None:
             anytime.validate()
         #: Per-rule e-graph version of the last *committed* scan (parallel
@@ -510,6 +535,13 @@ class Runner:
         if self._best_cost is None or cost < self._best_cost - 1e-12:
             self._best_cost = cost
             self._stale_evals = 0
+            if anytime.keep_best:
+                # snapshot the whole selection, not just its cost: a
+                # plateau stop can then ship this result even when the
+                # final greedy extraction regresses.  The class ids are
+                # canonical *now*; consumers rebase them against later
+                # merges (extract.resolve_result).
+                anytime.best_result = result
         else:
             self._stale_evals += 1
         # the column records the best cost seen so far (monotone
@@ -534,6 +566,8 @@ class Runner:
         scheduler.reset(self.rewrites)
         self._best_cost = None
         self._stale_evals = 0
+        if self.anytime is not None:
+            self.anytime.best_result = None
 
         stop: Optional[StopReason] = None
         for iteration in range(limits.iter_limit):
@@ -554,17 +588,18 @@ class Runner:
                 # the search phase alone blew the budget: record it and stop
                 # without applying (the found matches were never committed,
                 # so the per-rule scan stamps stay untouched)
-                report.iterations.append(
-                    IterationReport(
-                        index=iteration,
-                        applied=0,
-                        egraph_nodes=len(egraph),
-                        egraph_classes=egraph.num_classes,
-                        search_time=t1 - t0,
-                        apply_time=0.0,
-                        rebuild_time=0.0,
-                    )
+                row = IterationReport(
+                    index=iteration,
+                    applied=0,
+                    egraph_nodes=len(egraph),
+                    egraph_classes=egraph.num_classes,
+                    search_time=t1 - t0,
+                    apply_time=0.0,
+                    rebuild_time=0.0,
                 )
+                report.iterations.append(row)
+                if self.on_iteration is not None:
+                    self.on_iteration(row)
                 stop = StopReason.TIME_LIMIT
                 break
 
@@ -588,18 +623,19 @@ class Runner:
                     iteration, report
                 )
 
-            report.iterations.append(
-                IterationReport(
-                    index=iteration,
-                    applied=applied,
-                    egraph_nodes=len(egraph),
-                    egraph_classes=egraph.num_classes,
-                    search_time=t1 - t0,
-                    apply_time=t2 - t1,
-                    rebuild_time=t3 - t2,
-                    extracted_cost=extracted_cost,
-                )
+            row = IterationReport(
+                index=iteration,
+                applied=applied,
+                egraph_nodes=len(egraph),
+                egraph_classes=egraph.num_classes,
+                search_time=t1 - t0,
+                apply_time=t2 - t1,
+                rebuild_time=t3 - t2,
+                extracted_cost=extracted_cost,
             )
+            report.iterations.append(row)
+            if self.on_iteration is not None:
+                self.on_iteration(row)
 
             if applied == 0 and scheduler.exhaustive():
                 stop = StopReason.SATURATED

@@ -72,6 +72,7 @@ __all__ = [
     "evaluate_benchmark",
     "format_speedup_table",
     "pipeline_cache_stats",
+    "pipeline_workload",
 ]
 
 #: Display order of the paper's variants.
@@ -214,6 +215,41 @@ def _pipeline_stats(
         temps += kernel.optimized.temporaries
     generated.temporaries = temps
     return original, generated, temps
+
+
+def pipeline_workload(
+    benchmarks: Optional[Sequence[BenchmarkSpec]] = None,
+    settings: EvaluationSettings = _DEFAULT_SETTINGS,
+) -> Sequence[Tuple[str, SaturatorConfig, str]]:
+    """The distinct pipeline runs behind a figure/table sweep.
+
+    Every figure and table cell of the evaluation reduces to exactly two
+    pipeline runs per kernel — the CSE baseline and the CSE+SAT saturated
+    build (see :func:`_pipeline_stats`); all other variants and compilers
+    are cache hits over those artifacts.  This returns that deduplicated
+    ``(source, config, kernel name)`` workload, which is what the executor
+    scaling benchmark times and the service load generator samples its
+    request mix from.  ``benchmarks`` defaults to both suites (NPB and
+    SPEC ACCEL).
+    """
+
+    if benchmarks is None:
+        from repro.benchsuite.registry import NPB_BENCHMARKS, SPEC_ACC_BENCHMARKS
+
+        benchmarks = list(NPB_BENCHMARKS) + list(SPEC_ACC_BENCHMARKS)
+    workload = []
+    seen = set()
+    for bench in benchmarks:
+        for spec in bench.kernels:
+            if spec.source in seen:
+                continue
+            seen.add(spec.source)
+            for variant in (Variant.CSE, Variant.CSE_SAT):
+                workload.append(
+                    (spec.source, settings.config(variant),
+                     f"{bench.name}_{spec.name}")
+                )
+    return workload
 
 
 def characterize_kernel(

@@ -15,6 +15,7 @@ from repro.saturator.pipeline import optimize_kernel
 from repro.saturator.report import OptimizationResult
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.egraph.runner import IterationCallback
     from repro.session.stages import Stage
 
 __all__ = ["optimize_source", "optimize_ast"]
@@ -25,15 +26,21 @@ def optimize_ast(
     config: Optional[SaturatorConfig] = None,
     name_prefix: str = "kernel",
     stages: Optional[Sequence["Stage"]] = None,
+    on_iteration: Optional["IterationCallback"] = None,
 ) -> OptimizationResult:
-    """Optimize every kernel found under *root*, mutating the AST."""
+    """Optimize every kernel found under *root*, mutating the AST.
+
+    ``on_iteration`` streams per-iteration saturation progress from every
+    kernel's runner, in kernel order (see
+    :class:`~repro.egraph.runner.Runner`).
+    """
 
     config = config or SaturatorConfig()
     normalize_blocks(root)
     kernels = find_parallel_kernels(root, name_prefix)
     reports = []
     for kernel in kernels:
-        _, report = optimize_kernel(kernel, config, stages)
+        _, report = optimize_kernel(kernel, config, stages, on_iteration=on_iteration)
         reports.append(report)
     return OptimizationResult(
         code=print_c(root),
@@ -47,6 +54,7 @@ def optimize_source(
     config: Optional[SaturatorConfig] = None,
     name_prefix: str = "kernel",
     stages: Optional[Sequence["Stage"]] = None,
+    on_iteration: Optional["IterationCallback"] = None,
 ) -> OptimizationResult:
     """Optimize OpenACC/OpenMP C *source* and return the regenerated code.
 
@@ -65,4 +73,4 @@ def optimize_source(
             root = parse_statement(source)
     except (LexerError, ParseError):
         root = parse_statement(source)
-    return optimize_ast(root, config, name_prefix, stages)
+    return optimize_ast(root, config, name_prefix, stages, on_iteration=on_iteration)

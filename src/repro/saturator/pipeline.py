@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from repro.codegen.generator import GeneratedKernel
 from repro.egraph.extract import ExtractionMemo
+from repro.egraph.runner import IterationCallback
 from repro.frontend import cast as C
 from repro.frontend.normalize import normalize_blocks
 from repro.saturator.config import SaturatorConfig
@@ -39,6 +40,7 @@ def optimize_loop_body(
     name: str = "kernel",
     stages: Optional[Sequence["Stage"]] = None,
     extraction_memo: Optional[ExtractionMemo] = None,
+    on_iteration: Optional[IterationCallback] = None,
 ) -> Tuple[GeneratedKernel, KernelReport]:
     """Optimize the body of one innermost parallel loop, in place.
 
@@ -48,7 +50,9 @@ def optimize_loop_body(
 
     ``stages`` overrides the default stage tuple (see
     :data:`repro.session.stages.DEFAULT_STAGES`); ``extraction_memo``
-    shares extraction DP state across repeated runs on one e-graph.
+    shares extraction DP state across repeated runs on one e-graph;
+    ``on_iteration`` streams per-iteration saturation progress (see
+    :class:`~repro.egraph.runner.Runner`).
     """
 
     # deferred: repro.session.stages imports this package's config/report
@@ -61,6 +65,7 @@ def optimize_loop_body(
         config=config or SaturatorConfig(),
         name=name,
         extraction_memo=extraction_memo,
+        on_iteration=on_iteration,
     )
     run_stages(ctx, stages)
     return ctx.generated, ctx.report
@@ -70,9 +75,12 @@ def optimize_kernel(
     kernel: ParallelKernel,
     config: Optional[SaturatorConfig] = None,
     stages: Optional[Sequence["Stage"]] = None,
+    on_iteration: Optional[IterationCallback] = None,
 ) -> Tuple[GeneratedKernel, KernelReport]:
     """Optimize one discovered kernel in place (see :func:`optimize_loop_body`)."""
 
     config = config or SaturatorConfig()
     normalize_blocks(kernel.innermost)
-    return optimize_loop_body(kernel.body, config, kernel.name, stages)
+    return optimize_loop_body(
+        kernel.body, config, kernel.name, stages, on_iteration=on_iteration
+    )

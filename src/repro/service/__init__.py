@@ -1,0 +1,44 @@
+"""Concurrent optimization service: queue, coalescing, progress streaming.
+
+This package is the serving layer of the reproduction — the first
+subsystem whose unit of work is *traffic*, not a single pipeline run:
+
+* :mod:`repro.service.job` — :class:`OptimizationRequest` /
+  :class:`JobHandle` / :class:`ProgressEvent`: future-like handles over
+  submitted work, with cancellation and per-iteration progress streaming,
+* :mod:`repro.service.queue` — a blocking priority :class:`JobQueue`
+  (deterministic ``(priority, submission)`` order),
+* :mod:`repro.service.stats` — the thread-safe :class:`ServiceStats`
+  counter registry (queued/running gauges, coalesce/cache-hit counters),
+* :mod:`repro.service.service` — :class:`OptimizationService`: a worker
+  pool over an :class:`~repro.session.OptimizationSession` with
+  **in-flight request coalescing** keyed on the session cache key.
+
+The ``accsat serve`` CLI mode, ``examples/service_quickstart.py`` and the
+load-test harness (``benchmarks/run_service_bench.py``) all sit on this
+package.
+"""
+
+from repro.service.job import (
+    CancelledError,
+    Job,
+    JobHandle,
+    JobState,
+    OptimizationRequest,
+    ProgressEvent,
+)
+from repro.service.queue import JobQueue
+from repro.service.service import OptimizationService
+from repro.service.stats import ServiceStats
+
+__all__ = [
+    "CancelledError",
+    "Job",
+    "JobHandle",
+    "JobQueue",
+    "JobState",
+    "OptimizationRequest",
+    "OptimizationService",
+    "ProgressEvent",
+    "ServiceStats",
+]

@@ -1,0 +1,74 @@
+"""Priority job queue feeding the service's worker loop.
+
+A small blocking priority queue specialised for :class:`~repro.service.job.Job`:
+entries order by ``(priority, submission seq)`` — smaller priority first,
+ties in FIFO order — so the pop order is a deterministic function of the
+submission sequence.  Cancelled jobs are skipped lazily at pop time (the
+heap keeps no tombstone bookkeeping), and :meth:`close` wakes every blocked
+worker with ``None`` so the pool can drain and exit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import List, Optional, Tuple
+
+from repro.service.job import Job, JobState
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Blocking, closable priority queue of queued jobs."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def push(self, job: Job) -> None:
+        """Enqueue *job* (ordered by its request priority, then seq)."""
+
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            heapq.heappush(self._heap, (job.request.priority, job.seq, job))
+            self._cond.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Next queued job; blocks while empty.
+
+        Returns ``None`` when the queue is closed and drained, or when
+        *timeout* elapses.  Jobs cancelled while waiting in the heap are
+        discarded here, never returned.
+        """
+
+        with self._cond:
+            while True:
+                while self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    if job.state is JobState.QUEUED:
+                        return job
+                    # cancelled while queued: lazily dropped
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+
+    def close(self) -> None:
+        """Refuse new pushes and wake every blocked ``pop`` to drain."""
+
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        """Jobs still heaped (cancelled-but-unpopped entries included)."""
+
+        with self._cond:
+            return len(self._heap)

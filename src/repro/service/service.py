@@ -1,0 +1,307 @@
+"""The long-lived concurrent optimization service.
+
+:class:`OptimizationService` puts a job queue, a thread-based worker pool,
+and in-flight request coalescing in front of an
+:class:`~repro.session.OptimizationSession`:
+
+* **submit/poll/stream** — :meth:`OptimizationService.submit` returns a
+  :class:`~repro.service.job.JobHandle` immediately; callers poll its
+  state, block on ``result()``, or iterate ``stream()`` for per-iteration
+  saturation progress (jobs whose config enables anytime extraction
+  stream ``extracted_cost`` snapshots).
+* **coalescing** — submissions are keyed by the session cache key
+  (source SHA-256, config fingerprint, name prefix).  A submission whose
+  key matches a queued or running job *attaches* to it instead of
+  enqueueing: N identical concurrent requests cost one pipeline run, and
+  because the run's artifact lands in the shared cache, later identical
+  submissions are plain cache hits.
+* **accounting** — a :class:`~repro.service.stats.ServiceStats` registry
+  tracks submissions, coalesce/cache-hit/pipeline-run counts, terminal
+  outcomes, and the queued/running gauges; ``stats.snapshot()`` is cheap
+  and consistent, suitable for a metrics endpoint.
+
+Workers run plain :meth:`OptimizationSession.run`, so everything the
+session guarantees — deterministic artifacts, hit-equals-cold-run
+equivalence, thread-safe cache tiers — carries over; the service adds
+concurrency, ordering (priorities), and single-flight semantics on top.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Union
+
+from repro.saturator.config import SaturatorConfig
+from repro.service.job import Job, JobHandle, JobState, OptimizationRequest, ProgressEvent
+from repro.service.queue import JobQueue
+from repro.service.stats import ServiceStats
+from repro.session.cache import ArtifactCache, MemoryCache
+from repro.session.fingerprint import CacheKey
+from repro.session.session import OptimizationSession
+
+__all__ = ["OptimizationService"]
+
+
+def _default_workers() -> int:
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+class OptimizationService:
+    """A concurrent, coalescing front-end over an optimization session.
+
+    ``session`` supplies the cache and configuration defaults; when
+    omitted, one is built from ``config``/``cache`` (an in-memory cache by
+    default, so identical *sequential* submissions hit even without
+    coalescing).  ``workers`` sizes the thread pool; ``coalesce=False``
+    disables in-flight deduplication (every submission enqueues its own
+    job — the load-test harness uses this as the baseline).
+
+    The service can be used as a context manager::
+
+        with OptimizationService(workers=4) as service:
+            handle = service.submit(source)
+            result = handle.result()
+
+    Jobs may be submitted before :meth:`start`; they queue up and run once
+    the workers exist (tests use this to make coalescing deterministic).
+    """
+
+    def __init__(
+        self,
+        session: Optional[OptimizationSession] = None,
+        config: Optional[SaturatorConfig] = None,
+        cache: Optional[ArtifactCache] = None,
+        workers: Optional[int] = None,
+        coalesce: bool = True,
+    ) -> None:
+        if session is not None and (config is not None or cache is not None):
+            raise ValueError("pass either a session or config/cache, not both")
+        if session is None:
+            session = OptimizationSession(
+                config=config, cache=MemoryCache() if cache is None else cache
+            )
+        self.session = session
+        self.workers = workers if workers is not None else _default_workers()
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.coalesce = coalesce
+        self.stats = ServiceStats()
+        self._queue = JobQueue()
+        self._lock = threading.Lock()
+        self._inflight: Dict[CacheKey, Job] = {}
+        self._jobs: List[Job] = []
+        self._seq = itertools.count()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "OptimizationService":
+        """Spawn the worker threads (idempotent)."""
+
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError("service was stopped; build a new one")
+            if self._started:
+                return self
+            self._started = True
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker, name=f"repro-service-{index}", daemon=True
+                )
+                self._threads.append(thread)
+                thread.start()
+        return self
+
+    def stop(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Shut down: close the queue, optionally cancel what never ran.
+
+        With ``cancel_pending`` every still-queued job is cancelled;
+        otherwise the workers drain the queue before exiting.  ``wait``
+        blocks until the worker threads have terminated.
+        """
+
+        if cancel_pending:
+            for job in self.jobs():
+                if job.state is JobState.QUEUED:
+                    for handle in list(job.handles):
+                        handle.cancel()
+        # close under the registry lock: submit() holds it from its
+        # closed-check through push(), so a submission either lands fully
+        # before the close or is rejected up front — never half-registered
+        with self._lock:
+            self._queue.close()
+            self._stopped = True
+            threads = list(self._threads)
+        if wait:
+            for thread in threads:
+                thread.join()
+
+    def __enter__(self) -> "OptimizationService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop(wait=True)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        request: Union[str, OptimizationRequest],
+        config: Optional[SaturatorConfig] = None,
+        priority: int = 0,
+        name_prefix: str = "kernel",
+    ) -> JobHandle:
+        """Enqueue one optimization request; returns its handle.
+
+        *request* is an :class:`OptimizationRequest` or a bare source
+        string (then ``config``/``priority``/``name_prefix`` apply).  An
+        identical in-flight request — same session cache key — is joined
+        rather than re-enqueued when coalescing is on.
+        """
+
+        if isinstance(request, str):
+            request = OptimizationRequest(request, config, priority, name_prefix)
+        elif config is not None:
+            raise ValueError("config is part of the OptimizationRequest")
+        key = self.session.key_for(
+            request.source, request.config, request.name_prefix
+        )
+        with self._lock:
+            if self._queue.closed:
+                raise RuntimeError("service is stopped")
+            self.stats.count("submitted")
+            if self.coalesce:
+                job = self._inflight.get(key)
+                if job is not None:
+                    handle = job.attach()
+                    if handle is not None:
+                        self.stats.count("coalesced")
+                        return handle
+            job = Job(request, key, seq=next(self._seq), stats=self.stats)
+            job.on_cancelled = self._job_cancelled
+            self._inflight[key] = job
+            self._jobs.append(job)
+            handle = job.attach()
+            assert handle is not None  # fresh job, cannot be cancelled yet
+            self._queue.push(job)
+            self.stats.job_queued()
+        return handle
+
+    def submit_many(
+        self,
+        requests: List[Union[str, OptimizationRequest]],
+    ) -> List[JobHandle]:
+        """Submit a batch; handles come back in input order."""
+
+        return [self.submit(request) for request in requests]
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def jobs(self) -> List[Job]:
+        """Snapshot of every job ever enqueued (coalesced ones excluded)."""
+
+        with self._lock:
+            return list(self._jobs)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job is terminal; False on timeout.
+
+        The service must be started (or be about to start) for this to
+        return — queued jobs only make progress on worker threads.
+        """
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job in self.jobs():
+            with job.cond:
+                remaining: Optional[float] = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                if not job.cond.wait_for(lambda: job.state.terminal, remaining):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _job_cancelled(self, job: Job) -> None:
+        """A queued job lost its last live handle: drop it from inflight."""
+
+        with self._lock:
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.pop()
+            if job is None:
+                return
+            if not job.start():
+                continue  # cancelled between push and pop
+            self.stats.job_started()
+            try:
+                self._run_job(job)
+            finally:
+                self.stats.job_finished()
+
+    def _run_job(self, job: Job) -> None:
+        seq = itertools.count()
+
+        def publish(row) -> None:  # row: repro.egraph.runner.IterationReport
+            job.publish(
+                ProgressEvent(
+                    seq=next(seq),
+                    iteration=row.index,
+                    applied=row.applied,
+                    egraph_nodes=row.egraph_nodes,
+                    egraph_classes=row.egraph_classes,
+                    extracted_cost=row.extracted_cost,
+                )
+            )
+            self.stats.count("progress_events")
+
+        request = job.request
+        try:
+            result, from_cache = self.session.run_detailed(
+                request.source,
+                request.config,
+                request.name_prefix,
+                on_iteration=publish,
+            )
+        except Exception as error:
+            # failure isolation: one bad source fails its own handles and
+            # nothing else; the worker survives to take the next job
+            with self._lock:
+                if self._inflight.get(job.key) is job:
+                    del self._inflight[job.key]
+            outcomes = job.live_handles
+            job.fail(error)
+            self.stats.count("failed", outcomes)
+            return
+        self.stats.count("cache_hits" if from_cache else "pipeline_runs")
+        # leave the in-flight registry *before* resolving: a submission
+        # racing with completion either attaches (and shares this result)
+        # or misses the registry and hits the artifact cache — never both
+        with self._lock:
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+        outcomes = job.live_handles
+        job.resolve(result, from_cache)
+        self.stats.count("completed", outcomes)

@@ -1,0 +1,114 @@
+"""Thread-safe counter registry of the optimization service.
+
+One :class:`ServiceStats` instance is shared by the submit path, every
+worker thread, and any number of observers: monotone event counters
+(submissions, coalesced attaches, cache hits, terminal outcomes) plus the
+two live gauges (queued / running jobs).  All mutation goes through the
+methods, which serialize on one lock; :meth:`snapshot` returns a plain
+dict that is internally consistent (taken under the same lock), which is
+what the service CLI prints and the load-test harness records.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["ServiceStats"]
+
+
+class ServiceStats:
+    """Counters and gauges of one :class:`~repro.service.OptimizationService`.
+
+    Counters are monotone over the service's lifetime:
+
+    * ``submitted`` — handles created by ``submit`` (including coalesced ones),
+    * ``coalesced`` — submissions attached to an identical in-flight job
+      instead of enqueueing a new one,
+    * ``cache_hits`` — jobs served straight from the artifact cache,
+    * ``pipeline_runs`` — jobs that ran the cold pipeline,
+    * ``completed`` / ``failed`` / ``cancelled`` — terminal handle outcomes,
+    * ``progress_events`` — per-iteration snapshots published to jobs.
+
+    ``queued`` and ``running`` are gauges maintained by the queue/worker
+    transitions.  Every ``submitted`` handle ends in exactly one of the
+    three terminal counters, so ``submitted == completed + failed +
+    cancelled`` once the service has drained.
+    """
+
+    _COUNTERS = (
+        "submitted",
+        "coalesced",
+        "cache_hits",
+        "pipeline_runs",
+        "completed",
+        "failed",
+        "cancelled",
+        "progress_events",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.coalesced = 0
+        self.cache_hits = 0
+        self.pipeline_runs = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.progress_events = 0
+        self.queued = 0
+        self.running = 0
+
+    # ------------------------------------------------------------------
+    # mutation (all under the lock)
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment the monotone counter *name* by *n*."""
+
+        if name not in self._COUNTERS:
+            raise ValueError(f"unknown service counter {name!r}")
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def job_queued(self) -> None:
+        with self._lock:
+            self.queued += 1
+
+    def job_started(self) -> None:
+        with self._lock:
+            self.queued -= 1
+            self.running += 1
+
+    def job_finished(self) -> None:
+        with self._lock:
+            self.running -= 1
+
+    def job_dequeued(self) -> None:
+        """A queued job left the queue without running (cancelled)."""
+
+        with self._lock:
+            self.queued -= 1
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    @property
+    def terminal(self) -> int:
+        """Handles that reached a terminal state (done/failed/cancelled)."""
+
+        return self.completed + self.failed + self.cancelled
+
+    def snapshot(self) -> Dict[str, int]:
+        """An internally consistent copy of every counter and gauge."""
+
+        with self._lock:
+            snap = {name: getattr(self, name) for name in self._COUNTERS}
+            snap["queued"] = self.queued
+            snap["running"] = self.running
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ServiceStats({self.snapshot()})"

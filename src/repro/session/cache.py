@@ -63,11 +63,48 @@ MISS = _Miss()
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters of one cache backend."""
+    """Hit/miss/store counters of one cache backend.
+
+    The counters are incremented through :meth:`hit` / :meth:`miss` /
+    :meth:`store`, which serialize on an internal lock: cache backends are
+    shared across :class:`~repro.session.executor.ThreadExecutor` workers
+    and the optimization service's worker pool, and unlocked ``+= 1``
+    increments would under-count there.  Reads (``as_dict``, the plain
+    attributes) are intentionally lock-free — they are monotone counters
+    and every consumer treats them as a snapshot.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def hit(self, n: int = 1) -> None:
+        with self._lock:
+            self.hits += n
+
+    def miss(self, n: int = 1) -> None:
+        with self._lock:
+            self.misses += n
+
+    def store(self, n: int = 1) -> None:
+        with self._lock:
+            self.stores += n
+
+    # the lock is per-process bookkeeping, not part of the counter state
+    def __getstate__(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        self.hits = state.get("hits", 0)
+        self.misses = state.get("misses", 0)
+        self.stores = state.get("stores", 0)
+        self._lock = threading.Lock()
+
+    def __deepcopy__(self, memo: Dict[int, object]) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.stores)
 
     @property
     def lookups(self) -> int:
@@ -126,10 +163,10 @@ class MemoryCache(ArtifactCache):
     def get(self, key: CacheKey) -> object:
         with self._lock:
             if key not in self._entries:
-                self.stats.misses += 1
+                self.stats.miss()
                 return MISS
             self._entries.move_to_end(key)
-            self.stats.hits += 1
+            self.stats.hit()
             value = self._entries[key]
         return copy.deepcopy(value)
 
@@ -138,7 +175,7 @@ class MemoryCache(ArtifactCache):
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
-            self.stats.stores += 1
+            self.stats.store()
             if self.max_entries is not None:
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
@@ -155,7 +192,6 @@ class DiskCache(ArtifactCache):
         super().__init__()
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self._lock = threading.Lock()
 
     def _path(self, key: CacheKey) -> Path:
         digest = key.digest
@@ -169,11 +205,9 @@ class DiskCache(ArtifactCache):
         except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
             # absent, truncated, or written by an incompatible version —
             # all degrade to a miss and the artifact is recomputed
-            with self._lock:
-                self.stats.misses += 1
+            self.stats.miss()
             return MISS
-        with self._lock:
-            self.stats.hits += 1
+        self.stats.hit()
         return value
 
     def put(self, key: CacheKey, value: object) -> None:
@@ -190,8 +224,7 @@ class DiskCache(ArtifactCache):
             except OSError:
                 pass
             raise
-        with self._lock:
-            self.stats.stores += 1
+        self.stats.store()
 
     def clear(self) -> None:
         for entry in self.root.glob("*/*.pkl"):
@@ -216,16 +249,16 @@ class TieredCache(ArtifactCache):
         if self.memory is not None:
             value = self.memory.get(key)
             if value is not MISS:
-                self.stats.hits += 1
+                self.stats.hit()
                 return value
         if self.disk is not None:
             value = self.disk.get(key)
             if value is not MISS:
                 if self.memory is not None:
                     self.memory.put(key, value)
-                self.stats.hits += 1
+                self.stats.hit()
                 return value
-        self.stats.misses += 1
+        self.stats.miss()
         return MISS
 
     def put(self, key: CacheKey, value: object) -> None:
@@ -233,7 +266,7 @@ class TieredCache(ArtifactCache):
             self.memory.put(key, value)
         if self.disk is not None:
             self.disk.put(key, value)
-        self.stats.stores += 1
+        self.stats.store()
 
     def clear(self) -> None:
         if self.memory is not None:

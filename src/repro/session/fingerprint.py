@@ -36,7 +36,10 @@ __all__ = [
 #: and repopulates.  arena-v2: PR-4 report payloads grew scheduler /
 #: extracted_cost fields (old pickles would lack the attributes), and the
 #: new scheduler/anytime config knobs re-key every artifact anyway.
-ENGINE_SCHEMA = "arena-v2"
+#: arena-v3: PR-5 best-result anytime codegen — anytime-enabled configs
+#: may now ship the best in-loop extraction snapshot instead of the final
+#: greedy extraction, so artifacts cached by the older engine must re-miss.
+ENGINE_SCHEMA = "arena-v3"
 
 
 def fingerprint_text(text: str) -> str:

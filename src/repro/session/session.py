@@ -21,7 +21,7 @@ variant and extractor.
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.saturator.config import SaturatorConfig
 from repro.saturator.report import OptimizationResult
@@ -34,6 +34,9 @@ from repro.session.executor import (
 )
 from repro.session.fingerprint import CacheKey, stage_key
 from repro.session.stages import Stage
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.egraph.runner import IterationCallback
 
 __all__ = ["OptimizationSession"]
 
@@ -113,19 +116,41 @@ class OptimizationSession:
         source: str,
         config: Optional[SaturatorConfig] = None,
         name_prefix: str = "kernel",
+        on_iteration: Optional["IterationCallback"] = None,
     ) -> OptimizationResult:
-        """Optimize *source*, reusing a cached artifact when one exists."""
+        """Optimize *source*, reusing a cached artifact when one exists.
+
+        ``on_iteration`` streams per-iteration saturation progress from a
+        cold run (see :class:`~repro.egraph.runner.Runner`); a cache hit
+        returns immediately and never fires it.
+        """
+
+        return self.run_detailed(source, config, name_prefix, on_iteration)[0]
+
+    def run_detailed(
+        self,
+        source: str,
+        config: Optional[SaturatorConfig] = None,
+        name_prefix: str = "kernel",
+        on_iteration: Optional["IterationCallback"] = None,
+    ) -> Tuple[OptimizationResult, bool]:
+        """Like :meth:`run`, but also reports whether the cache served it.
+
+        The boolean is authoritative even for artifacts without kernels
+        (whose reports carry no ``from_cache`` flags) — the optimization
+        service's hit/run accounting depends on that.
+        """
 
         config = config or self.config
         if self.cache is None:
-            return self._cold(source, config, name_prefix)
+            return self._cold(source, config, name_prefix, on_iteration), False
         key = self.key_for(source, config, name_prefix)
         hit = self.cache.get(key)
         if hit is not MISS:
-            return self._mark_cached(hit)
-        result = self._cold(source, config, name_prefix)
+            return self._mark_cached(hit), True
+        result = self._cold(source, config, name_prefix, on_iteration)
         self.cache.put(key, result)
-        return result
+        return result, False
 
     # ------------------------------------------------------------------
     # batch entry point
@@ -197,11 +222,18 @@ class OptimizationSession:
     # ------------------------------------------------------------------
 
     def _cold(
-        self, source: str, config: SaturatorConfig, name_prefix: str
+        self,
+        source: str,
+        config: SaturatorConfig,
+        name_prefix: str,
+        on_iteration: Optional["IterationCallback"] = None,
     ) -> OptimizationResult:
         from repro.saturator.driver import optimize_source
 
-        return optimize_source(source, config, name_prefix, stages=self.stages)
+        return optimize_source(
+            source, config, name_prefix, stages=self.stages,
+            on_iteration=on_iteration,
+        )
 
     @staticmethod
     def _mark_cached(result: OptimizationResult) -> OptimizationResult:

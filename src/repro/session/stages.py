@@ -37,8 +37,13 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.codegen.generator import CodeGenerator, GeneratedKernel, count_ast_stats
 from repro.cost import AccSaturatorCostModel
 from repro.egraph.egraph import EGraph
-from repro.egraph.extract import ExtractionMemo, ExtractionResult, extract_best
-from repro.egraph.runner import AnytimeExtraction, Runner
+from repro.egraph.extract import (
+    ExtractionMemo,
+    ExtractionResult,
+    extract_best,
+    resolve_result,
+)
+from repro.egraph.runner import AnytimeExtraction, IterationCallback, Runner
 from repro.frontend import cast as C
 from repro.frontend.normalize import normalize_blocks
 from repro.rules import constant_folding_analysis, ruleset_by_name
@@ -84,6 +89,15 @@ class StageContext:
     generated: Optional[GeneratedKernel] = None
     #: Optional shared DP state for repeated extraction of this e-graph.
     extraction_memo: Optional[ExtractionMemo] = None
+    #: Progress hook handed to the saturation loop (see
+    #: :class:`~repro.egraph.runner.Runner`); not part of the cache
+    #: fingerprint — it observes the run, it never changes its outcome.
+    on_iteration: Optional[IterationCallback] = None
+    #: Best in-loop extraction snapshot (set by :class:`SaturationStage`
+    #: when anytime extraction ran with ``keep_best``); its class ids are
+    #: canonical at the iteration that produced it, so consumers rebase
+    #: them with :func:`~repro.egraph.extract.resolve_result`.
+    anytime_best: Optional[ExtractionResult] = None
     #: Wall-clock seconds per stage name (accumulated by :func:`run_stages`).
     stage_times: Dict[str, float] = field(default_factory=dict)
 
@@ -190,14 +204,29 @@ class SaturationStage(Stage):
                 incremental=config.incremental_search,
                 scheduler=config.scheduler,
                 anytime=anytime,
+                on_iteration=ctx.on_iteration,
             )
             ctx.report.runner = runner.run()
+            if anytime is not None:
+                ctx.anytime_best = anytime.best_result
         ctx.report.egraph_nodes = len(ctx.egraph)
         ctx.report.egraph_classes = ctx.egraph.num_classes
 
 
 class ExtractionStage(Stage):
-    """Extract the minimum-cost DAG under the paper's cost model."""
+    """Extract the minimum-cost DAG under the paper's cost model.
+
+    When the saturation loop ran with anytime extraction, the stage also
+    considers the **best in-loop snapshot** (``ctx.anytime_best``): greedy
+    DAG extraction can regress as the e-graph grows, so the selection at
+    an earlier iteration boundary may beat the final one.  The snapshot is
+    rebased onto the final e-graph (class ids re-resolved against later
+    merges — :func:`~repro.egraph.extract.resolve_result`) and shipped
+    whenever its re-priced DAG cost strictly beats the final extraction;
+    a snapshot the merges invalidated falls back to the final extraction.
+    Both candidates are pure functions of (source, config), so the choice
+    between them is too.
+    """
 
     name = "extract"
     requires = ("egraph",)
@@ -207,7 +236,7 @@ class ExtractionStage(Stage):
         cost_model = AccSaturatorCostModel()
         roots = list(ctx.root_of.values())
         if roots:
-            ctx.extraction = extract_best(
+            final = extract_best(
                 ctx.egraph,
                 roots,
                 cost_model,
@@ -215,15 +244,26 @@ class ExtractionStage(Stage):
                 config.extraction_time_limit,
                 memo=ctx.extraction_memo,
             )
+            extract_elapsed = final.elapsed
+            ctx.extraction = final
+            if ctx.anytime_best is not None:
+                best = resolve_result(
+                    ctx.egraph, ctx.anytime_best, roots, cost_model
+                )
+                if best is not None and best.dag_cost < final.dag_cost - 1e-12:
+                    ctx.extraction = best
         else:
             ctx.extraction = ExtractionResult({}, {}, 0.0, 0.0, config.extraction)
+            extract_elapsed = 0.0
         ctx.report.extracted_cost = ctx.extraction.dag_cost
         if ctx.report.runner is not None:
             # complete the runner's search/apply/rebuild phase profile with
             # the extraction time so one report carries the full breakdown
             # (added on top of any in-loop anytime extraction time the
-            # runner already accumulated)
-            ctx.report.runner.extract_time += ctx.extraction.elapsed
+            # runner already accumulated; when the anytime snapshot wins,
+            # the final extraction still ran — its time is what this stage
+            # spent, the snapshot's own elapsed was counted in-loop)
+            ctx.report.runner.extract_time += extract_elapsed
         if ctx.extraction_memo is not None:
             ctx.report.extraction_memo = ctx.extraction_memo.stats_dict()
 

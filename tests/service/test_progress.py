@@ -1,0 +1,116 @@
+"""Progress streaming: per-iteration snapshots reach the job's handles."""
+
+import threading
+
+from repro.egraph.runner import RunnerLimits
+from repro.saturator import SaturatorConfig, Variant, optimize_source
+from repro.service import JobState, OptimizationService
+
+#: Anytime extraction on, so every iteration publishes an extracted cost.
+ANYTIME_CONFIG = SaturatorConfig(
+    variant=Variant.CSE_SAT,
+    limits=RunnerLimits(600, 4, 60.0),
+    anytime_extraction=True,
+    plateau_patience=4,
+)
+
+KERNEL = (
+    "#pragma acc parallel loop\n"
+    "for (i = 0; i < n; i++) { a[i] = b[i] * c[i] + b[i] * c[i] + b[i]; }"
+)
+
+
+def test_progress_events_mirror_the_runner_trajectory():
+    with OptimizationService(config=ANYTIME_CONFIG, workers=1) as service:
+        handle = service.submit(KERNEL)
+        result = handle.result(timeout=60)
+
+    events = handle.progress()
+    runner = result.kernels[0].runner
+    assert len(events) == len(runner.iterations)
+    for event, row in zip(events, runner.iterations):
+        assert event.iteration == row.index
+        assert event.applied == row.applied
+        assert event.egraph_nodes == row.egraph_nodes
+        assert event.egraph_classes == row.egraph_classes
+        assert event.extracted_cost == row.extracted_cost
+    assert [event.seq for event in events] == list(range(len(events)))
+    # anytime extraction published a cost at every boundary
+    assert all(event.extracted_cost is not None for event in events)
+    assert service.stats.snapshot()["progress_events"] == len(events)
+
+
+def test_stream_replays_and_follows_to_completion():
+    service = OptimizationService(config=ANYTIME_CONFIG, workers=1)
+    handle = service.submit(KERNEL)
+
+    streamed = []
+    done = threading.Event()
+
+    def consume():
+        for event in handle.stream(timeout=60):
+            streamed.append(event)
+        done.set()
+
+    consumer = threading.Thread(target=consume)
+    consumer.start()
+    with service:
+        assert service.join(60)
+    assert done.wait(60)
+    consumer.join()
+    assert streamed == handle.progress()
+    assert handle.state is JobState.DONE
+
+
+def test_stream_after_completion_replays_everything():
+    with OptimizationService(config=ANYTIME_CONFIG, workers=1) as service:
+        handle = service.submit(KERNEL)
+        handle.result(timeout=60)
+    late = list(handle.stream(timeout=1))
+    assert late == handle.progress()
+    assert len(late) > 0
+
+
+def test_cache_hits_and_coalesced_handles_share_the_publisher():
+    service = OptimizationService(config=ANYTIME_CONFIG, workers=1)
+    primary = service.submit(KERNEL)
+    follower = service.submit(KERNEL)
+    with service:
+        assert service.join(60)
+        # a later identical submission is served by the cache: it gets the
+        # artifact instantly and no progress events of its own
+        hit = service.submit(KERNEL)
+        hit.result(timeout=60)
+    assert follower.progress() == primary.progress()
+    assert len(primary.progress()) > 0
+    assert hit.progress() == []
+    assert hit.from_cache
+
+
+def test_no_anytime_config_streams_cost_none():
+    config = SaturatorConfig(
+        variant=Variant.CSE_SAT, limits=RunnerLimits(600, 3, 60.0)
+    )
+    with OptimizationService(config=config, workers=1) as service:
+        handle = service.submit(KERNEL)
+        handle.result(timeout=60)
+    events = handle.progress()
+    assert len(events) > 0
+    assert all(event.extracted_cost is None for event in events)
+
+
+def test_on_iteration_hook_reaches_plain_session_runs():
+    """The progress hook is a session/pipeline feature, not service magic."""
+
+    from repro.session import OptimizationSession
+
+    rows = []
+    session = OptimizationSession(config=ANYTIME_CONFIG)
+    result = session.run(KERNEL, on_iteration=rows.append)
+    assert [row.index for row in rows] == [
+        row.index for row in result.kernels[0].runner.iterations
+    ]
+    # optimize_source threads the same hook
+    rows2 = []
+    optimize_source(KERNEL, ANYTIME_CONFIG, on_iteration=rows2.append)
+    assert [r.index for r in rows2] == [r.index for r in rows]

@@ -1,0 +1,107 @@
+"""Unit tests of the job queue and the service stats registry."""
+
+import threading
+
+import pytest
+
+from repro.service import Job, JobQueue, JobState, OptimizationRequest, ServiceStats
+
+
+def _job(priority: int, seq: int) -> Job:
+    return Job(OptimizationRequest("src", priority=priority), key=None, seq=seq)
+
+
+class TestJobQueue:
+    def test_priority_then_fifo_order(self):
+        queue = JobQueue()
+        jobs = [_job(1, 0), _job(0, 1), _job(1, 2), _job(-1, 3)]
+        for job in jobs:
+            queue.push(job)
+        popped = [queue.pop(timeout=1).seq for _ in range(4)]
+        assert popped == [3, 1, 0, 2]
+
+    def test_pop_skips_cancelled_jobs(self):
+        queue = JobQueue()
+        first, second = _job(0, 0), _job(0, 1)
+        queue.push(first)
+        queue.push(second)
+        first.state = JobState.CANCELLED
+        assert queue.pop(timeout=1) is second
+        queue.close()
+        assert queue.pop() is None
+
+    def test_pop_blocks_until_push(self):
+        queue = JobQueue()
+        got = []
+
+        def popper():
+            got.append(queue.pop())
+
+        thread = threading.Thread(target=popper)
+        thread.start()
+        job = _job(0, 0)
+        queue.push(job)
+        thread.join(timeout=5)
+        assert got == [job]
+
+    def test_close_wakes_blocked_pop_and_rejects_push(self):
+        queue = JobQueue()
+        got = []
+
+        def popper():
+            got.append(queue.pop())
+
+        thread = threading.Thread(target=popper)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert got == [None]
+        with pytest.raises(RuntimeError):
+            queue.push(_job(0, 0))
+
+    def test_pop_timeout(self):
+        queue = JobQueue()
+        assert queue.pop(timeout=0.01) is None
+        assert len(queue) == 0
+
+
+class TestServiceStats:
+    def test_counters_and_gauges(self):
+        stats = ServiceStats()
+        stats.count("submitted", 3)
+        stats.count("coalesced")
+        stats.job_queued()
+        stats.job_queued()
+        stats.job_started()
+        stats.job_finished()
+        stats.job_dequeued()
+        snap = stats.snapshot()
+        assert snap["submitted"] == 3
+        assert snap["coalesced"] == 1
+        assert snap["queued"] == 0
+        assert snap["running"] == 0
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceStats().count("nope")
+
+    def test_concurrent_increments_do_not_drop(self):
+        stats = ServiceStats()
+
+        def hammer():
+            for _ in range(2000):
+                stats.count("submitted")
+                stats.job_queued()
+                stats.job_started()
+                stats.job_finished()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = stats.snapshot()
+        assert snap["submitted"] == 16000
+        assert snap["queued"] == 0
+        assert snap["running"] == 0
+        assert stats.terminal == 0

@@ -1,0 +1,97 @@
+"""Thread-safety of the memory cache tier and the CacheStats counters.
+
+Coalescing accounting in the service depends on exact hit/miss/store
+counts under concurrent access; before PR 5 the counters were bare ``+= 1``
+increments, which drop updates under a thread pool.
+"""
+
+import pickle
+import threading
+
+from repro.session import CacheStats, MemoryCache, TieredCache
+from repro.session.cache import MISS
+from repro.session.fingerprint import CacheKey
+
+
+def _key(index: int) -> CacheKey:
+    return CacheKey(f"src{index}", "cfg", "stage", "")
+
+
+def test_cache_stats_counters_are_exact_under_contention():
+    stats = CacheStats()
+
+    def hammer():
+        for _ in range(5000):
+            stats.hit()
+            stats.miss()
+            stats.store()
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert stats.hits == 40000
+    assert stats.misses == 40000
+    assert stats.stores == 40000
+    assert stats.lookups == 80000
+
+
+def test_cache_stats_survive_pickle_and_deepcopy():
+    import copy
+
+    stats = CacheStats(3, 2, 1)
+    clone = pickle.loads(pickle.dumps(stats))
+    assert (clone.hits, clone.misses, clone.stores) == (3, 2, 1)
+    clone.hit()  # the restored lock works
+    assert clone.hits == 4
+    deep = copy.deepcopy(stats)
+    deep.miss()
+    assert (stats.misses, deep.misses) == (2, 3)
+
+
+def test_memory_cache_concurrent_get_put_accounting():
+    cache = MemoryCache(max_entries=None)
+    keys = [_key(i) for i in range(4)]
+    for key in keys:
+        cache.put(key, {"payload": key.source_fp})
+    rounds = 2000
+    workers = 8
+
+    def hammer(worker: int):
+        for i in range(rounds):
+            key = keys[(worker + i) % len(keys)]
+            value = cache.get(key)
+            assert value is not MISS
+            assert value["payload"] == key.source_fp
+            cache.get(_key(99))  # guaranteed miss
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert cache.stats.hits == rounds * workers
+    assert cache.stats.misses == rounds * workers
+    assert cache.stats.stores == len(keys)
+
+
+def test_tiered_cache_counters_are_exact_under_contention():
+    tiered = TieredCache(memory=MemoryCache())
+    key = _key(0)
+    tiered.put(key, "artifact")
+
+    def hammer():
+        for _ in range(2000):
+            assert tiered.get(key) == "artifact"
+            assert tiered.get(_key(7)) is MISS
+
+    threads = [threading.Thread(target=hammer) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert tiered.stats.hits == 12000
+    assert tiered.stats.misses == 12000
+    # the memory tier underneath counted the same traffic
+    assert tiered.memory.stats.hits == 12000
