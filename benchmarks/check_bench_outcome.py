@@ -18,9 +18,19 @@ reproduces the committed outcomes exactly.  ``saturation_backoff_outcome``
 and ``pipeline_anytime_outcome`` guard the backoff and anytime paths the
 same way.
 
+``--service`` switches to guarding ``BENCH_service.json`` instead: the
+fresh run's correctness checks must all pass, the committed file's must
+too (a regeneration that failed its own checks cannot slip in), the
+no-fault outcome invariants must hold (one pipeline run per distinct
+kernel, a follow-up cache hit per kernel), and — when the fresh and
+committed runs share the same parameters — the default (no-fault)
+outcome figures and the deterministic ``faults``-wave record must match
+the committed ones exactly (timings excluded).
+
 Usage::
 
     python benchmarks/check_bench_outcome.py FRESH.json [COMMITTED.json]
+    python benchmarks/check_bench_outcome.py --service FRESH.json [COMMITTED.json]
 
 Exits non-zero (listing every mismatch) when the outcomes deviate.
 """
@@ -41,8 +51,84 @@ _OUTCOME_KEYS = (
 )
 
 
+#: Timing-free keys of the service bench's ``faults`` record — a pure
+#: function of (request mix, seed), so fresh must equal committed when the
+#: parameters match.
+_FAULT_WAVE_KEYS = (
+    "seed",
+    "requests",
+    "admitted",
+    "rejected_at_submit",
+    "outcomes",
+    "degraded",
+    "retried",
+    "recovered",
+    "shed",
+    "expired",
+    "injected",
+    "all_terminal",
+    "stats",
+)
+
+
+def _check_service(fresh, committed, committed_path) -> list:
+    """Failures of the service-bench outcome guard (see the docstring)."""
+
+    failures = []
+    for label, payload in (("fresh", fresh), ("committed", committed)):
+        checks = payload.get("checks", {})
+        for name in ("all_terminal", "coalesced_results_identical",
+                     "matches_solo_run"):
+            if checks.get(name) is not True:
+                failures.append(f"{label} checks.{name} is not true")
+    coalescing = fresh.get("coalescing", {})
+    kernels = fresh.get("params", {}).get("kernels")
+    if coalescing.get("pipeline_runs") != kernels:
+        failures.append(
+            f"coalescing.pipeline_runs={coalescing.get('pipeline_runs')!r} "
+            f"!= params.kernels={kernels!r} (one cold run per distinct kernel)"
+        )
+    if coalescing.get("followup_cache_hits") != kernels:
+        failures.append(
+            f"coalescing.followup_cache_hits={coalescing.get('followup_cache_hits')!r} "
+            f"!= params.kernels={kernels!r}"
+        )
+
+    if fresh.get("params") == committed.get("params"):
+        # identical workload: the deterministic figures must reproduce
+        for key in ("pipeline_runs", "coalesced", "followup_cache_hits"):
+            expected = committed.get("coalescing", {}).get(key)
+            actual = coalescing.get(key)
+            if actual != expected:
+                failures.append(
+                    f"coalescing.{key}: fresh={actual!r} != committed={expected!r}"
+                )
+        if "faults" in fresh and "faults" in committed:
+            for key in _FAULT_WAVE_KEYS:
+                expected = committed["faults"].get(key)
+                actual = fresh["faults"].get(key)
+                if actual != expected:
+                    failures.append(
+                        f"faults.{key}: fresh={actual!r} != committed={expected!r}"
+                    )
+    elif "faults" in committed:
+        # different scale: still guard that the committed wave terminated
+        # and actually exercised the retry/degradation paths
+        wave = committed["faults"]
+        if wave.get("all_terminal") is not True:
+            failures.append(f"committed faults wave in {committed_path} is not all-terminal")
+        if not wave.get("retried") or not wave.get("degraded"):
+            failures.append(
+                f"committed faults wave in {committed_path} has zero "
+                "retried/degraded counts"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    service_mode = "--service" in argv
+    argv = [item for item in argv if item != "--service"]
     if not argv or len(argv) > 2:
         print(__doc__)
         return 2
@@ -52,13 +138,23 @@ def main(argv=None) -> int:
         if len(argv) == 2
         else os.path.join(
             os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-            "BENCH_engine.json",
+            "BENCH_service.json" if service_mode else "BENCH_engine.json",
         )
     )
     with open(fresh_path) as fh:
         fresh = json.load(fh)
     with open(committed_path) as fh:
         committed = json.load(fh)
+
+    if service_mode:
+        failures = _check_service(fresh, committed, committed_path)
+        if failures:
+            print("service outcome drift detected:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"service outcomes consistent with the committed {committed_path}")
+        return 0
 
     failures = []
     for key in _OUTCOME_KEYS:

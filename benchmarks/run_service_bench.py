@@ -18,6 +18,16 @@ for) — and records:
   generated code must equal a solo ``optimize_source`` run of the same
   (source, config).
 
+``--faults`` appends a deterministic **chaos wave**: the same request mix
+with coalescing off, unique per-request names, a bounded queue under the
+shed policy, and a seeded :class:`~repro.service.FaultPlan` injecting
+transient faults (exercising retry + recovery), mid-run deadlines
+(exercising graceful degradation), and permanent faults (failure
+isolation).  The wave's outcome and stats records are pure functions of
+the seed — the ``faults`` section of ``BENCH_service.json`` — and
+``--check`` replays the wave to assert exactly that, plus nonzero
+retried/degraded counts and universal termination.
+
 ``--check`` turns the invariants into hard assertions (exit 1 on
 violation) — CI runs the generator at small scale in that mode to prove
 the service terminates every job and actually coalesces under load.
@@ -26,6 +36,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_service_bench.py [-o OUT]
         [--requests N] [--kernels K] [--workers W] [--check]
+        [--faults] [--fault-seed S]
 """
 
 from __future__ import annotations
@@ -46,7 +57,13 @@ if _SRC not in sys.path:
 from repro.egraph.runner import RunnerLimits
 from repro.experiments.common import pipeline_workload
 from repro.saturator import SaturatorConfig, Variant, optimize_source
-from repro.service import JobState, OptimizationService
+from repro.service import (
+    FaultPlan,
+    FaultRule,
+    JobState,
+    OptimizationService,
+    ServiceOverloadedError,
+)
 from repro.session import MemoryCache
 
 # Generous wall-clock limit (the node/iteration limits bind first), so the
@@ -141,6 +158,87 @@ def _drive(mix, config, workers, coalesce):
     return service, handles, record
 
 
+def _fault_plan(seed):
+    """The chaos wave's injection plan (see the module docstring).
+
+    Every job's first cache probe faults transiently — each admitted job
+    retries exactly once and (absent other faults) recovers; seeded
+    per-job coins degrade some jobs via a mid-run deadline and kill a few
+    permanently at pickup.
+    """
+
+    return FaultPlan(
+        [
+            FaultRule("cache:get", "transient", nth=1),
+            FaultRule("progress:publish", "deadline", probability=0.2),
+            FaultRule("worker:pickup", "permanent", probability=0.08),
+        ],
+        seed=seed,
+    )
+
+
+def _drive_faults(mix, config, workers, seed):
+    """One deterministic chaos wave; returns its (reproducible) record.
+
+    Coalescing is off and every request carries a unique name prefix, so
+    each submission is its own job with its own cache key — which is what
+    keys the plan's per-job fault streams and makes the wave's outcome
+    independent of worker interleaving.  Submission happens before the
+    workers start (single-threaded), so the bounded queue's shed/reject
+    decisions are deterministic too.
+    """
+
+    plan = _fault_plan(seed)
+    service = OptimizationService(
+        config=config,
+        cache=MemoryCache(),
+        workers=workers,
+        coalesce=False,
+        faults=plan,
+        max_queue=max(2, len(mix) // 2),
+        overload_policy="shed-oldest-lowest-priority",
+        retry_backoff=0.001,
+        retry_backoff_cap=0.002,
+    )
+    handles = []
+    rejected_at_submit = 0
+    for index, (name, source) in enumerate(mix):
+        try:
+            handles.append(
+                service.submit(
+                    source,
+                    priority=index % 3,
+                    name_prefix=f"{name}-{index:04d}",
+                )
+            )
+        except ServiceOverloadedError:
+            rejected_at_submit += 1
+    t0 = time.perf_counter()
+    service.start()
+    service.join()
+    elapsed = time.perf_counter() - t0
+    service.stop()
+
+    outcomes = [handle.state.value for handle in handles]
+    stats = service.stats.snapshot()
+    record = {
+        "seed": seed,
+        "requests": len(mix),
+        "admitted": len(handles),
+        "rejected_at_submit": rejected_at_submit,
+        "outcomes": {state: outcomes.count(state) for state in sorted(set(outcomes))},
+        "degraded": stats["degraded"],
+        "retried": stats["retried"],
+        "recovered": stats["recovered"],
+        "shed": stats["shed"],
+        "expired": stats["expired"],
+        "injected": plan.injected(),
+        "all_terminal": all(handle.done() for handle in handles),
+        "stats": stats,
+    }
+    return record, elapsed
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -161,6 +259,11 @@ def main(argv=None) -> int:
                         help="per-job saturation iteration limit (default 3)")
     parser.add_argument("--check", action="store_true",
                         help="assert the service invariants (CI smoke mode)")
+    parser.add_argument("--faults", action="store_true",
+                        help="append the deterministic fault-injection wave "
+                             "(the 'faults' section of the output)")
+    parser.add_argument("--fault-seed", type=int, default=1234,
+                        help="seed of the fault wave's FaultPlan (default 1234)")
     args = parser.parse_args(argv)
     if args.requests < args.kernels or args.kernels < 1:
         parser.error("--requests must be >= --kernels >= 1")
@@ -216,6 +319,21 @@ def main(argv=None) -> int:
         if coalesced_record["wall_seconds"] > 0 else float("inf")
     )
 
+    # -- chaos wave: deterministic fault injection -------------------------
+    faults_record = None
+    faults_replay = None
+    if args.faults:
+        faults_record, faults_elapsed = _drive_faults(
+            mix, config, args.workers, args.fault_seed
+        )
+        faults_record["wall_seconds"] = faults_elapsed
+        if args.check:
+            # replay the identical wave: everything but the wall clock must
+            # reproduce bit-for-bit (the determinism contract of FaultPlan)
+            faults_replay, _ = _drive_faults(
+                mix, config, args.workers, args.fault_seed
+            )
+
     payload = {
         "schema": "repro-service-bench/1",
         "python": platform.python_version(),
@@ -236,6 +354,8 @@ def main(argv=None) -> int:
             "matches_solo_run": solo_matches,
         },
     }
+    if faults_record is not None:
+        payload["faults"] = faults_record
 
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -254,6 +374,13 @@ def main(argv=None) -> int:
     print(f"  speedup    : {speedup:8.2f}x   "
           f"coalesce rate {100 * coalesced_record['coalesce_rate']:.0f}%   "
           f"follow-up cache hits {followup_hits}/{len(kernels)}")
+    if faults_record is not None:
+        print(
+            f"  faults     : {faults_record['admitted']}/{faults_record['requests']} admitted, "
+            f"outcomes {faults_record['outcomes']}, "
+            f"retried {faults_record['retried']} recovered {faults_record['recovered']} "
+            f"degraded {faults_record['degraded']} shed {faults_record['shed']}"
+        )
 
     if args.check:
         failures = []
@@ -272,6 +399,22 @@ def main(argv=None) -> int:
                 f"coalescing ran {coalesced_record['pipeline_runs']} pipelines "
                 f"for {len(kernels)} distinct kernels"
             )
+        if faults_record is not None:
+            if not faults_record["all_terminal"]:
+                failures.append("fault wave left a job non-terminal")
+            if faults_record["retried"] == 0:
+                failures.append("fault wave injected no transient retries")
+            if faults_record["recovered"] == 0:
+                failures.append("fault wave produced no retry recoveries")
+            if faults_record["degraded"] == 0:
+                failures.append("fault wave produced no degraded results")
+            replay = dict(faults_replay)
+            wave = {k: v for k, v in faults_record.items() if k != "wall_seconds"}
+            if replay != wave:
+                failures.append(
+                    "fault wave is not deterministic: replay deviates "
+                    f"(fresh={wave!r} replay={replay!r})"
+                )
         if failures:
             print("service bench check FAILED:")
             for failure in failures:

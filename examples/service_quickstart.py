@@ -13,7 +13,11 @@ Shows the three ways to consume a submitted job:
 It also demonstrates the two mechanisms that make the service cheap under
 duplicate-heavy traffic: in-flight **coalescing** (identical concurrent
 submissions share one pipeline run) and the **artifact cache** (identical
-later submissions skip the pipeline entirely).
+later submissions skip the pipeline entirely), plus the fault-tolerance
+layer (PR 6): per-job **deadlines** with graceful degradation — a job
+whose deadline trips mid-saturation finishes from its best anytime
+snapshot and resolves with a ``degraded=True`` artifact instead of
+failing.
 
 Usage::
 
@@ -22,7 +26,13 @@ Usage::
 
 from repro.egraph.runner import RunnerLimits
 from repro.saturator import SaturatorConfig, Variant
-from repro.service import OptimizationRequest, OptimizationService
+from repro.service import (
+    FaultPlan,
+    FaultRule,
+    JobDeadlineError,
+    OptimizationRequest,
+    OptimizationService,
+)
 
 KERNEL = """
 #pragma acc parallel loop gang
@@ -84,6 +94,31 @@ def main() -> None:
 
         # -- service accounting -------------------------------------------
         print("service stats:", service.stats.snapshot())
+
+    # -- 4. deadlines: queued expiry and graceful degradation -------------
+    # a deadline already in the past fails the job *typed* at pickup ...
+    with OptimizationService(config=CONFIG, workers=2) as service:
+        late = service.submit(KERNEL, deadline=-1.0)
+        try:
+            late.result(timeout=120)
+        except JobDeadlineError as error:
+            print(f"expired in queue: {error}")
+
+    # ... while a deadline tripping mid-saturation degrades gracefully.
+    # (Injected deterministically here — FaultRule("progress:publish",
+    # "deadline") expires the job's token at the first iteration boundary
+    # — so the example never depends on wall-clock timing; a real
+    # deployment passes deadline=<seconds> and lets the clock do this.)
+    plan = FaultPlan([FaultRule("progress:publish", "deadline", nth=1)])
+    with OptimizationService(config=CONFIG, workers=2, faults=plan) as service:
+        tight = service.submit(KERNEL, deadline=600.0)
+        result = tight.result(timeout=120)
+        print(f"deadline mid-run: degraded={result.degraded}, "
+              f"stopped after {len(result.kernels[0].runner.iterations)} "
+              f"iteration(s) with extracted cost "
+              f"{result.kernels[0].extracted_cost:.1f}")
+        print("degraded results are never cached: "
+              f"stores={service.session.cache.stats.stores}")
 
 
 if __name__ == "__main__":

@@ -273,6 +273,30 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="print a line per saturation iteration as jobs progress",
     )
     parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-job deadline in seconds from submission: a job still "
+             "queued past it fails, a running one stops saturating at the "
+             "next iteration boundary and returns its best anytime snapshot "
+             "as a degraded result (enable --anytime for that fallback)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=None,
+        help="bound the number of queued jobs (default: unbounded); a full "
+             "queue applies --overload-policy to new submissions",
+    )
+    parser.add_argument(
+        "--overload-policy", default="block",
+        choices=["block", "reject", "shed", "shed-oldest-lowest-priority"],
+        help="what a full queue does to submit: block until space frees, "
+             "reject the newcomer, or shed the worst queued job — lowest "
+             "priority first, newest as the tie-break (default: block)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="transient-failure retries per job, with capped exponential "
+             "backoff (default 2)",
+    )
+    parser.add_argument(
         "--timeout", type=float, default=None,
         help="overall deadline in seconds (default: wait for every job)",
     )
@@ -286,7 +310,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
 def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``accsat serve`` service mode."""
 
-    from repro.service import JobState, OptimizationService
+    from repro.service import (
+        JobState,
+        OptimizationService,
+        ServiceOverloadedError,
+    )
     from repro.session import DiskCache, MemoryCache, TieredCache
 
     parser = build_serve_parser()
@@ -308,13 +336,27 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     service = OptimizationService(
         config=config, cache=cache, workers=args.workers,
         coalesce=not args.no_coalesce,
+        max_queue=args.max_queue,
+        overload_policy=args.overload_policy,
+        max_retries=args.retries,
     )
     exit_code = 1 if missing else 0
     service.start()
-    handles = [
-        service.submit(path.read_text(), priority=0, name_prefix=path.stem)
-        for path in paths
-    ]
+    handles = []
+    submitted_paths = []
+    for path in paths:
+        try:
+            handle = service.submit(
+                path.read_text(), priority=0, name_prefix=path.stem,
+                deadline=args.deadline,
+            )
+        except ServiceOverloadedError as error:
+            print(f"accsat serve: {path} -> rejected: {error}", file=sys.stderr)
+            exit_code = 1
+            continue
+        handles.append(handle)
+        submitted_paths.append(path)
+    paths = submitted_paths
     deadline_exceeded = False
     if args.stream:
         try:
@@ -348,6 +390,7 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         if handle.state is JobState.DONE:
             result = handle.result()
             entry["kernels"] = [k.as_dict() for k in result.kernels]
+            entry["degraded"] = result.degraded
             if not args.no_write:
                 output = path.with_suffix(".sat.c")
                 output.write_text(result.code)
@@ -356,6 +399,7 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
                 print(
                     f"accsat serve: {path} -> done "
                     f"({len(result.kernels)} kernel(s)"
+                    f"{', degraded (deadline)' if result.degraded else ''}"
                     f"{', coalesced' if handle.coalesced else ''}"
                     f"{', cache hit' if handle.from_cache else ''})"
                 )
@@ -373,7 +417,9 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
             "accsat serve: stats "
             f"submitted={stats['submitted']} runs={stats['pipeline_runs']} "
             f"coalesced={stats['coalesced']} cache_hits={stats['cache_hits']} "
-            f"failed={stats['failed']}"
+            f"failed={stats['failed']} degraded={stats['degraded']} "
+            f"retried={stats['retried']} rejected={stats['rejected']} "
+            f"shed={stats['shed']}"
         )
     if args.report:
         Path(args.report).write_text(json.dumps(report, indent=2))

@@ -73,6 +73,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 
 __all__ = [
     "AnytimeExtraction",
+    "CancellationToken",
     "IterationCallback",
     "StopReason",
     "RunnerLimits",
@@ -97,6 +98,82 @@ class StopReason(enum.Enum):
     #: Anytime extraction saw no cost improvement for ``patience``
     #: consecutive evaluations (see :class:`AnytimeExtraction`).
     COST_PLATEAU = "cost_plateau"
+    #: A :class:`CancellationToken` deadline expired (the run stopped
+    #: cooperatively at the next iteration boundary).
+    DEADLINE = "deadline"
+    #: A :class:`CancellationToken` was explicitly cancelled.
+    CANCELLED = "cancelled"
+
+
+class CancellationToken:
+    """Cooperative cancellation: an explicit ``cancel()`` and/or a deadline.
+
+    The token itself never interrupts anything — the :class:`Runner` polls
+    it at iteration boundaries (the only points where the e-graph is
+    canonical and an anytime snapshot, if any, is coherent) and stops the
+    saturation loop with :attr:`StopReason.CANCELLED` /
+    :attr:`StopReason.DEADLINE`.  ``deadline`` is an absolute
+    :func:`time.monotonic` instant; ``timeout`` is the same thing spelled
+    as seconds from now.  Explicit cancellation wins over an expired
+    deadline when both hold.
+
+    Tokens are safe to share across threads: the flags are only ever set
+    (never cleared), so a reader can at worst see a trip one poll late —
+    exactly the cooperative contract.
+    """
+
+    __slots__ = ("deadline", "_cancelled", "_expired")
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if timeout is not None:
+            at = time.monotonic() + timeout
+            deadline = at if deadline is None else min(deadline, at)
+        self.deadline = deadline
+        self._cancelled = False
+        self._expired = False
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (idempotent, irrevocable)."""
+
+        self._cancelled = True
+
+    def expire(self) -> None:
+        """Force the deadline-expired state regardless of the clock.
+
+        This is how deterministic tests and the fault-injection harness
+        trip a deadline without depending on wall-clock timing.
+        """
+
+        self._expired = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def expired(self) -> bool:
+        return self._expired or (
+            self.deadline is not None and time.monotonic() > self.deadline
+        )
+
+    def tripped(self) -> Optional["StopReason"]:
+        """The stop reason this token demands right now, or ``None``."""
+
+        if self._cancelled:
+            return StopReason.CANCELLED
+        if self.expired:
+            return StopReason.DEADLINE
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<CancellationToken cancelled={self._cancelled} "
+            f"expired={self.expired} deadline={self.deadline}>"
+        )
 
 
 @dataclass(frozen=True)
@@ -387,6 +464,7 @@ class Runner:
         scheduler: Union[None, str, "RuleScheduler"] = None,
         anytime: Optional[AnytimeExtraction] = None,
         on_iteration: Optional[IterationCallback] = None,
+        cancellation: Optional[CancellationToken] = None,
     ) -> None:
         from repro.egraph.schedule import make_scheduler
 
@@ -408,6 +486,9 @@ class Runner:
         self.scheduler = make_scheduler(scheduler)
         self.anytime = anytime
         self.on_iteration = on_iteration
+        #: Cooperative cancellation/deadline token, polled at iteration
+        #: boundaries only (where the e-graph is canonical).
+        self.cancellation = cancellation
         if anytime is not None:
             anytime.validate()
         #: Per-rule e-graph version of the last *committed* scan (parallel
@@ -577,6 +658,10 @@ class Runner:
             if len(egraph) > limits.node_limit:
                 stop = StopReason.NODE_LIMIT
                 break
+            if self.cancellation is not None:
+                stop = self.cancellation.tripped()
+                if stop is not None:
+                    break
 
             scheduler.begin_iteration(iteration)
             scan_version = egraph.version
@@ -643,6 +728,13 @@ class Runner:
             if plateaued:
                 stop = StopReason.COST_PLATEAU
                 break
+            if self.cancellation is not None:
+                # checked after the anytime evaluation so that a tripped
+                # deadline stops at exactly the state a plateau stop at
+                # this boundary would have seen — the degradation contract
+                stop = self.cancellation.tripped()
+                if stop is not None:
+                    break
             if timed_out or time.perf_counter() - start > limits.time_limit:
                 stop = StopReason.TIME_LIMIT
                 break

@@ -15,8 +15,8 @@ from repro.saturator.pipeline import optimize_kernel
 from repro.saturator.report import OptimizationResult
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
-    from repro.egraph.runner import IterationCallback
-    from repro.session.stages import Stage
+    from repro.egraph.runner import CancellationToken, IterationCallback
+    from repro.session.stages import FaultHook, Stage
 
 __all__ = ["optimize_source", "optimize_ast"]
 
@@ -27,12 +27,17 @@ def optimize_ast(
     name_prefix: str = "kernel",
     stages: Optional[Sequence["Stage"]] = None,
     on_iteration: Optional["IterationCallback"] = None,
+    cancellation: Optional["CancellationToken"] = None,
+    fault_hook: Optional["FaultHook"] = None,
 ) -> OptimizationResult:
     """Optimize every kernel found under *root*, mutating the AST.
 
     ``on_iteration`` streams per-iteration saturation progress from every
     kernel's runner, in kernel order (see
-    :class:`~repro.egraph.runner.Runner`).
+    :class:`~repro.egraph.runner.Runner`); ``cancellation`` is shared by
+    every kernel's saturation loop — once tripped, each remaining kernel
+    either degrades to its anytime snapshot or raises (see
+    :class:`~repro.session.stages.SaturationStage`).
     """
 
     config = config or SaturatorConfig()
@@ -40,7 +45,12 @@ def optimize_ast(
     kernels = find_parallel_kernels(root, name_prefix)
     reports = []
     for kernel in kernels:
-        _, report = optimize_kernel(kernel, config, stages, on_iteration=on_iteration)
+        _, report = optimize_kernel(
+            kernel, config, stages,
+            on_iteration=on_iteration,
+            cancellation=cancellation,
+            fault_hook=fault_hook,
+        )
         reports.append(report)
     return OptimizationResult(
         code=print_c(root),
@@ -55,6 +65,8 @@ def optimize_source(
     name_prefix: str = "kernel",
     stages: Optional[Sequence["Stage"]] = None,
     on_iteration: Optional["IterationCallback"] = None,
+    cancellation: Optional["CancellationToken"] = None,
+    fault_hook: Optional["FaultHook"] = None,
 ) -> OptimizationResult:
     """Optimize OpenACC/OpenMP C *source* and return the regenerated code.
 
@@ -73,4 +85,9 @@ def optimize_source(
             root = parse_statement(source)
     except (LexerError, ParseError):
         root = parse_statement(source)
-    return optimize_ast(root, config, name_prefix, stages, on_iteration=on_iteration)
+    return optimize_ast(
+        root, config, name_prefix, stages,
+        on_iteration=on_iteration,
+        cancellation=cancellation,
+        fault_hook=fault_hook,
+    )

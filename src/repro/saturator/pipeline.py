@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from repro.codegen.generator import GeneratedKernel
 from repro.egraph.extract import ExtractionMemo
-from repro.egraph.runner import IterationCallback
+from repro.egraph.runner import CancellationToken, IterationCallback
 from repro.frontend import cast as C
 from repro.frontend.normalize import normalize_blocks
 from repro.saturator.config import SaturatorConfig
@@ -29,7 +29,7 @@ from repro.saturator.kernel import ParallelKernel
 from repro.saturator.report import KernelReport
 
 if TYPE_CHECKING:  # pragma: no cover - imported lazily to break the cycle
-    from repro.session.stages import Stage
+    from repro.session.stages import FaultHook, Stage
 
 __all__ = ["optimize_kernel", "optimize_loop_body"]
 
@@ -41,6 +41,8 @@ def optimize_loop_body(
     stages: Optional[Sequence["Stage"]] = None,
     extraction_memo: Optional[ExtractionMemo] = None,
     on_iteration: Optional[IterationCallback] = None,
+    cancellation: Optional[CancellationToken] = None,
+    fault_hook: Optional["FaultHook"] = None,
 ) -> Tuple[GeneratedKernel, KernelReport]:
     """Optimize the body of one innermost parallel loop, in place.
 
@@ -52,7 +54,9 @@ def optimize_loop_body(
     :data:`repro.session.stages.DEFAULT_STAGES`); ``extraction_memo``
     shares extraction DP state across repeated runs on one e-graph;
     ``on_iteration`` streams per-iteration saturation progress (see
-    :class:`~repro.egraph.runner.Runner`).
+    :class:`~repro.egraph.runner.Runner`); ``cancellation`` threads a
+    deadline/cancel token into the saturation loop; ``fault_hook`` is the
+    fault-injection hook called at stage boundaries.
     """
 
     # deferred: repro.session.stages imports this package's config/report
@@ -66,6 +70,8 @@ def optimize_loop_body(
         name=name,
         extraction_memo=extraction_memo,
         on_iteration=on_iteration,
+        cancellation=cancellation,
+        fault_hook=fault_hook,
     )
     run_stages(ctx, stages)
     return ctx.generated, ctx.report
@@ -76,11 +82,16 @@ def optimize_kernel(
     config: Optional[SaturatorConfig] = None,
     stages: Optional[Sequence["Stage"]] = None,
     on_iteration: Optional[IterationCallback] = None,
+    cancellation: Optional[CancellationToken] = None,
+    fault_hook: Optional["FaultHook"] = None,
 ) -> Tuple[GeneratedKernel, KernelReport]:
     """Optimize one discovered kernel in place (see :func:`optimize_loop_body`)."""
 
     config = config or SaturatorConfig()
     normalize_blocks(kernel.innermost)
     return optimize_loop_body(
-        kernel.body, config, kernel.name, stages, on_iteration=on_iteration
+        kernel.body, config, kernel.name, stages,
+        on_iteration=on_iteration,
+        cancellation=cancellation,
+        fault_hook=fault_hook,
     )

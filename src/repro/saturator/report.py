@@ -49,6 +49,11 @@ class KernelReport:
     #: when the extraction stage ran with a shared
     #: :class:`~repro.egraph.extract.ExtractionMemo`; None otherwise.
     extraction_memo: Optional[Dict[str, int]] = None
+    #: True when a deadline stopped saturation early and the artifact was
+    #: built from the best-so-far anytime snapshot (graceful degradation).
+    #: The code is still correct — just not saturated as deep as asked —
+    #: and degraded artifacts are never stored in shared caches.
+    degraded: bool = False
 
     @property
     def load_reduction(self) -> float:
@@ -79,6 +84,7 @@ class KernelReport:
             "extracted_cost": self.extracted_cost,
             "from_cache": self.from_cache,
             "extraction_memo": self.extraction_memo,
+            "degraded": self.degraded,
             "load_reduction": self.load_reduction,
             "instruction_reduction": self.instruction_reduction,
             # full saturation profile (per-iteration and per-rule stats)
@@ -96,6 +102,12 @@ class OptimizationResult:
     kernels: List[KernelReport] = field(default_factory=list)
     #: The variant that produced this code.
     variant: str = ""
+
+    @property
+    def degraded(self) -> bool:
+        """True when any kernel was built from a deadline-degraded snapshot."""
+
+        return any(k.degraded for k in self.kernels)
 
     @property
     def total_ssa_codegen_time(self) -> float:

@@ -1,24 +1,43 @@
-"""Concurrent optimization service: queue, coalescing, progress streaming.
+"""Concurrent optimization service: queue, coalescing, fault tolerance.
 
 This package is the serving layer of the reproduction — the first
 subsystem whose unit of work is *traffic*, not a single pipeline run:
 
 * :mod:`repro.service.job` — :class:`OptimizationRequest` /
   :class:`JobHandle` / :class:`ProgressEvent`: future-like handles over
-  submitted work, with cancellation and per-iteration progress streaming,
+  submitted work, with cancellation (queued *and* running jobs),
+  per-job deadlines, and per-iteration progress streaming,
 * :mod:`repro.service.queue` — a blocking priority :class:`JobQueue`
-  (deterministic ``(priority, submission)`` order),
+  (deterministic ``(priority, submission)`` order) with an optional
+  ``max_depth`` bound for backpressure,
 * :mod:`repro.service.stats` — the thread-safe :class:`ServiceStats`
-  counter registry (queued/running gauges, coalesce/cache-hit counters),
+  counter registry (queued/running gauges, coalesce/cache-hit counters,
+  and the fault-tolerance counters: rejected/shed/expired/degraded/
+  retried/recovered),
+* :mod:`repro.service.errors` — the typed serving errors and the
+  transient-vs-permanent failure classification,
+* :mod:`repro.service.faults` — the seeded, deterministic
+  :class:`FaultPlan` fault-injection harness,
 * :mod:`repro.service.service` — :class:`OptimizationService`: a worker
   pool over an :class:`~repro.session.OptimizationSession` with
-  **in-flight request coalescing** keyed on the session cache key.
+  **in-flight request coalescing** keyed on the session cache key, plus
+  deadlines with graceful degradation, overload policies, and retry with
+  exponential backoff.
 
 The ``accsat serve`` CLI mode, ``examples/service_quickstart.py`` and the
 load-test harness (``benchmarks/run_service_bench.py``) all sit on this
 package.
 """
 
+from repro.service.errors import (
+    InjectedFault,
+    JobDeadlineError,
+    ServiceError,
+    ServiceOverloadedError,
+    TransientError,
+    is_transient,
+)
+from repro.service.faults import FaultPlan, FaultRule
 from repro.service.job import (
     CancelledError,
     Job,
@@ -33,12 +52,20 @@ from repro.service.stats import ServiceStats
 
 __all__ = [
     "CancelledError",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
     "Job",
+    "JobDeadlineError",
     "JobHandle",
     "JobQueue",
     "JobState",
     "OptimizationRequest",
     "OptimizationService",
     "ProgressEvent",
+    "ServiceError",
+    "ServiceOverloadedError",
     "ServiceStats",
+    "TransientError",
+    "is_transient",
 ]

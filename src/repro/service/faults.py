@@ -1,0 +1,186 @@
+"""Deterministic fault injection for the optimization service.
+
+A :class:`FaultPlan` decides, at named **sites** along the serving path,
+whether to inject a failure.  The sites are no-op hooks in production
+(``None`` everywhere) and cost one attribute check when armed:
+
+=================== =====================================================
+site                where it fires
+=================== =====================================================
+``cache:get``       artifact-cache lookup (``MemoryCache``/``DiskCache``)
+``cache:store``     artifact-cache store
+``stage:<name>``    before each pipeline stage (``stage:saturate``, ...)
+``worker:pickup``   a worker picked the job up, before the pipeline runs
+``progress:publish`` before each per-iteration progress event
+=================== =====================================================
+
+Determinism is the whole point: every counter and RNG stream is keyed by
+``(site, job key)`` — *not* by global arrival order — so which attempt of
+which job faults is a pure function of the plan (seed + rules) and the
+job's identity, independent of worker interleaving.  A fixed seed
+therefore reproduces the exact same fault pattern, failure set, and
+service stats on every run; the chaos test suite and the
+``run_service_bench.py --faults`` mode both assert on that.
+
+Three fault kinds:
+
+* ``"transient"`` — raises :class:`~repro.service.errors.TransientError`
+  (the service retries with backoff),
+* ``"permanent"`` — raises :class:`~repro.service.errors.InjectedFault`
+  (the service fails the job fast),
+* ``"deadline"`` — calls ``expire()`` on the running job's
+  :class:`~repro.egraph.runner.CancellationToken`, tripping its deadline
+  at the next iteration boundary (degradation path) without touching the
+  wall clock.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.service.errors import InjectedFault, TransientError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.service.job import Job
+
+__all__ = ["FaultPlan", "FaultRule", "KINDS"]
+
+#: The legal fault kinds (see the module docstring).
+KINDS = ("transient", "permanent", "deadline")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: *where*, *what*, and *which hits*.
+
+    Counting (``nth``/``count``) fires on hits ``nth .. nth+count-1`` of
+    the per-``(site, job)`` hit counter — e.g. ``nth=1`` faults a job's
+    first cache lookup, and because the job retries, its *second* lookup
+    (hit 2) passes, exercising the recovery path deterministically.
+
+    ``probability`` switches the rule to a seeded per-hit coin flip drawn
+    from an RNG stream private to ``(site, job, rule)``; the flips each
+    job sees are then reproducible regardless of thread scheduling.
+    """
+
+    site: str
+    kind: str
+    nth: int = 1
+    count: int = 1
+    probability: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected {KINDS}")
+        if self.nth < 1 or self.count < 1:
+            raise ValueError("nth and count are 1-based and must be >= 1")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+
+
+class FaultPlan:
+    """A seeded, thread-safe set of :class:`FaultRule`\\ s.
+
+    The service binds the running job to the worker thread
+    (:meth:`scoped`) so that a bare ``fire(site)`` call from deep inside
+    the cache or stage machinery still knows *whose* hit it is.  Calls
+    with no bound job (e.g. a session used directly) count under the
+    ``None`` key and are injectable all the same.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._hits: Dict[Tuple[str, Optional[str]], int] = {}
+        self._injected: Dict[str, int] = {}
+        self._rngs: Dict[Tuple[int, str, Optional[str]], random.Random] = {}
+        self._tl = threading.local()
+
+    # -- binding -------------------------------------------------------------
+
+    @contextmanager
+    def scoped(self, job: "Job") -> Iterator[None]:
+        """Bind *job* to the calling thread for the duration of its run."""
+
+        self._tl.key = str(job.key.digest) if job.key is not None else None
+        self._tl.token = job.cancellation
+        try:
+            yield
+        finally:
+            self._tl.key = None
+            self._tl.token = None
+
+    # -- the hook ------------------------------------------------------------
+
+    def fire(self, site: str) -> None:
+        """Count one hit at *site* for the bound job; maybe inject.
+
+        Raises for ``transient``/``permanent`` kinds; a ``deadline`` kind
+        expires the bound job's cancellation token and returns.
+        """
+
+        key = getattr(self._tl, "key", None)
+        with self._lock:
+            hit = self._hits.get((site, key), 0) + 1
+            self._hits[(site, key)] = hit
+            verdicts = []
+            for index, rule in enumerate(self.rules):
+                if rule.site != site:
+                    continue
+                if rule.probability is not None:
+                    rng = self._rng(index, site, key)
+                    if rng.random() < rule.probability:
+                        verdicts.append(rule)
+                elif rule.nth <= hit < rule.nth + rule.count:
+                    verdicts.append(rule)
+            for rule in verdicts:
+                self._injected[rule.kind] = self._injected.get(rule.kind, 0) + 1
+        # act outside the lock: injections raise, and the deadline kind
+        # touches the token (which other threads may be polling)
+        for rule in verdicts:
+            self._inject(rule, site, key, hit)
+
+    def _rng(self, index: int, site: str, key: Optional[str]) -> random.Random:
+        """The rule's private RNG stream for one (site, job) pair.
+
+        Seeded via ``crc32`` (never the builtin ``hash``, which is
+        randomized per process) so streams are stable across runs.
+        """
+
+        stream = (index, site, key)
+        rng = self._rngs.get(stream)
+        if rng is None:
+            material = f"{self.seed}|{index}|{site}|{key}".encode()
+            rng = random.Random(zlib.crc32(material))
+            self._rngs[stream] = rng
+        return rng
+
+    def _inject(
+        self, rule: FaultRule, site: str, key: Optional[str], hit: int
+    ) -> None:
+        if rule.kind == "deadline":
+            token = getattr(self._tl, "token", None)
+            if token is not None:
+                token.expire()
+            return
+        detail = f"injected {rule.kind} fault at {site} (job {key}, hit {hit})"
+        if rule.kind == "transient":
+            raise TransientError(detail)
+        raise InjectedFault(detail)
+
+    # -- observation ---------------------------------------------------------
+
+    def injected(self) -> Dict[str, int]:
+        """Injection counts by kind (empty when nothing fired yet)."""
+
+        with self._lock:
+            return dict(self._injected)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<FaultPlan seed={self.seed} rules={len(self.rules)} injected={self.injected()}>"

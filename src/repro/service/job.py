@@ -11,14 +11,18 @@ result object.
 State machine of a job::
 
     QUEUED ──▶ RUNNING ──▶ DONE
-       │           └─────▶ FAILED
+       │        │  │ └───▶ FAILED
+       │        │  └─────▶ CANCELLED   (cooperative, via the token)
+       │        └────────▶ QUEUED      (transient-failure retry)
        └─────▶ CANCELLED
 
-Only queued jobs can be cancelled: a handle's :meth:`JobHandle.cancel`
-detaches that submission, and the job itself is cancelled once every
-attached handle detached.  A running pipeline is never interrupted —
-its result is about to land in the artifact cache where it benefits
-every later submission.
+A handle's :meth:`JobHandle.cancel` detaches that submission, and the job
+itself is cancelled once every attached handle detached.  For a *queued*
+job that is immediate; for a *running* job the last detach trips the
+job's :class:`~repro.egraph.runner.CancellationToken` and the saturation
+loop stops cooperatively at the next iteration boundary — best effort: a
+pipeline already past saturation completes (and its artifact still lands
+in the cache, where it benefits every later submission).
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, List, NamedTuple, Optional
 from repro.saturator.config import SaturatorConfig
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.egraph.runner import CancellationToken
     from repro.saturator.report import OptimizationResult
     from repro.service.stats import ServiceStats
     from repro.session.fingerprint import CacheKey
@@ -77,6 +82,13 @@ class OptimizationRequest:
     config: Optional[SaturatorConfig] = None
     priority: int = 0
     name_prefix: str = "kernel"
+    #: Seconds from submission until the job's deadline: past it, a
+    #: queued job fails with ``JobDeadlineError`` at pickup, and a running
+    #: one stops saturating at the next iteration boundary — returning
+    #: its best anytime snapshot (``degraded=True``) when one exists.
+    #: The deadline is *not* part of the coalescing key: followers share
+    #: the primary submission's deadline.  ``None`` means no deadline.
+    deadline: Optional[float] = None
 
 
 class ProgressEvent(NamedTuple):
@@ -96,7 +108,7 @@ class ProgressEvent(NamedTuple):
     extracted_cost: Optional[float]
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: jobs live in the queue's set
 class Job:
     """Shared execution state behind one or more coalesced handles.
 
@@ -120,6 +132,16 @@ class Job:
     #: Called (outside ``cond``) when the job transitions to CANCELLED,
     #: so the service can drop it from the in-flight registry.
     on_cancelled: Optional[Callable[["Job"], None]] = None
+    #: Cooperative deadline/cancel token threaded into the saturation
+    #: loop (set by the service at submit; every job gets one so running
+    #: jobs are always cancellable, deadline or not).
+    cancellation: Optional["CancellationToken"] = None
+    #: Transient-failure attempts so far (see the service's retry policy).
+    retries: int = 0
+    #: Next progress-event ``seq``; lives on the job (not the attempt) so
+    #: events stay uniquely and monotonically numbered across retries —
+    #: streams must never see the event list shrink or renumber.
+    event_seq: int = 0
     #: Monotonic timestamps of the lifecycle transitions (for latency
     #: accounting in the load-test harness; never part of any artifact).
     created_at: float = field(default_factory=time.monotonic)
@@ -172,6 +194,34 @@ class Job:
             self.state = JobState.FAILED
             self.finished_at = time.monotonic()
             self.cond.notify_all()
+
+    def requeue(self) -> bool:
+        """RUNNING → QUEUED for a transient-failure retry; False when the
+        job is not running (e.g. cancelled mid-attempt)."""
+
+        with self.cond:
+            if self.state is not JobState.RUNNING:
+                return False
+            self.state = JobState.QUEUED
+            self.cond.notify_all()
+            return True
+
+    def cancel_run(self) -> int:
+        """RUNNING → CANCELLED after a cooperative mid-saturation stop.
+
+        Returns the number of handles that had *not* individually
+        cancelled (late coalescers caught by the job's cancellation) so
+        the service can count their terminal outcome.
+        """
+
+        with self.cond:
+            if self.state is not JobState.RUNNING:
+                return 0
+            live = sum(1 for h in self.handles if not h._cancelled)
+            self.state = JobState.CANCELLED
+            self.finished_at = time.monotonic()
+            self.cond.notify_all()
+            return live
 
     # -- handle bookkeeping --------------------------------------------------
 
@@ -289,20 +339,36 @@ class JobHandle:
     def cancel(self) -> bool:
         """Detach this submission; True on success.
 
-        Only queued jobs are cancellable: once the pipeline is running
-        (or finished) the handle keeps its outcome.  Cancelling the last
-        live handle cancels the job itself, and the worker loop skips it.
+        A *queued* job detaches immediately (cancelling the last live
+        handle cancels the job, and the worker loop skips it).  A
+        *running* job is cancelled cooperatively: the last live handle's
+        detach trips the job's cancellation token, and the saturation
+        loop stops at its next iteration boundary — best effort, a
+        pipeline already past saturation completes anyway.  Terminal jobs
+        are not cancellable.
         """
 
         job = self._job
+        trip_token = None
         with job.cond:
             if self._cancelled:
                 return True
-            if job.state is not JobState.QUEUED:
+            if job.state is JobState.RUNNING:
+                if job.cancellation is None:
+                    return False
+                self._cancelled = True
+                if not any(not h._cancelled for h in job.handles):
+                    trip_token = job.cancellation
+                job_cancelled = False
+                job.cond.notify_all()
+            elif job.state is not JobState.QUEUED:
                 return False
-            self._cancelled = True
-            job_cancelled = job._handle_cancelled()
-            job.cond.notify_all()
+            else:
+                self._cancelled = True
+                job_cancelled = job._handle_cancelled()
+                job.cond.notify_all()
+        if trip_token is not None:
+            trip_token.cancel()
         # bookkeeping outside ``cond``: the stats lock and the service's
         # registry lock must never nest inside a job condition (the submit
         # path holds the registry lock while taking ``cond`` in attach)

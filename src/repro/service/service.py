@@ -20,6 +20,33 @@ and in-flight request coalescing in front of an
   outcomes, and the queued/running gauges; ``stats.snapshot()`` is cheap
   and consistent, suitable for a metrics endpoint.
 
+The fault-tolerance layer (PR 6) adds four defenses:
+
+* **deadlines** — ``OptimizationRequest.deadline`` seconds after
+  submission, the job's :class:`~repro.egraph.runner.CancellationToken`
+  trips: a still-queued job fails with
+  :class:`~repro.service.errors.JobDeadlineError` at pickup; a running
+  one stops saturating at the next iteration boundary and **degrades
+  gracefully** — extraction/codegen finish from the best anytime snapshot
+  and the job resolves with a ``degraded=True`` artifact (byte-identical
+  to a plateau stop at the same boundary, and never stored in the shared
+  artifact cache).  With no snapshot the job fails with
+  ``JobDeadlineError``.
+* **backpressure + load shedding** — a bounded queue (``max_queue``) plus
+  an ``overload_policy``: ``"block"`` (wait for space, optionally bounded
+  by ``submit_timeout``), ``"reject"``
+  (:class:`~repro.service.errors.ServiceOverloadedError`), or ``"shed"``
+  (evict the worst queued job — lowest priority, then newest — to admit
+  the new one; an incoming submission worse than every queued job is
+  itself rejected).
+* **retry with backoff** — transient failures (``OSError`` /
+  :class:`~repro.service.errors.TransientError`) requeue the job with a
+  capped, deterministic exponential backoff up to ``max_retries``;
+  permanent errors fail fast; a worker hitting an unexpected error fails
+  only its job and keeps serving.
+* **fault injection** — a :class:`~repro.service.faults.FaultPlan` arms
+  the no-op hooks along the serving path for deterministic chaos testing.
+
 Workers run plain :meth:`OptimizationSession.run`, so everything the
 session guarantees — deterministic artifacts, hit-equals-cold-run
 equivalence, thread-safe cache tiers — carries over; the service adds
@@ -28,21 +55,37 @@ concurrency, ordering (priorities), and single-flight semantics on top.
 
 from __future__ import annotations
 
-import itertools
 import os
 import threading
 import time
+from itertools import count
 from typing import Dict, List, Optional, Union
 
+from repro.egraph.runner import CancellationToken
 from repro.saturator.config import SaturatorConfig
+from repro.service.errors import (
+    JobDeadlineError,
+    ServiceOverloadedError,
+    is_transient,
+)
+from repro.service.faults import FaultPlan
 from repro.service.job import Job, JobHandle, JobState, OptimizationRequest, ProgressEvent
 from repro.service.queue import JobQueue
 from repro.service.stats import ServiceStats
 from repro.session.cache import ArtifactCache, MemoryCache
 from repro.session.fingerprint import CacheKey
 from repro.session.session import OptimizationSession
+from repro.session.stages import DeadlineExceeded, SaturationCancelled
 
 __all__ = ["OptimizationService"]
+
+#: Accepted ``overload_policy`` spellings (the long form is the ISSUE's).
+_POLICIES = {
+    "block": "block",
+    "reject": "reject",
+    "shed": "shed",
+    "shed-oldest-lowest-priority": "shed",
+}
 
 
 def _default_workers() -> int:
@@ -50,7 +93,7 @@ def _default_workers() -> int:
 
 
 class OptimizationService:
-    """A concurrent, coalescing front-end over an optimization session.
+    """A concurrent, coalescing, fault-tolerant front-end over a session.
 
     ``session`` supplies the cache and configuration defaults; when
     omitted, one is built from ``config``/``cache`` (an in-memory cache by
@@ -58,6 +101,20 @@ class OptimizationService:
     coalescing).  ``workers`` sizes the thread pool; ``coalesce=False``
     disables in-flight deduplication (every submission enqueues its own
     job — the load-test harness uses this as the baseline).
+
+    Fault-tolerance knobs:
+
+    * ``max_queue`` bounds the number of queued (not-yet-running) jobs;
+      ``overload_policy`` decides what a full queue does to ``submit``
+      (``"block"``/``"reject"``/``"shed"``, see the module docstring) and
+      ``submit_timeout`` bounds the ``block`` wait (``None`` = forever —
+      note a blocked submit on a never-started service waits until a
+      worker frees space, so start the service first).
+    * ``max_retries`` retries transient failures with exponential backoff
+      ``retry_backoff * 2**(attempt-1)`` seconds, capped at
+      ``retry_backoff_cap``.
+    * ``faults`` arms a :class:`~repro.service.faults.FaultPlan` on the
+      serving path (cache, stages, worker pickup, progress publish).
 
     The service can be used as a context manager::
 
@@ -76,6 +133,13 @@ class OptimizationService:
         cache: Optional[ArtifactCache] = None,
         workers: Optional[int] = None,
         coalesce: bool = True,
+        max_queue: Optional[int] = None,
+        overload_policy: str = "block",
+        submit_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        retry_backoff_cap: float = 1.0,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if session is not None and (config is not None or cache is not None):
             raise ValueError("pass either a session or config/cache, not both")
@@ -87,16 +151,47 @@ class OptimizationService:
         self.workers = workers if workers is not None else _default_workers()
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if overload_policy not in _POLICIES:
+            raise ValueError(
+                f"unknown overload_policy {overload_policy!r}; "
+                f"expected one of {sorted(_POLICIES)}"
+            )
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.coalesce = coalesce
+        self.overload_policy = _POLICIES[overload_policy]
+        self.submit_timeout = submit_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
+        self.faults = faults
         self.stats = ServiceStats()
-        self._queue = JobQueue()
+        self._queue = JobQueue(max_depth=max_queue)
         self._lock = threading.Lock()
+        #: The in-flight registry has its own lock: workers must be able to
+        #: drop a finished job (and thereby pop the next one, freeing a
+        #: queue slot) while a ``block``-policy submit holds ``_lock``
+        #: waiting for exactly that slot.  Order: ``_lock`` may wrap
+        #: ``_inflight_lock``; never the reverse, and workers take only
+        #: the latter.
+        self._inflight_lock = threading.Lock()
         self._inflight: Dict[CacheKey, Job] = {}
         self._jobs: List[Job] = []
-        self._seq = itertools.count()
+        self._seq = count()
         self._threads: List[threading.Thread] = []
         self._started = False
         self._stopped = False
+        if faults is not None and session.cache is not None:
+            # arm the cache sites (every tier of a TieredCache does its
+            # own IO, so each gets the hook); stage/publish/pickup sites
+            # are armed per-job in the worker loop
+            for tier in (
+                session.cache,
+                getattr(session.cache, "memory", None),
+                getattr(session.cache, "disk", None),
+            ):
+                if tier is not None:
+                    tier.fault_hook = faults.fire
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -122,23 +217,25 @@ class OptimizationService:
     def stop(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Shut down: close the queue, optionally cancel what never ran.
 
-        With ``cancel_pending`` every still-queued job is cancelled;
-        otherwise the workers drain the queue before exiting.  ``wait``
-        blocks until the worker threads have terminated.
+        The queue closes **first** (under the registry lock — ``submit``
+        holds the same lock from its closed-check through the push, so a
+        racing submission either lands fully before the close or is
+        rejected up front, never stranded half-registered); only then does
+        ``cancel_pending`` sweep the still-queued jobs, so the sweep
+        cannot miss a submission that slipped past the stop.  Without
+        ``cancel_pending`` the workers drain the queue before exiting.
+        ``wait`` blocks until the worker threads have terminated.
         """
 
+        with self._lock:
+            self._queue.close()
+            self._stopped = True
+            threads = list(self._threads)
         if cancel_pending:
             for job in self.jobs():
                 if job.state is JobState.QUEUED:
                     for handle in list(job.handles):
                         handle.cancel()
-        # close under the registry lock: submit() holds it from its
-        # closed-check through push(), so a submission either lands fully
-        # before the close or is rejected up front — never half-registered
-        with self._lock:
-            self._queue.close()
-            self._stopped = True
-            threads = list(self._threads)
         if wait:
             for thread in threads:
                 thread.join()
@@ -159,17 +256,26 @@ class OptimizationService:
         config: Optional[SaturatorConfig] = None,
         priority: int = 0,
         name_prefix: str = "kernel",
+        deadline: Optional[float] = None,
     ) -> JobHandle:
         """Enqueue one optimization request; returns its handle.
 
         *request* is an :class:`OptimizationRequest` or a bare source
-        string (then ``config``/``priority``/``name_prefix`` apply).  An
-        identical in-flight request — same session cache key — is joined
-        rather than re-enqueued when coalescing is on.
+        string (then ``config``/``priority``/``name_prefix``/``deadline``
+        apply).  An identical in-flight request — same session cache key —
+        is joined rather than re-enqueued when coalescing is on (the
+        follower shares the primary's deadline).
+
+        Raises :class:`~repro.service.errors.ServiceOverloadedError` when
+        the queue is full and the overload policy refuses the submission;
+        a refused submission is counted in ``rejected`` (not
+        ``submitted``) and owns no job.
         """
 
         if isinstance(request, str):
-            request = OptimizationRequest(request, config, priority, name_prefix)
+            request = OptimizationRequest(
+                request, config, priority, name_prefix, deadline
+            )
         elif config is not None:
             raise ValueError("config is part of the OptimizationRequest")
         key = self.session.key_for(
@@ -178,21 +284,48 @@ class OptimizationService:
         with self._lock:
             if self._queue.closed:
                 raise RuntimeError("service is stopped")
-            self.stats.count("submitted")
             if self.coalesce:
-                job = self._inflight.get(key)
-                if job is not None:
-                    handle = job.attach()
-                    if handle is not None:
-                        self.stats.count("coalesced")
-                        return handle
-            job = Job(request, key, seq=next(self._seq), stats=self.stats)
+                # get+attach under the registry lock: a worker's
+                # drop-then-resolve either happens after the attach (the
+                # handle is counted in the job's outcome) or before the
+                # get (the registry misses and a fresh job hits the cache)
+                with self._inflight_lock:
+                    job = self._inflight.get(key)
+                    handle = job.attach() if job is not None else None
+                if handle is not None:
+                    self.stats.count("submitted")
+                    self.stats.count("coalesced")
+                    return handle
+            seq = next(self._seq)
+            if self._queue.full and self.overload_policy != "block":
+                # may shed a victim to make room, or raise — before the
+                # new job is registered anywhere, so rejection needs no
+                # rollback
+                self._admit_under_load(request, seq)
+            job = Job(request, key, seq=seq, stats=self.stats)
+            # every job gets a token (deadline or not) so running jobs
+            # are always cooperatively cancellable
+            job.cancellation = CancellationToken(timeout=request.deadline)
             job.on_cancelled = self._job_cancelled
-            self._inflight[key] = job
+            with self._inflight_lock:
+                self._inflight[key] = job
             self._jobs.append(job)
             handle = job.attach()
             assert handle is not None  # fresh job, cannot be cancelled yet
-            self._queue.push(job)
+            timeout = self.submit_timeout if self.overload_policy == "block" else None
+            if not self._queue.push(job, timeout=timeout):
+                # block policy timed out waiting for space: unwind as if
+                # the submission never happened
+                with self._inflight_lock:
+                    if self._inflight.get(key) is job:
+                        del self._inflight[key]
+                self._jobs.remove(job)
+                self.stats.count("rejected")
+                raise ServiceOverloadedError(
+                    f"no queue space within {self.submit_timeout!r}s "
+                    f"(max_depth={self._queue.max_depth})"
+                )
+            self.stats.count("submitted")
             self.stats.job_queued()
         return handle
 
@@ -203,6 +336,46 @@ class OptimizationService:
         """Submit a batch; handles come back in input order."""
 
         return [self.submit(request) for request in requests]
+
+    def _admit_under_load(self, request: OptimizationRequest, seq: int) -> None:
+        """Make room for (or refuse) a submission at a full queue.
+
+        Called under the registry lock.  ``reject`` raises outright;
+        ``shed`` evicts the worst queued job — **lowest priority, then
+        newest submission** — unless the incoming request is itself the
+        worst, in which case it is rejected (shedding older, better work
+        for it would invert the policy).
+        """
+
+        if self.overload_policy == "reject":
+            self.stats.count("rejected")
+            raise ServiceOverloadedError(
+                f"queue is full (max_depth={self._queue.max_depth})"
+            )
+        while self._queue.full:
+            victim = self._queue.worst_queued()
+            if victim is None:
+                return  # a worker drained the queue between the checks
+            if (victim.request.priority, victim.seq) < (request.priority, seq):
+                self.stats.count("rejected")
+                raise ServiceOverloadedError(
+                    "submission shed on arrival: lowest priority at a full queue"
+                )
+            if not self._queue.steal(victim):
+                continue  # a worker popped it first; re-check the depth
+            with self._inflight_lock:
+                if self._inflight.get(victim.key) is victim:
+                    del self._inflight[victim.key]
+            outcomes = victim.live_handles
+            victim.fail(
+                ServiceOverloadedError(
+                    "job shed under load: queue full and a newer submission "
+                    "outranked it"
+                )
+            )
+            self.stats.count("shed")
+            self.stats.count("failed", outcomes)
+            self.stats.job_dequeued()
 
     # ------------------------------------------------------------------
     # observation
@@ -242,66 +415,158 @@ class OptimizationService:
     # ------------------------------------------------------------------
 
     def _job_cancelled(self, job: Job) -> None:
-        """A queued job lost its last live handle: drop it from inflight."""
+        """A queued job lost its last live handle: free its queue slot and
+        drop it from the in-flight registry."""
 
-        with self._lock:
+        self._queue.discard(job)
+        self._drop_inflight(job)
+
+    def _drop_inflight(self, job: Job) -> None:
+        # registry lock only: this runs on worker threads, which must
+        # never need ``_lock`` (a blocked ``block``-policy submit holds it
+        # while waiting for the very slot this drop leads to freeing)
+        with self._inflight_lock:
             if self._inflight.get(job.key) is job:
                 del self._inflight[job.key]
+
+    def _fail_job(self, job: Job, error: BaseException) -> None:
+        """Fail *job* (failure isolation: its own handles, nothing else)."""
+
+        self._drop_inflight(job)
+        outcomes = job.live_handles
+        job.fail(error)
+        self.stats.count("failed", outcomes)
+
+    def _backoff(self, attempt: int) -> float:
+        """Deterministic capped exponential backoff for retry *attempt*."""
+
+        return min(self.retry_backoff_cap, self.retry_backoff * 2 ** (attempt - 1))
 
     def _worker(self) -> None:
         while True:
             job = self._queue.pop()
             if job is None:
                 return
+            token = job.cancellation
+            if (
+                token is not None
+                and token.tripped() is not None
+                and job.state is JobState.QUEUED
+            ):
+                # expired (or token-cancelled) while waiting in the queue:
+                # never start a job that cannot finish in time
+                self._drop_inflight(job)
+                outcomes = job.live_handles
+                job.fail(
+                    JobDeadlineError("deadline expired before the job started")
+                )
+                self.stats.job_dequeued()
+                self.stats.count("expired")
+                self.stats.count("failed", outcomes)
+                continue
             if not job.start():
                 continue  # cancelled between push and pop
             self.stats.job_started()
             try:
                 self._run_job(job)
+            except Exception as error:  # pragma: no cover - defensive
+                # an unexpected error in the serving machinery itself must
+                # fail only this job; the worker survives to keep serving
+                self._drop_inflight(job)
+                if not job.state.terminal:
+                    outcomes = job.live_handles
+                    job.fail(error)
+                    self.stats.count("failed", outcomes)
             finally:
                 self.stats.job_finished()
 
     def _run_job(self, job: Job) -> None:
-        seq = itertools.count()
+        plan = self.faults
 
         def publish(row) -> None:  # row: repro.egraph.runner.IterationReport
-            job.publish(
-                ProgressEvent(
-                    seq=next(seq),
-                    iteration=row.index,
-                    applied=row.applied,
-                    egraph_nodes=row.egraph_nodes,
-                    egraph_classes=row.egraph_classes,
-                    extracted_cost=row.extracted_cost,
-                )
+            if plan is not None:
+                plan.fire("progress:publish")
+            event = ProgressEvent(
+                seq=job.event_seq,
+                iteration=row.index,
+                applied=row.applied,
+                egraph_nodes=row.egraph_nodes,
+                egraph_classes=row.egraph_classes,
+                extracted_cost=row.extracted_cost,
             )
+            # the seq counter lives on the job so events stay uniquely
+            # numbered across retry attempts (streams replay, never shrink)
+            job.event_seq += 1
+            job.publish(event)
             self.stats.count("progress_events")
 
         request = job.request
         try:
-            result, from_cache = self.session.run_detailed(
-                request.source,
-                request.config,
-                request.name_prefix,
-                on_iteration=publish,
-            )
-        except Exception as error:
-            # failure isolation: one bad source fails its own handles and
-            # nothing else; the worker survives to take the next job
-            with self._lock:
-                if self._inflight.get(job.key) is job:
-                    del self._inflight[job.key]
-            outcomes = job.live_handles
-            job.fail(error)
-            self.stats.count("failed", outcomes)
+            if plan is not None:
+                with plan.scoped(job):
+                    plan.fire("worker:pickup")
+                    result, from_cache = self.session.run_detailed(
+                        request.source,
+                        request.config,
+                        request.name_prefix,
+                        on_iteration=publish,
+                        cancellation=job.cancellation,
+                        fault_hook=plan.fire,
+                    )
+            else:
+                result, from_cache = self.session.run_detailed(
+                    request.source,
+                    request.config,
+                    request.name_prefix,
+                    on_iteration=publish,
+                    cancellation=job.cancellation,
+                )
+        except SaturationCancelled:
+            # every handle detached and the token stopped the loop at an
+            # iteration boundary; late coalescers (attached after the trip)
+            # are carried to CANCELLED with the job
+            self._drop_inflight(job)
+            stragglers = job.cancel_run()
+            if stragglers:
+                self.stats.count("cancelled", stragglers)
             return
+        except DeadlineExceeded as error:
+            # tripped mid-run with no anytime snapshot: nothing correct to
+            # degrade to, so the deadline is a (permanent) failure
+            self.stats.count("expired")
+            self._fail_job(job, JobDeadlineError(str(error)))
+            return
+        except Exception as error:
+            if (
+                is_transient(error)
+                and job.retries < self.max_retries
+                and not self._queue.closed
+            ):
+                job.retries += 1
+                if job.requeue():
+                    self.stats.count("retried")
+                    self.stats.job_requeued()
+                    time.sleep(self._backoff(job.retries))
+                    try:
+                        # force: the service accepted this job once; a full
+                        # queue must never lose it on the way back in
+                        self._queue.push(job, force=True)
+                    except RuntimeError:
+                        # stopped while backing off — fail with the cause
+                        self.stats.job_dequeued()
+                        self._fail_job(job, error)
+                    return
+            self._fail_job(job, error)
+            return
+        if job.retries:
+            self.stats.count("recovered")
+        if result.degraded:
+            self.stats.count("degraded")
         self.stats.count("cache_hits" if from_cache else "pipeline_runs")
         # leave the in-flight registry *before* resolving: a submission
         # racing with completion either attaches (and shares this result)
         # or misses the registry and hits the artifact cache — never both
-        with self._lock:
-            if self._inflight.get(job.key) is job:
-                del self._inflight[job.key]
+        self._drop_inflight(job)
         outcomes = job.live_handles
         job.resolve(result, from_cache)
         self.stats.count("completed", outcomes)

@@ -30,6 +30,19 @@ class ServiceStats:
     * ``completed`` / ``failed`` / ``cancelled`` — terminal handle outcomes,
     * ``progress_events`` — per-iteration snapshots published to jobs.
 
+    The fault-tolerance layer (PR 6) adds:
+
+    * ``rejected`` — submissions refused by the overload policy (the
+      caller got :class:`~repro.service.errors.ServiceOverloadedError`
+      instead of a handle; **not** counted in ``submitted``),
+    * ``shed`` — queued jobs evicted as load-shedding victims (their
+      handles count under ``failed``),
+    * ``expired`` — jobs failed by a deadline
+      (:class:`~repro.service.errors.JobDeadlineError`),
+    * ``degraded`` — jobs resolved from a deadline-degraded artifact,
+    * ``retried`` — transient-failure requeues (one per retry attempt),
+    * ``recovered`` — jobs that completed after at least one retry.
+
     ``queued`` and ``running`` are gauges maintained by the queue/worker
     transitions.  Every ``submitted`` handle ends in exactly one of the
     three terminal counters, so ``submitted == completed + failed +
@@ -45,18 +58,18 @@ class ServiceStats:
         "failed",
         "cancelled",
         "progress_events",
+        "rejected",
+        "shed",
+        "expired",
+        "degraded",
+        "retried",
+        "recovered",
     )
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.submitted = 0
-        self.coalesced = 0
-        self.cache_hits = 0
-        self.pipeline_runs = 0
-        self.completed = 0
-        self.failed = 0
-        self.cancelled = 0
-        self.progress_events = 0
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
         self.queued = 0
         self.running = 0
 
@@ -86,10 +99,21 @@ class ServiceStats:
             self.running -= 1
 
     def job_dequeued(self) -> None:
-        """A queued job left the queue without running (cancelled)."""
+        """A queued job left the queue without running (cancelled/shed/
+        expired)."""
 
         with self._lock:
             self.queued -= 1
+
+    def job_requeued(self) -> None:
+        """A running job went back to the queue (transient-failure retry).
+
+        Only ``queued`` moves here: the worker's attempt ledger already
+        balances ``running`` via ``job_started``/``job_finished``.
+        """
+
+        with self._lock:
+            self.queued += 1
 
     # ------------------------------------------------------------------
     # observation

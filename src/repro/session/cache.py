@@ -77,6 +77,10 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Entries that existed on disk but failed to load (truncated pickle,
+    #: incompatible version, ...) and were quarantined; each also counts
+    #: as a miss, so ``lookups`` stays hit+miss.
+    corrupt: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -93,18 +97,28 @@ class CacheStats:
         with self._lock:
             self.stores += n
 
+    def corrupted(self, n: int = 1) -> None:
+        with self._lock:
+            self.corrupt += n
+
     # the lock is per-process bookkeeping, not part of the counter state
     def __getstate__(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
 
     def __setstate__(self, state: Dict[str, int]) -> None:
         self.hits = state.get("hits", 0)
         self.misses = state.get("misses", 0)
         self.stores = state.get("stores", 0)
+        self.corrupt = state.get("corrupt", 0)
         self._lock = threading.Lock()
 
     def __deepcopy__(self, memo: Dict[int, object]) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.stores)
+        return CacheStats(self.hits, self.misses, self.stores, self.corrupt)
 
     @property
     def lookups(self) -> int:
@@ -119,6 +133,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corrupt": self.corrupt,
             "hit_rate": self.hit_rate,
         }
 
@@ -128,6 +143,10 @@ class ArtifactCache:
 
     def __init__(self) -> None:
         self.stats = CacheStats()
+        #: Fault-injection hook (see :mod:`repro.service.faults`); called
+        #: with ``"cache:get"`` / ``"cache:store"`` before the respective
+        #: IO in backends that support it.  ``None`` in production.
+        self.fault_hook = None
 
     def get(self, key: CacheKey) -> object:
         """Return the cached artifact or :data:`MISS`."""
@@ -161,6 +180,8 @@ class MemoryCache(ArtifactCache):
         return len(self._entries)
 
     def get(self, key: CacheKey) -> object:
+        if self.fault_hook is not None:
+            self.fault_hook("cache:get")
         with self._lock:
             if key not in self._entries:
                 self.stats.miss()
@@ -171,6 +192,8 @@ class MemoryCache(ArtifactCache):
         return copy.deepcopy(value)
 
     def put(self, key: CacheKey, value: object) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook("cache:store")
         value = copy.deepcopy(value)
         with self._lock:
             self._entries[key] = value
@@ -199,19 +222,42 @@ class DiskCache(ArtifactCache):
 
     def get(self, key: CacheKey) -> object:
         path = self._path(key)
+        if self.fault_hook is not None:
+            self.fault_hook("cache:get")
         try:
             with open(path, "rb") as fh:
                 value = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.miss()
+            return MISS
         except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
-            # absent, truncated, or written by an incompatible version —
-            # all degrade to a miss and the artifact is recomputed
+            # the entry exists but won't load — truncated by a crashed
+            # writer or written by an incompatible version.  Quarantine it
+            # so the next probe is a clean miss instead of re-paying the
+            # failed load forever, and count it.
+            self._quarantine(path)
+            self.stats.corrupted()
             self.stats.miss()
             return MISS
         self.stats.hit()
         return value
 
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt entry off the probe path (best effort)."""
+
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced removal / perms
+                pass
+
     def put(self, key: CacheKey, value: object) -> None:
         path = self._path(key)
+        if self.fault_hook is not None:
+            self.fault_hook("cache:store")
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:

@@ -36,7 +36,8 @@ from repro.session.fingerprint import CacheKey, stage_key
 from repro.session.stages import Stage
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
-    from repro.egraph.runner import IterationCallback
+    from repro.egraph.runner import CancellationToken, IterationCallback
+    from repro.session.stages import FaultHook
 
 __all__ = ["OptimizationSession"]
 
@@ -117,15 +118,22 @@ class OptimizationSession:
         config: Optional[SaturatorConfig] = None,
         name_prefix: str = "kernel",
         on_iteration: Optional["IterationCallback"] = None,
+        cancellation: Optional["CancellationToken"] = None,
+        fault_hook: Optional["FaultHook"] = None,
     ) -> OptimizationResult:
         """Optimize *source*, reusing a cached artifact when one exists.
 
         ``on_iteration`` streams per-iteration saturation progress from a
         cold run (see :class:`~repro.egraph.runner.Runner`); a cache hit
-        returns immediately and never fires it.
+        returns immediately and never fires it.  ``cancellation`` threads
+        a deadline/cancel token into the saturation loop (see
+        :meth:`run_detailed` for the degradation contract).
         """
 
-        return self.run_detailed(source, config, name_prefix, on_iteration)[0]
+        return self.run_detailed(
+            source, config, name_prefix, on_iteration,
+            cancellation=cancellation, fault_hook=fault_hook,
+        )[0]
 
     def run_detailed(
         self,
@@ -133,23 +141,40 @@ class OptimizationSession:
         config: Optional[SaturatorConfig] = None,
         name_prefix: str = "kernel",
         on_iteration: Optional["IterationCallback"] = None,
+        cancellation: Optional["CancellationToken"] = None,
+        fault_hook: Optional["FaultHook"] = None,
     ) -> Tuple[OptimizationResult, bool]:
         """Like :meth:`run`, but also reports whether the cache served it.
 
         The boolean is authoritative even for artifacts without kernels
         (whose reports carry no ``from_cache`` flags) — the optimization
         service's hit/run accounting depends on that.
+
+        A run whose deadline tripped mid-saturation may return a
+        **degraded** result (``result.degraded``) built from the anytime
+        snapshot; degraded artifacts are *never* stored in the cache, so
+        they can't shadow the full artifact a later unconstrained run
+        produces.
         """
 
         config = config or self.config
         if self.cache is None:
-            return self._cold(source, config, name_prefix, on_iteration), False
+            return (
+                self._cold(
+                    source, config, name_prefix, on_iteration,
+                    cancellation, fault_hook,
+                ),
+                False,
+            )
         key = self.key_for(source, config, name_prefix)
         hit = self.cache.get(key)
         if hit is not MISS:
             return self._mark_cached(hit), True
-        result = self._cold(source, config, name_prefix, on_iteration)
-        self.cache.put(key, result)
+        result = self._cold(
+            source, config, name_prefix, on_iteration, cancellation, fault_hook
+        )
+        if not result.degraded:
+            self.cache.put(key, result)
         return result, False
 
     # ------------------------------------------------------------------
@@ -227,12 +252,16 @@ class OptimizationSession:
         config: SaturatorConfig,
         name_prefix: str,
         on_iteration: Optional["IterationCallback"] = None,
+        cancellation: Optional["CancellationToken"] = None,
+        fault_hook: Optional["FaultHook"] = None,
     ) -> OptimizationResult:
         from repro.saturator.driver import optimize_source
 
         return optimize_source(
             source, config, name_prefix, stages=self.stages,
             on_iteration=on_iteration,
+            cancellation=cancellation,
+            fault_hook=fault_hook,
         )
 
     @staticmethod

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.codegen.generator import CodeGenerator, GeneratedKernel, count_ast_stats
 from repro.cost import AccSaturatorCostModel
@@ -43,7 +43,13 @@ from repro.egraph.extract import (
     extract_best,
     resolve_result,
 )
-from repro.egraph.runner import AnytimeExtraction, IterationCallback, Runner
+from repro.egraph.runner import (
+    AnytimeExtraction,
+    CancellationToken,
+    IterationCallback,
+    Runner,
+    StopReason,
+)
 from repro.frontend import cast as C
 from repro.frontend.normalize import normalize_blocks
 from repro.rules import constant_folding_analysis, ruleset_by_name
@@ -54,9 +60,12 @@ from repro.ssa import KernelSSA, build_ssa
 __all__ = [
     "CodegenStage",
     "DEFAULT_STAGES",
+    "DeadlineExceeded",
     "EGraphBuildStage",
     "ExtractionStage",
+    "FaultHook",
     "FrontendStage",
+    "SaturationCancelled",
     "SaturationStage",
     "Stage",
     "StageContext",
@@ -64,9 +73,28 @@ __all__ = [
     "run_stages",
 ]
 
+#: Fault-injection hook: called with a site name (``"stage:<name>"`` from
+#: :func:`run_stages`; the cache and service layers use their own site
+#: names).  A no-op in production; the fault harness raises from it.
+FaultHook = Callable[[str], None]
+
 
 class StageError(RuntimeError):
     """A stage ran before one of its required artifacts was produced."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """A deadline tripped before any anytime snapshot existed.
+
+    Raised by :class:`SaturationStage` when the cancellation token stopped
+    the runner with :attr:`~repro.egraph.runner.StopReason.DEADLINE` and
+    there is no best-so-far extraction to degrade to — the pipeline has
+    nothing correct to ship, so the kernel (and the job above it) fails.
+    """
+
+
+class SaturationCancelled(RuntimeError):
+    """The cancellation token was explicitly cancelled mid-saturation."""
 
 
 @dataclass
@@ -93,6 +121,14 @@ class StageContext:
     #: :class:`~repro.egraph.runner.Runner`); not part of the cache
     #: fingerprint — it observes the run, it never changes its outcome.
     on_iteration: Optional[IterationCallback] = None
+    #: Cooperative cancellation/deadline token threaded into the
+    #: saturation loop; like ``on_iteration`` it is not part of the cache
+    #: fingerprint — a degraded result is never cached (see
+    #: :meth:`~repro.session.session.OptimizationSession.run_detailed`).
+    cancellation: Optional[CancellationToken] = None
+    #: Fault-injection hook called at stage boundaries (``"stage:<name>"``);
+    #: ``None`` in production.  See :mod:`repro.service.faults`.
+    fault_hook: Optional[FaultHook] = None
     #: Best in-loop extraction snapshot (set by :class:`SaturationStage`
     #: when anytime extraction ran with ``keep_best``); its class ids are
     #: canonical at the iteration that produced it, so consumers rebase
@@ -205,10 +241,28 @@ class SaturationStage(Stage):
                 scheduler=config.scheduler,
                 anytime=anytime,
                 on_iteration=ctx.on_iteration,
+                cancellation=ctx.cancellation,
             )
             ctx.report.runner = runner.run()
             if anytime is not None:
                 ctx.anytime_best = anytime.best_result
+            stop = ctx.report.runner.stop_reason
+            if stop is StopReason.CANCELLED:
+                raise SaturationCancelled(
+                    f"kernel {ctx.name!r} cancelled mid-saturation"
+                )
+            if stop is StopReason.DEADLINE:
+                if ctx.anytime_best is None:
+                    raise DeadlineExceeded(
+                        f"kernel {ctx.name!r}: deadline tripped with no "
+                        f"anytime snapshot to degrade to"
+                    )
+                # Degrade gracefully: the loop stopped at an iteration
+                # boundary where the e-graph and the anytime snapshot are
+                # exactly what a plateau stop at the same boundary would
+                # hold, so downstream extraction/codegen proceed normally
+                # and the artifact is byte-identical — just flagged.
+                ctx.report.degraded = True
         ctx.report.egraph_nodes = len(ctx.egraph)
         ctx.report.egraph_classes = ctx.egraph.num_classes
 
@@ -313,6 +367,8 @@ def run_stages(
 
     for stage in (DEFAULT_STAGES if stages is None else stages):
         stage.check(ctx)
+        if ctx.fault_hook is not None:
+            ctx.fault_hook(f"stage:{stage.name}")
         t0 = time.perf_counter()
         stage.run(ctx)
         elapsed = time.perf_counter() - t0

@@ -1,0 +1,165 @@
+"""Backpressure and load shedding at a bounded queue.
+
+``max_queue`` bounds the queued-job depth; ``overload_policy`` decides
+what a full queue does to ``submit``: ``block`` waits (optionally bounded
+by ``submit_timeout``), ``reject`` refuses the newcomer, and ``shed``
+evicts the worst queued job — lowest priority first, newest submission as
+the tie-break — unless the newcomer is itself the worst.  Refused
+submissions count under ``rejected`` (never ``submitted``), shed victims
+under ``shed`` + ``failed``; the conservation law ``submitted ==
+completed + failed + cancelled`` survives all of it.
+"""
+
+import pytest
+
+from repro.egraph.runner import RunnerLimits
+from repro.saturator import SaturatorConfig, Variant
+from repro.service import (
+    JobState,
+    OptimizationRequest,
+    OptimizationService,
+    ServiceOverloadedError,
+)
+
+CONFIG = SaturatorConfig(
+    variant=Variant.CSE_SAT, limits=RunnerLimits(400, 3, 60.0)
+)
+
+KERNELS = [
+    "#pragma acc parallel loop\n"
+    "for (i = 0; i < n; i++) { a[i] = b[i] * c[i] + b[i] * c[i]; }",
+    "#pragma acc parallel loop\n"
+    "for (i = 0; i < n; i++) { d[i] = (x[i] + y[i]) * (x[i] + y[i]); }",
+    "#pragma acc parallel loop\n"
+    "for (i = 0; i < n; i++) { e[i] = u[i] * v[i] + w[i] / u[i]; }",
+]
+
+
+def _conserved(stats):
+    return stats["submitted"] == (
+        stats["completed"] + stats["failed"] + stats["cancelled"]
+    )
+
+
+class TestRejectPolicy:
+    def test_full_queue_rejects_the_newcomer(self):
+        service = OptimizationService(
+            config=CONFIG, workers=1, max_queue=2, overload_policy="reject"
+        )
+        kept = [service.submit(KERNELS[0]), service.submit(KERNELS[1])]
+        with pytest.raises(ServiceOverloadedError):
+            service.submit(KERNELS[2])
+        stats = service.stats.snapshot()
+        assert stats["rejected"] == 1
+        assert stats["submitted"] == 2, "a rejected submission owns no handle"
+        with service:
+            assert service.join(60)
+        assert all(h.state is JobState.DONE for h in kept)
+        assert _conserved(service.stats.snapshot())
+
+    def test_coalesced_submissions_bypass_the_depth_bound(self):
+        service = OptimizationService(
+            config=CONFIG, workers=1, max_queue=1, overload_policy="reject"
+        )
+        first = service.submit(KERNELS[0])
+        attached = service.submit(KERNELS[0])  # same key: no new queue slot
+        assert attached.coalesced
+        with service:
+            assert service.join(60)
+        assert first.done() and attached.done()
+        assert service.stats.snapshot()["rejected"] == 0
+
+
+class TestShedPolicy:
+    def test_sheds_lowest_priority_newest_first(self):
+        service = OptimizationService(
+            config=CONFIG,
+            workers=1,
+            max_queue=2,
+            overload_policy="shed-oldest-lowest-priority",
+        )
+        keep = service.submit(OptimizationRequest(KERNELS[0], priority=0))
+        victim = service.submit(OptimizationRequest(KERNELS[1], priority=5))
+        newcomer = service.submit(OptimizationRequest(KERNELS[2], priority=0))
+
+        assert victim.state is JobState.FAILED
+        with pytest.raises(ServiceOverloadedError):
+            victim.result(timeout=1)
+        with service:
+            assert service.join(60)
+        assert keep.state is JobState.DONE
+        assert newcomer.state is JobState.DONE
+        stats = service.stats.snapshot()
+        assert stats["shed"] == 1 and stats["failed"] == 1
+        assert stats["rejected"] == 0
+        assert stats["queued"] == 0 and stats["running"] == 0
+        assert _conserved(stats)
+
+    def test_newest_loses_the_tie_between_equal_priorities(self):
+        service = OptimizationService(
+            config=CONFIG, workers=1, max_queue=2, overload_policy="shed"
+        )
+        older = service.submit(OptimizationRequest(KERNELS[0], priority=1))
+        newer = service.submit(OptimizationRequest(KERNELS[1], priority=1))
+        service.submit(OptimizationRequest(KERNELS[2], priority=0))
+        assert newer.state is JobState.FAILED
+        assert older.state is JobState.QUEUED
+        service.stop(cancel_pending=True)
+
+    def test_incoming_submission_worse_than_every_queued_job_is_rejected(self):
+        service = OptimizationService(
+            config=CONFIG, workers=1, max_queue=2, overload_policy="shed"
+        )
+        kept = [
+            service.submit(OptimizationRequest(KERNELS[0], priority=0)),
+            service.submit(OptimizationRequest(KERNELS[1], priority=0)),
+        ]
+        with pytest.raises(ServiceOverloadedError):
+            service.submit(OptimizationRequest(KERNELS[2], priority=10))
+        stats = service.stats.snapshot()
+        assert stats["rejected"] == 1 and stats["shed"] == 0
+        with service:
+            assert service.join(60)
+        assert all(h.state is JobState.DONE for h in kept)
+
+
+class TestBlockPolicy:
+    def test_bounded_block_times_out_as_overload(self):
+        # no workers are running, so the queue can never drain: the block
+        # must give up after submit_timeout and unwind completely
+        service = OptimizationService(
+            config=CONFIG,
+            workers=1,
+            max_queue=1,
+            overload_policy="block",
+            submit_timeout=0.05,
+        )
+        first = service.submit(KERNELS[0])
+        with pytest.raises(ServiceOverloadedError):
+            service.submit(KERNELS[1])
+        assert len(service.jobs()) == 1, "the refused submission left no job"
+        stats = service.stats.snapshot()
+        assert stats["rejected"] == 1 and stats["submitted"] == 1
+        with service:
+            assert service.join(60)
+        assert first.state is JobState.DONE
+        assert _conserved(service.stats.snapshot())
+
+    def test_block_admits_once_a_worker_frees_space(self):
+        with OptimizationService(
+            config=CONFIG, workers=1, max_queue=1, overload_policy="block"
+        ) as service:
+            handles = [service.submit(source) for source in KERNELS]
+            assert service.join(60)
+        assert all(h.state is JobState.DONE for h in handles)
+        stats = service.stats.snapshot()
+        assert stats["rejected"] == 0 and stats["completed"] == 3
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        OptimizationService(config=CONFIG, overload_policy="drop-everything")
+    with pytest.raises(ValueError):
+        OptimizationService(config=CONFIG, max_queue=0)
+    with pytest.raises(ValueError):
+        OptimizationService(config=CONFIG, max_retries=-1)

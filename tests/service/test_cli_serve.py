@@ -91,3 +91,36 @@ class TestServe:
             "serve", "--quiet", "--cache-dir", str(cache_dir), str(a),
         ]) == 0
         assert any(cache_dir.rglob("*.pkl"))
+
+    def test_serve_expired_deadline_fails_typed(self, tmp_path):
+        # a deadline already in the past expires every job at pickup —
+        # deterministic, no wall-clock sleeping involved
+        a, _ = _write_inputs(tmp_path)
+        report = tmp_path / "serve.json"
+        assert main([
+            "serve", "--quiet", "--deadline", "-1", "--report", str(report),
+            str(a),
+        ]) == 1
+        payload = json.loads(report.read_text())
+        assert payload["files"][0]["state"] == "failed"
+        assert "JobDeadlineError" in payload["files"][0]["error"]
+        assert payload["service"]["expired"] == 1
+        assert not a.with_suffix(".sat.c").exists()
+
+    def test_serve_fault_tolerance_flags_round_trip(self, tmp_path):
+        a, b = _write_inputs(tmp_path)
+        report = tmp_path / "serve.json"
+        assert main([
+            "serve", "--quiet", "--workers", "2",
+            "--deadline", "600", "--max-queue", "8",
+            "--overload-policy", "shed-oldest-lowest-priority",
+            "--retries", "1", "--report", str(report),
+            str(a), str(b),
+        ]) == 0
+        payload = json.loads(report.read_text())
+        for entry in payload["files"]:
+            assert entry["state"] == "done"
+            assert entry["degraded"] is False
+        stats = payload["service"]
+        assert stats["rejected"] == 0 and stats["shed"] == 0
+        assert stats["degraded"] == 0 and stats["retried"] == 0

@@ -1,0 +1,100 @@
+"""Shutdown vs. submission races: nothing is ever stranded QUEUED.
+
+``stop(cancel_pending=True)`` closes the queue under the same lock that
+``submit`` holds from its closed-check through the push, so a racing
+submission either lands fully *before* the close (and the cancel sweep
+sees it) or is rejected up front with ``RuntimeError`` — there is no
+window where a job is half-registered and missed by the sweep.  This
+suite hammers that window from several threads and asserts the invariant:
+every handle handed out reaches a terminal state.
+"""
+
+import threading
+
+from repro.egraph.runner import RunnerLimits
+from repro.saturator import SaturatorConfig, Variant
+from repro.service import JobState, OptimizationService
+
+CONFIG = SaturatorConfig(
+    variant=Variant.CSE_SAT, limits=RunnerLimits(400, 3, 60.0)
+)
+
+KERNELS = [
+    "#pragma acc parallel loop\n"
+    "for (i = 0; i < n; i++) { a[i] = b[i] * c[i] + b[i] * c[i]; }",
+    "#pragma acc parallel loop\n"
+    "for (i = 0; i < n; i++) { d[i] = (x[i] + y[i]) * (x[i] + y[i]); }",
+    "#pragma acc parallel loop\n"
+    "for (i = 0; i < n; i++) { e[i] = u[i] * v[i] + w[i] / u[i]; }",
+]
+
+
+def _hammer_one_round(submitters: int, per_thread: int) -> None:
+    service = OptimizationService(config=CONFIG, workers=2).start()
+    handles = []
+    rejected = []
+    lock = threading.Lock()
+    # +1: the main thread joins the barrier, then immediately stops the
+    # service while the submitters are mid-burst
+    barrier = threading.Barrier(submitters + 1)
+
+    def submitter(index):
+        barrier.wait()
+        for i in range(per_thread):
+            try:
+                # distinct name prefixes: no coalescing, maximum queue churn
+                handle = service.submit(
+                    KERNELS[(index + i) % len(KERNELS)],
+                    name_prefix=f"k{index}_{i}",
+                )
+            except RuntimeError:
+                with lock:
+                    rejected.append((index, i))
+                return  # the service is stopped; later submits also fail
+            with lock:
+                handles.append(handle)
+
+    threads = [
+        threading.Thread(target=submitter, args=(index,))
+        for index in range(submitters)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    service.stop(wait=True, cancel_pending=True)
+    for thread in threads:
+        thread.join()
+
+    # the invariant: every handle the service handed out is terminal —
+    # cancelled by the sweep, or completed/failed by a worker
+    for handle in handles:
+        assert handle.wait(timeout=60)
+        assert handle.state.terminal
+    for job in service.jobs():
+        assert job.state is not JobState.QUEUED, "job stranded in the queue"
+        assert job.state is not JobState.RUNNING
+
+    stats = service.stats.snapshot()
+    assert stats["submitted"] == len(handles)
+    assert stats["submitted"] == (
+        stats["completed"] + stats["failed"] + stats["cancelled"]
+    )
+    assert stats["queued"] == 0 and stats["running"] == 0
+
+
+def test_stop_with_cancel_pending_never_strands_submissions():
+    for _ in range(4):
+        _hammer_one_round(submitters=4, per_thread=8)
+
+
+def test_stop_without_cancel_drains_everything_queued():
+    service = OptimizationService(config=CONFIG, workers=2).start()
+    handles = [
+        service.submit(KERNELS[i % len(KERNELS)], name_prefix=f"drain{i}")
+        for i in range(9)
+    ]
+    service.stop(wait=True, cancel_pending=False)
+    assert all(h.state is JobState.DONE for h in handles)
+    stats = service.stats.snapshot()
+    assert stats["completed"] == 9
+    assert stats["queued"] == 0 and stats["running"] == 0

@@ -1,0 +1,96 @@
+"""Corrupt disk-cache entries: quarantine instead of silent swallow.
+
+An on-disk entry that exists but won't unpickle (truncated by a crashed
+writer, or written by an incompatible version) must degrade to a miss
+*once*: the entry is quarantined off the probe path, the ``corrupt``
+counter records it, and the next probe is a plain miss that a fresh
+``put`` can refill.
+"""
+
+import copy
+import pickle
+
+from repro.session import DiskCache, MISS, TieredCache
+from repro.session.cache import CacheStats
+from repro.session.fingerprint import CacheKey
+
+
+def _key(tag: str = "k") -> CacheKey:
+    return CacheKey(source_fp=tag, config_fp="cfg", stage="pipeline")
+
+
+def _corrupt_entry(cache: DiskCache, key: CacheKey, payload: bytes) -> None:
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(payload)
+
+
+class TestCorruptQuarantine:
+    def test_truncated_pickle_is_quarantined_and_counted(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = _key()
+        cache.put(key, {"answer": 42})
+        path = cache._path(key)
+        # truncate mid-stream: pickle.load raises EOFError
+        blob = path.read_bytes()
+        _corrupt_entry(cache, key, blob[: len(blob) // 2])
+
+        assert cache.get(key) is MISS
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert not path.exists(), "corrupt entry must leave the probe path"
+        assert path.with_suffix(".corrupt").exists()
+
+        # second probe: plain miss, no second corruption event
+        assert cache.get(key) is MISS
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 2
+
+    def test_garbage_bytes_are_quarantined(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = _key()
+        _corrupt_entry(cache, key, b"this is not a pickle")
+        assert cache.get(key) is MISS
+        assert cache.stats.corrupt == 1
+
+    def test_refill_after_quarantine_hits(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = _key()
+        _corrupt_entry(cache, key, pickle.dumps(object)[:4])
+        assert cache.get(key) is MISS
+        cache.put(key, "fresh")
+        assert cache.get(key) == "fresh"
+        assert cache.stats.hits == 1
+        assert cache.stats.corrupt == 1
+
+    def test_missing_entry_is_a_plain_miss_not_corruption(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get(_key("absent")) is MISS
+        assert cache.stats.corrupt == 0
+        assert cache.stats.misses == 1
+
+    def test_tiered_cache_surfaces_disk_corruption_as_miss(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        tiered = TieredCache(memory=None, disk=disk)
+        key = _key()
+        _corrupt_entry(disk, key, b"\x80")
+        assert tiered.get(key) is MISS
+        assert disk.stats.corrupt == 1
+        assert tiered.stats.misses == 1
+
+
+class TestCorruptCounterPlumbing:
+    def test_corrupt_survives_pickle_and_deepcopy(self):
+        stats = CacheStats()
+        stats.corrupted(3)
+        stats.miss(3)
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.corrupt == 3 and clone.misses == 3
+        dup = copy.deepcopy(stats)
+        assert dup.corrupt == 3
+        assert stats.as_dict()["corrupt"] == 3
+
+    def test_old_pickled_state_defaults_corrupt_to_zero(self):
+        stats = CacheStats()
+        stats.__setstate__({"hits": 1, "misses": 2, "stores": 3})
+        assert stats.corrupt == 0 and stats.hits == 1
