@@ -28,6 +28,14 @@ workload — both configs of every kernel in both suites, cold — through the
 serial, thread and process batch executors, recording the thread-vs-process
 scaling the session architecture delivers on a whole sweep.
 
+The ``matching`` section (PR 7) times the two e-matching engines head to
+head: every join-capable rule of the default ruleset is searched over the
+saturated micro e-graph with the relational (hash-join) backend and with
+the compiled scan matcher, recording per-rule and per-atom-count medians.
+Both engines return identical rows by construction, so the section is
+pure wall-clock — it exists to keep the join planner honest about where
+it actually wins.
+
 Two scheduling rows (PR 4) exercise the adaptive saturation loop:
 ``saturation_backoff`` re-runs the saturation micro-workload under the
 egg-style exponential-backoff rule scheduler, and ``pipeline_anytime``
@@ -67,6 +75,7 @@ from repro.egraph import (
     RunnerLimits,
     extract_best,
 )
+from repro.egraph import columns
 from repro.egraph.language import op, sym
 from repro.experiments.common import EvaluationSettings, pipeline_workload
 from repro.frontend import parse_statement
@@ -272,6 +281,91 @@ def main(argv=None) -> int:
         _executor_sweep(spec)
         executor_seconds[spec.split(":")[0]] = time.perf_counter() - t0
 
+    # -- relational e-matching micro-benchmark (PR 7) ----------------------
+    # join vs scan, per join-capable rule, on the saturated micro e-graph.
+    # Both engines return the identical row list; the numbers are pure
+    # wall-clock, grouped by atom count so the join's fixed costs (relation
+    # slicing, key encoding) are visible separately from its wins on
+    # high-selectivity multi-atom patterns.
+    matching_rules = []
+    if columns.HAVE_NUMPY:
+        for rule in rules:
+            cp = rule._compiled
+            if cp._atoms is None:
+                continue  # trivial pattern: scan engine only
+            scan_s = _median_time(
+                lambda: cp.search_rows(eg, backend="scan"), args.repeats
+            )
+            try:
+                join_s = _median_time(
+                    lambda: cp.search_rows(eg, backend="join"), args.repeats
+                )
+            except RuntimeError:
+                continue  # join-key overflow guard: engine unavailable here
+            matching_rules.append({
+                "rule": rule.name,
+                "atoms": len(cp._atoms),
+                "vars": len(cp.vars),
+                "hetero": cp._hetero,
+                "rows": len(cp.search_rows(eg, backend="scan")),
+                "scan_seconds": scan_s,
+                "join_seconds": join_s,
+                "speedup_join": scan_s / join_s if join_s > 0 else float("inf"),
+            })
+    # the default ruleset tops out at two atoms per pattern, so a few
+    # synthetic deeper patterns fill in the higher-arity rows (join plans
+    # with 3-4 relations, where inter-relation selectivity compounds)
+    synthetic_patterns = [
+        "(+ ?a (* ?b ?c))",
+        "(+ (* ?a ?b) (* ?b ?c))",
+        "(* (+ ?a (* ?b ?c)) ?d)",
+        "(+ (* ?a (+ ?b ?c)) (* ?d ?e))",
+    ]
+    matching_synthetic = []
+    if columns.HAVE_NUMPY:
+        from repro.egraph.pattern import compile_pattern, parse_pattern
+
+        for text in synthetic_patterns:
+            cp = compile_pattern(parse_pattern(text))
+            scan_s = _median_time(
+                lambda: cp.search_rows(eg, backend="scan"), args.repeats
+            )
+            try:
+                join_s = _median_time(
+                    lambda: cp.search_rows(eg, backend="join"), args.repeats
+                )
+            except RuntimeError:
+                continue
+            matching_synthetic.append({
+                "pattern": text,
+                "atoms": len(cp._atoms),
+                "vars": len(cp.vars),
+                "hetero": cp._hetero,
+                "rows": len(cp.search_rows(eg, backend="scan")),
+                "scan_seconds": scan_s,
+                "join_seconds": join_s,
+                "speedup_join": scan_s / join_s if join_s > 0 else float("inf"),
+            })
+    matching_by_atoms = {}
+    for row in matching_rules + matching_synthetic:
+        matching_by_atoms.setdefault(row["atoms"], []).append(row)
+    matching = {
+        "backend": "numpy" if columns.HAVE_NUMPY else "fallback",
+        "rules": matching_rules,
+        "synthetic": matching_synthetic,
+        "by_atom_count": {
+            str(atoms): {
+                "rules": len(rows),
+                "scan_seconds": statistics.median(r["scan_seconds"] for r in rows),
+                "join_seconds": statistics.median(r["join_seconds"] for r in rows),
+                "speedup_join": statistics.median(
+                    r["speedup_join"] for r in rows
+                ),
+            }
+            for atoms, rows in sorted(matching_by_atoms.items())
+        },
+    }
+
     results = {
         "parse_ssa": _median_time(parse_and_ssa, args.repeats),
         "saturation": _median_time(saturation, args.repeats),
@@ -342,6 +436,9 @@ def main(argv=None) -> int:
         # where the benchmark kernel's saturation wall-clock goes —
         # search / apply / rebuild / extract — so future perf PRs can see
         # the phase split without re-profiling
+        # join vs scan e-matching engine timings (backend choice never
+        # changes results, so nothing here feeds the outcome guard)
+        "matching": matching,
         "phase_times": kernel_report.runner.phase_times,
         "phase_times_large": large_report.runner.phase_times,
         # per-rule saturation profile of the benchmark kernel, so future

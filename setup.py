@@ -7,4 +7,10 @@ PEP 660 editable builds are unavailable.
 
 from setuptools import setup
 
-setup()
+setup(
+    # numpy is a soft dependency: the e-graph's columnar core vectorises
+    # its batched passes when numpy is importable and falls back to pure
+    # ``array``-module loops otherwise (REPRO_NO_NUMPY=1 forces the
+    # fallback).  ``pip install .[fast]`` opts into the fast path.
+    extras_require={"fast": ["numpy"]},
+)

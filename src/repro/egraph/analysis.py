@@ -22,6 +22,17 @@ Number = Union[int, float]
 class Analysis:
     """Interface for e-class analyses (egg-style ``make`` / ``join`` / ``modify``)."""
 
+    #: Set True to promise that for any key *with children*,
+    #: :meth:`make_key` returns the bottom element (None) whenever some
+    #: child class's data is None.  The e-graph then proves the bottom
+    #: result from one flag-byte read per child and skips the
+    #: make/join/modify round trip entirely — both on class creation and
+    #: during rebuild's analysis repair.  The skip also elides
+    #: :meth:`modify`, so (as with :meth:`relevant_op_ids`) ``modify``
+    #: must be a no-op on a bottom-valued class, and ``join(x, None)``
+    #: must equal ``x``.
+    needs_all_child_data = False
+
     def make(self, egraph: EGraph, enode: ENode) -> object:
         """Compute the analysis value of a freshly added e-node."""
 
@@ -44,10 +55,14 @@ class Analysis:
 
         ``EGraph.add_key`` skips the :meth:`make_key` call (the class data
         stays None, exactly what :meth:`make` would have returned) for ops
-        outside this set.  Return None — the default — to be called for
-        every op.  Called whenever the graph has interned new operators
-        since the previous query, so implementations may compute the set
-        from the current ``op_names`` table.
+        outside this set, and ``EGraph._repair_analysis`` skips parent
+        nodes with such ops during rebuild — which additionally requires
+        ``join(x, None) == x`` (None must be the lattice bottom), since
+        the skipped make/join round trip would otherwise have been
+        ``data = join(data, None)``.  Return None — the default — to be
+        called for every op.  Called whenever the graph has interned new
+        operators since the previous query, so implementations may compute
+        the set from the current ``op_names`` table.
         """
 
         return None
@@ -71,6 +86,11 @@ class ConstantFoldingAnalysis(Analysis):
     example and the paper's "constant folding of arithmetic operations with
     integer and floating-point numbers".
     """
+
+    #: A foldable node is constant only if *every* child is (make_key
+    #: bails on the first non-numeric child); ``num`` leaves have no
+    #: children, so the promise is vacuous for them.
+    needs_all_child_data = True
 
     #: Operators folded by the analysis.
     _FOLDABLE = {"+", "-", "*", "/", "%", "neg", "fma",

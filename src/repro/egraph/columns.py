@@ -1,0 +1,295 @@
+"""Columnar backing store for the e-graph arena.
+
+The PR-3 arena made every e-node a flat int tuple (its *key*); this module
+adds the columnar half: one **row per spelling ever interned** into the
+hashcons, stored as parallel flat integer columns
+
+    ``(op_id, payload_id, child0.., class_id, alive)``
+
+backed by stdlib ``array('q')`` buffers.  The store is append-only — a
+spelling retired by the rebuild sweep is *killed* (``alive = 0``), never
+removed — and mirrors the hashcons dict exactly:
+
+* iterating rows in ascending order restricted to alive rows yields the
+  hashcons keys **in dict iteration order** (a popped key is re-inserted
+  at the end of the dict, and its re-insertion appends a fresh row; an
+  overwrite of a live key keeps both its dict position and its row), and
+* ``cls[row]`` is union-find-equal to the hashcons value of
+  ``keys[row]`` for alive rows (overwrites of a live key skip the mirror
+  write — the dict's new value is always the merged root of the row's
+  old one, and column readers canonicalise ``cls`` anyway).
+
+That order invariant is what lets the stale-key sweep and the relational
+e-matcher run as batched column passes without perturbing any of the
+deterministic orders the engine's committed outcomes depend on
+(``EGraph.check_invariants`` asserts it).
+
+numpy is a *soft* dependency: when importable (and not disabled via the
+``REPRO_NO_NUMPY=1`` escape hatch) the ``array`` buffers are viewed
+zero-copy through :func:`as_int64` / :func:`as_uint8` and the hot passes
+vectorise; otherwise the same columns serve the pure-Python fallback
+loops.  Callers select per call site — the stored data is identical under
+both backends, so outcomes cannot depend on which one is active.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ColumnStore",
+    "HAVE_NUMPY",
+    "REPRO_NO_NUMPY",
+    "as_int64",
+    "as_uint8",
+    "np",
+]
+
+NodeKey = Tuple[int, ...]
+
+#: ``REPRO_NO_NUMPY=1`` forces the ``array``-module fallback even when
+#: numpy is importable (debugging escape hatch; also exercised in CI).
+REPRO_NO_NUMPY = os.environ.get("REPRO_NO_NUMPY", "").strip() not in ("", "0")
+
+if REPRO_NO_NUMPY:
+    np = None
+else:
+    try:
+        import numpy as np  # type: ignore[no-redef]
+    except Exception:  # pragma: no cover - exercised via REPRO_NO_NUMPY CI runs
+        np = None
+
+HAVE_NUMPY = np is not None
+
+#: Eight ``0xff`` bytes — the two's-complement encoding of a -1 padding
+#: cell in an ``array('q')`` column (used to backfill new child columns).
+_PAD = b"\xff" * 8
+
+
+def as_int64(buf: array):
+    """Zero-copy numpy int64 view of an ``array('q')`` buffer.
+
+    The view aliases the array's current buffer: it is invalidated by any
+    subsequent append (which may reallocate), so callers take a fresh view
+    per batched pass and never cache one across mutations.
+    """
+
+    if not len(buf):
+        return np.empty(0, dtype=np.int64)
+    return np.frombuffer(buf, dtype=np.int64, count=len(buf))
+
+
+def as_uint8(buf: bytearray):
+    """Zero-copy numpy uint8 view of a ``bytearray`` (same caveat)."""
+
+    if not len(buf):
+        return np.empty(0, dtype=np.uint8)
+    return np.frombuffer(buf, dtype=np.uint8, count=len(buf))
+
+
+class ColumnStore:
+    """Append-only parallel columns mirroring the e-graph's hashcons.
+
+    Child columns are padded with ``-1`` up to the widest arity seen so
+    far; a new widest arity backfills a fresh ``-1`` column for all
+    existing rows (operator vocabularies are small, so this is rare).
+    ``rows_by_op`` groups row indices per operator id — the relational
+    matcher's relations are slices of these groups.
+    """
+
+    __slots__ = (
+        "op",
+        "payload",
+        "nchild",
+        "cls",
+        "alive",
+        "child",
+        "keys",
+        "row_of",
+        "rows_by_op",
+        "pending",
+    )
+
+    def __init__(self) -> None:
+        #: Operator id per row.
+        self.op = array("q")
+        #: Payload id per row.
+        self.payload = array("q")
+        #: Child count per row (distinguishes a -1 pad from absence).
+        self.nchild = array("q")
+        #: Hashcons value (e-class id) per row; union-find-equal to the
+        #: live hashcons entry of the row's key (readers canonicalise).
+        self.cls = array("q")
+        #: 1 while the row's key is in the hashcons, 0 once retired.
+        self.alive = bytearray()
+        #: Child-slot columns ``child[i][row]``, ``-1``-padded.
+        self.child: List[array] = []
+        #: row -> the key tuple it was appended for (all rows, ever).
+        self.keys: List[NodeKey] = []
+        #: key -> its *live* row (mirrors the hashcons key set exactly;
+        #: a retired key leaves, a re-interned one maps to its new row).
+        self.row_of: Dict[NodeKey, int] = {}
+        #: op id -> ascending row indices (live and dead) with that op.
+        self.rows_by_op: Dict[int, array] = {}
+        #: append buffer: key -> cls_id for fresh spellings not yet
+        #: materialised as rows.  The apply phase appends thousands of
+        #: fresh spellings but nothing *reads* the columns until the next
+        #: rebuild/search, so :meth:`append_new` just queues and
+        #: :meth:`flush` does the column writes in bulk.  A dict (not a
+        #: list) so that :meth:`kill` and :meth:`insert` of a
+        #: still-pending key resolve inside the buffer — a killed pending
+        #: key simply never materialises (dead rows are invisible to
+        #: every reader), and dict insertion order keeps materialised row
+        #: order equal to hashcons dict order.  Only the column readers
+        #: (:meth:`op_rows`, :meth:`stale_alive_rows`, :meth:`copy`) and
+        #: ``EGraph.check_invariants`` flush.
+        self.pending: Dict[NodeKey, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.keys) + len(self.pending)
+
+    # ------------------------------------------------------------------
+    # Mutation (mirrors of the three hashcons operations)
+    # ------------------------------------------------------------------
+
+    def append_new(self, key: NodeKey, cls_id: int) -> None:
+        """Mirror ``hashcons[key] = cls_id`` for a key known to be absent.
+
+        The :meth:`EGraph.add_key` fast path: the caller just missed the
+        hashcons, so the ``row_of`` probe of :meth:`insert` is skipped.
+        The row itself is deferred to :meth:`flush` — queue order equals
+        dict insertion order, so materialised row order still equals
+        hashcons dict order.  (The caller's contract guarantees the key is
+        not already pending: an absent hashcons key was either never
+        interned or popped since, and the pop resolved any pending entry.)
+        """
+
+        self.pending[key] = cls_id
+
+    def flush(self) -> None:
+        """Materialise queued :meth:`append_new` rows as columns (in bulk)."""
+
+        pending = self.pending
+        if not pending:
+            return
+        keys = self.keys
+        row = len(keys)
+        batch = list(pending)
+        keys.extend(batch)
+        row_of = self.row_of
+        for key in batch:
+            row_of[key] = row
+            row += 1
+        self.op.extend([key[0] for key in batch])
+        self.payload.extend([key[1] for key in batch])
+        ncs = [len(key) - 2 for key in batch]
+        self.nchild.extend(ncs)
+        self.cls.extend(pending.values())
+        self.alive.extend(b"\x01" * len(batch))
+        child = self.child
+        widest = max(ncs)
+        if widest > len(child):
+            base = len(keys) - len(batch)
+            for _ in range(len(child), widest):
+                child.append(array("q", _PAD * base))
+        for i, col in enumerate(child):
+            col.extend([key[i + 2] if ncs[j] > i else -1 for j, key in enumerate(batch)])
+        rows_by_op = self.rows_by_op
+        row = len(keys) - len(batch)
+        for key in batch:
+            op_id = key[0]
+            bucket = rows_by_op.get(op_id)
+            if bucket is None:
+                rows_by_op[op_id] = array("q", (row,))
+            else:
+                bucket.append(row)
+            row += 1
+        pending.clear()
+
+    def insert(self, key: NodeKey, cls_id: int) -> None:
+        """Mirror ``hashcons[key] = cls_id`` (overwrite or fresh insert)."""
+
+        pending = self.pending
+        if pending and key in pending:
+            pending[key] = cls_id  # overwrite in place, queue position kept
+            return
+        row = self.row_of.get(key)
+        if row is None:
+            self.append_new(key, cls_id)
+        else:
+            self.cls[row] = cls_id
+
+    def kill(self, key: NodeKey) -> Optional[int]:
+        """Mirror ``hashcons.pop(key, None)``; returns the retired row.
+
+        A still-pending key is simply dropped from the buffer: the row
+        would be dead on arrival, and dead rows are invisible to every
+        column reader.  (A later re-interning of the same spelling queues
+        at the buffer's end, exactly like the dict's pop + re-insert.)
+        """
+
+        pending = self.pending
+        if pending and pending.pop(key, None) is not None:
+            return None
+        row = self.row_of.pop(key, None)
+        if row is not None:
+            self.alive[row] = 0
+        return row
+
+    # ------------------------------------------------------------------
+    # Batched passes (numpy backend only; callers gate on HAVE_NUMPY)
+    # ------------------------------------------------------------------
+
+    def stale_alive_rows(self, parent):
+        """Ascending indices of alive rows with a non-root child id.
+
+        *parent* is the union-find parent array as an int64 ndarray.  The
+        predicate per row is exactly the scalar sweep's: some child ``c``
+        has ``parent[c] != c``.  Ascending row order equals hashcons dict
+        order (the store's core invariant), so handing these rows to the
+        sweep preserves its merge-discovery order bit for bit.
+        """
+
+        if self.pending:
+            self.flush()
+        alive = as_uint8(self.alive) != 0
+        stale = np.zeros(len(self.keys), dtype=bool)
+        for col in self.child:
+            c = as_int64(col)
+            present = c >= 0
+            safe = np.where(present, c, 0)
+            stale |= present & (parent[safe] != safe)
+        stale &= alive
+        return np.flatnonzero(stale)
+
+    def op_rows(self, op_id: int):
+        """int64 view of the (live and dead) row indices with *op_id*."""
+
+        if self.pending:
+            self.flush()
+        bucket = self.rows_by_op.get(op_id)
+        if bucket is None:
+            return None
+        return as_int64(bucket)
+
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "ColumnStore":
+        """Independent structural copy (tuples/ints are shared, buffers not)."""
+
+        if self.pending:
+            self.flush()
+        dup = ColumnStore.__new__(ColumnStore)
+        dup.op = array("q", self.op)
+        dup.payload = array("q", self.payload)
+        dup.nchild = array("q", self.nchild)
+        dup.cls = array("q", self.cls)
+        dup.alive = bytearray(self.alive)
+        dup.child = [array("q", col) for col in self.child]
+        dup.keys = list(self.keys)
+        dup.row_of = dict(self.row_of)
+        dup.rows_by_op = {op: array("q", rows) for op, rows in self.rows_by_op.items()}
+        dup.pending = {}
+        return dup

@@ -27,6 +27,17 @@ and per-class node sets are sets of such tuples.  Class bookkeeping lives
 in slotted :class:`EClass` records; parents are flat ``(key, class_id)``
 pairs.
 
+Alongside the dicts, the graph maintains a **columnar mirror**
+(:class:`~repro.egraph.columns.ColumnStore`): one row of flat parallel
+int columns ``(op_id, payload_id, child0.., class_id, alive)`` per
+spelling ever interned, in hashcons insertion order.  The stale-key sweep
+and the relational e-matcher (:mod:`repro.egraph.pattern`) run as batched
+passes over these columns — vectorised under numpy, plain loops under the
+``array`` fallback — without touching any order the dict core defines.
+Per-class ``touched``/liveness stamps are mirrored into flat arrays the
+same way (``_class_touched`` / ``_class_alive``) so the incremental
+searcher and the extraction refresh can filter classes in one pass.
+
 :class:`ENode` survives as a thin **boundary view**: user code, the rule
 DSL, cost models, code generation, tests, and cache serialisation keep
 their ENode-based API, and the graph materialises views lazily (memoized
@@ -62,9 +73,12 @@ function of (source, config) (see ``tests/egraph/test_determinism.py``).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.egraph import columns
+from repro.egraph.columns import ColumnStore
 from repro.egraph.language import Payload, Term
 from repro.egraph.unionfind import UnionFind
 
@@ -248,6 +262,29 @@ class EGraph:
         #: :meth:`~repro.egraph.analysis.Analysis.relevant_op_ids` answer,
         #: refreshed whenever new operators are interned.
         self._analysis_ops: Optional[Tuple[int, Optional[Set[int]]]] = None
+        # -- columnar mirror (PR 7) ---------------------------------------
+        #: Flat parallel int columns, one row per hashcons spelling; kept
+        #: in lockstep with every hashcons mutation (see columns.py).
+        self.store = ColumnStore()
+        #: class id -> touched stamp (mirror of ``EClass.touched``).
+        self._class_touched = array("q")
+        #: class id -> 1 while the class is live (mirror of ``classes``).
+        self._class_alive = bytearray()
+        #: class id -> 1 while the class carries non-bottom analysis data
+        #: (mirror of ``EClass.data is not None``); lets analyses with
+        #: ``needs_all_child_data`` prove a make_key call returns bottom
+        #: from flat byte reads.  Only canonical ids are kept fresh — a
+        #: merged-away class's flag goes stale with its record.
+        self._class_data = bytearray()
+        #: (version, int64 ndarray) snapshot of the union-find parent
+        #: array for vectorised passes; valid until the next add/merge.
+        self._parent_snapshot: Optional[tuple] = None
+        #: Per-(op, arity, payload-signature) relation cache for the
+        #: relational matcher, cleared when the stamp moves (pattern.py).
+        self._relation_cache: Dict[tuple, tuple] = {}
+        self._relation_stamp: tuple = (-1, -1)
+        #: (table size, payload-id -> deterministic sort rank) cache.
+        self._payload_rank: Optional[Tuple[int, array]] = None
 
     # ------------------------------------------------------------------
     # Interning
@@ -316,6 +353,43 @@ class EGraph:
         """
 
         return (key[2:], self._payload_sort[key[1]])
+
+    def _np_parent(self):
+        """int64 snapshot of the union-find parent array (numpy backend).
+
+        Cached per :attr:`version`: path compression may rewrite entries
+        without a version bump, but it only moves pointers *up* the same
+        forest, so a snapshot stays a valid union-find state (identical
+        roots) until the next add or merge.
+        """
+
+        snap = self._parent_snapshot
+        if snap is not None and snap[0] == self.version:
+            return snap[1]
+        arr = columns.np.array(self.uf._parent, dtype=columns.np.int64)
+        self._parent_snapshot = (self.version, arr)
+        return arr
+
+    def _payload_ranks(self) -> array:
+        """payload id -> rank in the deterministic payload sort order.
+
+        The rank of pid ``p`` is the position of ``_payload_sort[p]`` in
+        the sorted order of that table — the payload component of
+        :meth:`_key_sort_key` reduced to one int, so vectorised bucket
+        sorts can use an int column in place of the (str, type) tuple.
+        Refreshed whenever the (append-only) payload table grows.
+        """
+
+        cache = self._payload_rank
+        n = len(self._payload_sort)
+        if cache is None or cache[0] != n:
+            order = sorted(range(n), key=self._payload_sort.__getitem__)
+            ranks = array("q", bytes(8 * n))
+            for rank, pid in enumerate(order):
+                ranks[pid] = rank
+            cache = (n, ranks)
+            self._payload_rank = cache
+        return cache[1]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -420,20 +494,29 @@ class EGraph:
         if cls is None:
             cls = self.classes[self.uf.find(eclass_id)]
         if cls._by_op_version != cls.version:
-            group: Dict[int, List[NodeKey]] = {}
-            for key in cls.keys:
-                bucket = group.get(key[0])
-                if bucket is None:
-                    group[key[0]] = [key]
-                else:
-                    bucket.append(key)
-            sort_key = self._key_sort_key
-            for bucket in group.values():
-                if len(bucket) > 1:
-                    bucket.sort(key=sort_key)
-            cls._by_op = group
-            cls._by_op_version = cls.version
+            self._rebuild_by_op(cls)
         return cls._by_op.get(op_id, _EMPTY)
+
+    def _rebuild_by_op(self, cls: "EClass") -> None:
+        """Rebuild *cls*'s per-op bucket grouping (deterministic order).
+
+        Split out of :meth:`buckets_by_op_id` so the compiled matchers can
+        inline the cache-hit path and only pay a call on a version miss.
+        """
+
+        group: Dict[int, List[NodeKey]] = {}
+        for key in cls.keys:
+            bucket = group.get(key[0])
+            if bucket is None:
+                group[key[0]] = [key]
+            else:
+                bucket.append(key)
+        sort_key = self._key_sort_key
+        for bucket in group.values():
+            if len(bucket) > 1:
+                bucket.sort(key=sort_key)
+        cls._by_op = group
+        cls._by_op_version = cls.version
 
     def nodes_by_op(self, eclass_id: int, op: str) -> Sequence[ENode]:
         """The e-nodes with operator *op* in the class of *eclass_id*.
@@ -490,13 +573,41 @@ class EGraph:
             if parent[existing] == existing:
                 return existing
             return self.uf.find(existing)
+        return self._add_canon_miss(key)
 
+    def _add_canon_miss(self, key: NodeKey) -> int:
+        """:meth:`add_key` miss path: *key* is canonical and not interned.
+
+        The compiled instantiators call this directly after their own
+        inline canonicalisation + hashcons probe missed, skipping
+        :meth:`add_key`'s redundant re-scan and re-probe.
+        """
+
+        parent = self.uf._parent
+        n = len(key)
         self.version += 1
-        eclass_id = self.uf.make_set()
-        eclass = EClass(self, eclass_id, {key}, [])
+        # inline uf.make_set() and the EClass constructor: this runs once
+        # per fresh e-node and the two call frames are pure overhead (the
+        # parent-array contract is part of UnionFind's interface)
+        uf = self.uf
+        eclass_id = len(parent)
+        parent.append(eclass_id)
+        uf._size.append(1)
+        eclass = EClass.__new__(EClass)
+        eclass.graph = self
+        eclass.id = eclass_id
+        eclass.keys = {key}
+        eclass.parents = []
+        eclass.data = None
+        eclass._by_op = None
+        eclass._by_op_version = -1
         eclass.version = eclass.touched = self.version
         self.classes[eclass_id] = eclass
         self.hashcons[key] = eclass_id
+        self.store.append_new(key, eclass_id)
+        self._class_touched.append(self.version)
+        self._class_alive.append(1)
+        self._class_data.append(0)
         self._node_count += 1
         ops = self._op_classes.get(key[0])
         if ops is None:
@@ -522,7 +633,19 @@ class EGraph:
                 hint = (len(self.op_names), analysis.relevant_op_ids(self))
                 self._analysis_ops = hint
             if hint[1] is None or key[0] in hint[1]:
+                if n > 2 and analysis.needs_all_child_data:
+                    # bottom-child prefilter: the children are canonical
+                    # here, so one byte read each proves make_key would
+                    # return bottom (and modify would be a no-op)
+                    data_flag = self._class_data
+                    i = 2
+                    while i < n:
+                        if not data_flag[key[i]]:
+                            return eclass_id
+                        i += 1
                 eclass.data = analysis.make_key(self, key)
+                if eclass.data is not None:
+                    self._class_data[eclass_id] = 1
                 analysis.modify(self, eclass_id)
         return eclass_id
 
@@ -567,8 +690,15 @@ class EGraph:
         """
 
         self.version += 1
-        root = self.uf.union_roots(ra, rb)
-        other = rb if root == ra else ra
+        # inline uf.union_roots (same survivor rule: larger set wins,
+        # ties keep ra) — one call frame saved per union
+        uf = self.uf
+        size = uf._size
+        if size[ra] < size[rb]:
+            ra, rb = rb, ra
+        uf._parent[rb] = ra
+        size[ra] += size[rb]
+        root, other = ra, rb
         winner, loser = self.classes[root], self.classes[other]
 
         before = len(winner.keys) + len(loser.keys)
@@ -576,6 +706,8 @@ class EGraph:
         self._node_count += len(winner.keys) - before
         winner.parents.extend(loser.parents)
         winner.version = winner.touched = self.version
+        self._class_touched[root] = self.version
+        self._class_alive[other] = 0
         self._touched.append(root)
         self._merged_since_sweep = True
         # No op-index update needed: the loser's index entries find() to the
@@ -583,6 +715,7 @@ class EGraph:
 
         if self.analysis is not None:
             winner.data = self.analysis.join(winner.data, loser.data)
+            self._class_data[root] = 1 if winner.data is not None else 0
             self._analysis_dirty.append(root)
 
         del self.classes[other]
@@ -646,27 +779,50 @@ class EGraph:
             return 0
         self._merged_since_sweep = False
         uf = self.uf
-        parent = uf._parent
-        stale: List[NodeKey] = []
-        for key in self.hashcons:
-            n = len(key)
-            i = 2
-            while i < n:
-                c = key[i]
-                if parent[c] != c:
-                    stale.append(key)
-                    break
-                i += 1
-        if not stale:
-            return 0
+        store = self.store
+        if columns.HAVE_NUMPY and len(store) > 64:
+            # batched column pass: the staleness predicate per row is the
+            # same two-array-reads-per-child check, evaluated over the
+            # whole child columns at once.  Ascending alive-row order is
+            # hashcons dict order (the store's core invariant), so the
+            # collected keys — and therefore the merge-discovery order
+            # below — are identical to the scalar scan's.
+            parent_np = columns.np.array(uf._parent, dtype=columns.np.int64)
+            rows = store.stale_alive_rows(parent_np)
+            if not rows.size:
+                return 0
+            keys_list = store.keys
+            stale = [keys_list[r] for r in rows.tolist()]
+        else:
+            parent = uf._parent
+            stale = []
+            for key in self.hashcons:
+                n = len(key)
+                i = 2
+                while i < n:
+                    c = key[i]
+                    if parent[c] != c:
+                        stale.append(key)
+                        break
+                    i += 1
+            if not stale:
+                return 0
         find = uf.find
         merges = 0
+        views_pop = self._views.pop
         for key in stale:
             value = self.hashcons.pop(key)
+            store.kill(key)
+            # the spelling is retired for good (its children can never
+            # become roots again) — drop its memoized boundary view so the
+            # memo tracks the live key set instead of growing monotonically
+            views_pop(key, None)
             canon = self._canon_key(key)
             prior = self.hashcons.get(canon)
             if prior is None:
-                self.hashcons[canon] = find(value)
+                canon_class = find(value)
+                self.hashcons[canon] = canon_class
+                store.append_new(canon, canon_class)
             elif find(prior) != find(value):
                 self.merge(prior, value)
                 merges += 1
@@ -686,9 +842,13 @@ class EGraph:
         if not self._touched:
             return
         find = self.uf.find
+        parent_arr = self.uf._parent
         classes = self.classes
+        touched_arr = self._class_touched
         stamp = self.version
-        queue = [find(i) for i in self._touched]
+        queue = [
+            i if parent_arr[i] == i else find(i) for i in self._touched
+        ]
         self._touched.clear()
         seen: Set[int] = set()
         while queue:
@@ -701,10 +861,14 @@ class EGraph:
                 continue
             if cls.touched < stamp:
                 cls.touched = stamp
+                touched_arr[cid] = stamp
             for _, parent_class in cls.parents:
-                pid = find(parent_class)
-                if pid not in seen:
-                    queue.append(pid)
+                # inline root check: parent edges are overwhelmingly
+                # canonical post-repair, so most iterations skip the call
+                if parent_arr[parent_class] != parent_class:
+                    parent_class = find(parent_class)
+                if parent_class not in seen:
+                    queue.append(parent_class)
 
     def _repair(self, eclass_id: int) -> int:
         """Re-canonicalise the parents of one e-class, merging congruent ones.
@@ -730,6 +894,9 @@ class EGraph:
         classes = self.classes
         canon_key = self._canon_key
         parent_arr = uf._parent
+        store = self.store
+        views_pop = self._views.pop
+        touched_arr = self._class_touched
         seen: Dict[NodeKey, int] = {}
         for parent_key, parent_class in old_parents:
             # re-canonicalise only stale spellings (inline staleness check).
@@ -751,25 +918,48 @@ class EGraph:
                 skip_probe = True  # the pop would have emptied this slot
             else:
                 # drop the stale hashcons entry before re-canonicalising
+                # (and retire its column row + memoized boundary view)
                 hashcons.pop(parent_key, None)
+                store.kill(parent_key)
+                views_pop(parent_key, None)
                 canon = canon_key(parent_key)
                 skip_probe = False
-            parent_class = find(parent_class)
+            if parent_arr[parent_class] != parent_class:
+                parent_class = find(parent_class)
             existing = seen.get(canon)
             is_duplicate = existing is not None
+            fresh = False
             if is_duplicate:
-                if find(existing) != parent_class:
+                if parent_arr[existing] != existing:
+                    existing = find(existing)
+                if existing != parent_class:
                     self.merge(existing, parent_class)
                     repairs += 1
-                parent_class = find(parent_class)
+                    parent_class = find(parent_class)
             elif not skip_probe:
                 prior = hashcons.get(canon)
-                if prior is not None and find(prior) != parent_class:
-                    self.merge(prior, parent_class)
-                    repairs += 1
-                    parent_class = find(parent_class)
-            canon_class = find(parent_class)
+                if prior is not None:
+                    prior_root = (
+                        prior if parent_arr[prior] == prior else find(prior)
+                    )
+                    if prior_root != parent_class:
+                        self.merge(prior, parent_class)
+                        repairs += 1
+                        parent_class = find(parent_class)
+                else:
+                    fresh = True
+            # parent_class is canonical on every path here: it was found
+            # above and re-found after any merge that could stale it
+            canon_class = parent_class
             hashcons[canon] = canon_class
+            # mirror: only a *fresh* dict insertion appends a row.  An
+            # overwrite keeps its live row, whose cls may now lag the dict
+            # value — but only by union-find equivalence (the overwritten
+            # value was merged into canon_class above), which is all the
+            # column readers need: they canonicalise cls through the
+            # parent array anyway.
+            if fresh:
+                store.append_new(canon, canon_class)
             seen[canon] = canon_class
             if not is_duplicate:
                 new_parents.append((canon, canon_class))
@@ -783,6 +973,7 @@ class EGraph:
                     owner.keys.add(canon)
                     self._node_count += len(owner.keys) - n0
                     owner.version = owner.touched = self.version
+                    touched_arr[owner.id] = self.version
                     self._touched.append(owner.id)
 
         # canonicalise the keys stored in the class itself (inline staleness
@@ -806,43 +997,92 @@ class EGraph:
             self._node_count += len(new_keys) - len(eclass.keys)
             eclass.keys = new_keys
             eclass.version = eclass.touched = self.version
+            touched_arr[eclass.id] = self.version
             self._touched.append(eclass.id)
             # snapshot: a congruent merge below can grow this very set
+            root = find(eclass.id)
             for key in list(new_keys):
                 # congruence check before re-keying: a re-spelled member
                 # node may coincide with a node of a *different* class —
                 # blindly overwriting its entry would leave the two
-                # classes unmerged
+                # classes unmerged.  `root` tracks find(eclass.id) across
+                # the loop (only a merge can move it).
                 prior = hashcons.get(key)
-                if prior is not None and find(prior) != find(eclass.id):
-                    self.merge(prior, eclass.id)
-                    repairs += 1
-                hashcons[key] = find(eclass.id)
+                if prior is not None:
+                    if parent_arr[root] != root:
+                        root = find(root)
+                    if (prior if parent_arr[prior] == prior else find(prior)) != root:
+                        self.merge(prior, eclass.id)
+                        repairs += 1
+                        root = find(root)
+                    # overwrite: the live row's cls stays union-find-equal
+                    # to the new dict value, which the column readers
+                    # canonicalise anyway — no mirror write needed
+                    hashcons[key] = root
+                else:
+                    if parent_arr[root] != root:
+                        root = find(root)
+                    hashcons[key] = root
+                    store.append_new(key, root)
         return repairs
 
     def _repair_analysis(self, eclass_id: int) -> None:
         """Propagate changed analysis data to parents."""
 
-        if self.analysis is None:
+        analysis = self.analysis
+        if analysis is None:
             return
         eclass_id = self.uf.find(eclass_id)
         eclass = self.classes.get(eclass_id)
         if eclass is None:
             return
-        self.analysis.modify(self, eclass_id)
+        analysis.modify(self, eclass_id)
+        # relevant-op prefilter: for a parent whose operator the analysis
+        # can never value, make_key returns the bottom element (None) and
+        # join(data, bottom) == data (the relevant_op_ids contract), so
+        # the joined != data branch below cannot fire — skip the calls.
+        hint = self._analysis_ops
+        if hint is None or hint[0] != len(self.op_names):
+            hint = (len(self.op_names), analysis.relevant_op_ids(self))
+            self._analysis_ops = hint
+        relevant = hint[1]
+        prefilter = analysis.needs_all_child_data
+        data_flag = self._class_data
+        parent_arr = self.uf._parent
+        find = self.uf.find
         for parent_key, parent_class in list(eclass.parents):
-            parent_class = self.uf.find(parent_class)
+            if relevant is not None and parent_key[0] not in relevant:
+                continue
+            if prefilter:
+                # bottom-child prefilter: a byte read per (canonicalised)
+                # child proves make_key returns bottom, so the joined !=
+                # data branch below cannot fire — skip the canon_key /
+                # make_key / join round trip.  Stored child ids may be
+                # stale; the flag is only fresh at the canonical id.
+                ok = True
+                for i in range(2, len(parent_key)):
+                    c = parent_key[i]
+                    if parent_arr[c] != c:
+                        c = find(c)
+                    if not data_flag[c]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            parent_class = find(parent_class)
             parent = self.classes.get(parent_class)
             if parent is None:
                 continue
-            new_data = self.analysis.make_key(self, self._canon_key(parent_key))
-            joined = self.analysis.join(parent.data, new_data)
+            new_data = analysis.make_key(self, self._canon_key(parent_key))
+            joined = analysis.join(parent.data, new_data)
             if joined != parent.data:
                 parent.data = joined
+                data_flag[parent_class] = 1 if joined is not None else 0
                 self._analysis_dirty.append(parent_class)
                 # a data change can flip rewrite guards — make sure the
                 # incremental searcher revisits this class
                 parent.touched = self.version
+                self._class_touched[parent_class] = self.version
                 self._touched.append(parent_class)
 
     # ------------------------------------------------------------------
@@ -942,6 +1182,53 @@ class EGraph:
                     f"{self.op_names[key[0]]!r}"
                 )
 
+        # columnar mirror: alive rows in ascending row order are exactly
+        # the hashcons keys in dict iteration order (the invariant the
+        # batched sweep and the relational matcher rely on), and the
+        # per-row class is union-find-equal to the dict value (a dict
+        # overwrite with a merged-away value's root skips the mirror
+        # write, so the row may hold the pre-merge id — column readers
+        # canonicalise through the parent array)
+        store = self.store
+        store.flush()
+        alive_keys = [
+            store.keys[row] for row in range(len(store.keys)) if store.alive[row]
+        ]
+        assert alive_keys == list(self.hashcons), (
+            "column store out of sync with hashcons order"
+        )
+        assert set(store.row_of) == set(self.hashcons)
+        for key, eclass_id in self.hashcons.items():
+            row = store.row_of[key]
+            assert store.keys[row] == key
+            assert self.uf.find(store.cls[row]) == self.uf.find(eclass_id), (
+                f"column class {store.cls[row]} not equivalent to hashcons "
+                f"value {eclass_id} for {self._view(key)}"
+            )
+            assert store.op[row] == key[0]
+            assert store.payload[row] == key[1]
+            assert store.nchild[row] == len(key) - 2
+            for i in range(len(store.child)):
+                expected = key[i + 2] if i < len(key) - 2 else -1
+                assert store.child[i][row] == expected
+        # per-class mirrors agree with the slotted records
+        assert (
+            len(self._class_touched)
+            == len(self._class_alive)
+            == len(self._class_data)
+            == len(self.uf)
+        )
+        for eclass in self.classes.values():
+            assert self._class_alive[eclass.id] == 1
+            assert self._class_touched[eclass.id] == eclass.touched, (
+                f"touched mirror {self._class_touched[eclass.id]} != "
+                f"{eclass.touched} for class {eclass.id}"
+            )
+            assert (self._class_data[eclass.id] != 0) == (
+                eclass.data is not None
+            ), f"data-flag mirror wrong for class {eclass.id}"
+        assert sum(self._class_alive) == len(self.classes)
+
     # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
@@ -971,6 +1258,12 @@ class EGraph:
         dup.payloads = list(self.payloads)
         dup._payload_sort = list(self._payload_sort)
         dup._payload_eq = dict(self._payload_eq)
+        dup.store = self.store.copy()
+        dup._class_touched = array("q", self._class_touched)
+        dup._class_alive = bytearray(self._class_alive)
+        dup._class_data = bytearray(self._class_data)
+        # per-version caches (parent snapshot, relations, payload ranks)
+        # stay at their fresh-graph defaults and rebuild on demand
         # views are immutable value objects; sharing the memo is safe, and
         # the copied interning tables keep the resolved instantiator
         # constants valid

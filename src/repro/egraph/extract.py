@@ -44,8 +44,12 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
 
-import numpy as np
+try:  # soft dependency: only the ILP extractor needs numpy (via scipy)
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    np = None  # type: ignore[assignment]
 
+from repro.egraph import columns
 from repro.egraph.egraph import EGraph, ENode, NodeKey
 from repro.egraph.language import Term
 
@@ -181,7 +185,16 @@ class _DPState:
         """
 
         find = egraph.uf.find
-        invalid = [cls.id for cls in egraph.eclasses() if cls.touched > since]
+        if columns.HAVE_NUMPY:
+            # batched over the flat touched/alive mirrors; ascending class
+            # id order equals the classes-dict iteration order (classes are
+            # created with ascending ids and deletions never reorder)
+            cnp = columns.np
+            touched = columns.as_int64(egraph._class_touched)
+            alive = columns.as_uint8(egraph._class_alive)
+            invalid = cnp.flatnonzero((touched > since) & (alive != 0)).tolist()
+        else:
+            invalid = [cls.id for cls in egraph.eclasses() if cls.touched > since]
         invalid_set = set(invalid)
         for cid in list(self.best):
             if cid in invalid_set or find(cid) != cid:

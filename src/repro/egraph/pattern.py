@@ -10,7 +10,7 @@ language, e.g. the FMA1 rule of the paper (Table I) is written::
 
     (+ ?a (* ?b ?c))   ->   (fma ?a ?b ?c)
 
-Two matching engines coexist:
+Three matching engines coexist:
 
 * the **naive reference matcher** (:meth:`Pattern.search_naive`,
   :func:`_match_pattern`) — a backtracking generator that re-walks the
@@ -32,6 +32,32 @@ Two matching engines coexist:
   :meth:`repro.egraph.egraph.EGraph.rebuild` for how *touched* stamps are
   propagated).
 
+* the **relational matcher** (PR 7) — when numpy is available (see
+  :mod:`repro.egraph.columns`), a pattern with two or more operator nodes
+  is executed as a *join* over the e-graph's columnar store instead of a
+  nested scan: each operator node becomes an *atom* whose relation is the
+  per-op column slice filtered by arity/payload, and shared variables
+  (plus the parent-child links of the pattern tree) become hash-join keys
+  (encoded into int64 and resolved by sort + ``searchsorted``).  The join
+  plan is deterministic: the root atom leads (it carries the ``since``
+  touched-filter), then greedily the smallest remaining connected
+  relation, ties broken by op id then pre-order atom index.  Join results
+  are ordered by lexsorting ``(root class id, rank_0, .., rank_k)`` where
+  ``rank_i`` is atom *i*'s position inside its class's deterministic
+  :meth:`~repro.egraph.egraph.EGraph.buckets_by_op_id` bucket order —
+  which reproduces the compiled matcher's nested-loop emission order
+  exactly (two results agreeing on all earlier ranks chose identical
+  rows, hence atom *i* draws from the same bucket, where rank order *is*
+  iteration order).  Trivial (single-atom) patterns, graphs without
+  numpy, and ``REPRO_NO_NUMPY=1`` runs fall back to the compiled
+  matchers; both backends produce identical match lists.
+
+Internally matches flow as flat **rows** ``(root_class_id, v0, v1, ..)``
+with variable values in :meth:`Pattern.variables` order (what
+``search_rows`` returns and the runner's apply loop consumes); the public
+``search``/``match_class`` APIs wrap them into the historical
+``(class id, substitution dict)`` form in the same order.
+
 :func:`compile_pattern` memoises the lowering, and :func:`parse_pattern`
 memoises parsing, so building a ruleset repeatedly (as benchmark loops do)
 costs one compilation total per distinct pattern.  The compiled functions
@@ -46,6 +72,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.egraph import columns
 from repro.egraph.egraph import EGraph, ENode
 from repro.egraph.language import Term
 
@@ -54,6 +81,8 @@ __all__ = [
     "Pattern",
     "CompiledPattern",
     "compile_pattern",
+    "compile_row_applier",
+    "compile_row_instantiator",
     "parse_pattern",
     "Substitution",
 ]
@@ -203,8 +232,9 @@ class _MatcherCodegen:
     ids are direct ``key[i]`` reads, and pattern variables bind to plain
     locals (a repeated variable becomes an ``!=`` guard).  No interpreter
     dispatch, node objects, or per-binding dict copies survive into the
-    hot loop; a substitution dict is only built when a complete match is
-    emitted.
+    hot loop; a complete match is emitted as a flat ``(cid, v0, v1, ..)``
+    row tuple (variable values in :meth:`Pattern.variables` order) — no
+    dict is built at all on the match path.
     """
 
     def __init__(self, pattern: Pattern) -> None:
@@ -277,8 +307,10 @@ class _MatcherCodegen:
         """Emit matching code for *items* (node, class-id expression, canonical)."""
 
         if not items:
-            subst = ", ".join(f"{name!r}: {self.slots[name]}" for name in self.order)
-            self._emit(depth, f"append((cid, {{{subst}}}))")
+            # emit a flat row tuple (cid, v0, v1, ..) in variables() order;
+            # the public search()/match_class() wrappers rebuild dicts
+            row = ", ".join(["cid"] + [self.slots[name] for name in self.order])
+            self._emit(depth, f"append(({row},))")
             return
         (node, expr, is_canonical), rest = items[0], items[1:]
         if isinstance(node, PatternVar):
@@ -306,7 +338,21 @@ class _MatcherCodegen:
             cls_expr = self._name("c")
             self._emit_canon(depth, cls_expr, expr)
         key = self._name("n")
-        self._emit(depth, f"for {key} in buckets({cls_expr}, {self._op_local(node.op)}):")
+        # inline buckets_by_op_id's cache-hit path: candidate/child class
+        # ids are canonical on a rebuilt graph, so the classes dict hits
+        # directly, and the per-op grouping is version-fresh after the
+        # first probe of the phase — only the miss pays a method call
+        cls_obj = self._name("g")
+        self._emit(depth, f"{cls_obj} = classes_get({cls_expr})")
+        self._emit(depth, f"if {cls_obj} is None: {cls_obj} = classes[find({cls_expr})]")
+        self._emit(
+            depth,
+            f"if {cls_obj}._by_op_version != {cls_obj}.version: _regroup({cls_obj})",
+        )
+        self._emit(
+            depth,
+            f"for {key} in {cls_obj}._by_op.get({self._op_local(node.op)}, _ET):",
+        )
         depth += 1
         self._emit(depth, f"if len({key}) != {2 + len(node.children)}: continue")
         if node.payload is not None:
@@ -330,11 +376,13 @@ class _MatcherCodegen:
             self._emit(1, line)
         self._emit(1, "find = eg.uf.find")
         self._emit(1, "parent = eg.uf._parent")
-        self._emit(1, "buckets = eg.buckets_by_op_id")
+        self._emit(1, "classes = eg.classes")
+        self._emit(1, "classes_get = classes.get")
+        self._emit(1, "_regroup = eg._rebuild_by_op")
         self._emit(1, "append = out.append")
         self._emit(1, "for cid in candidates:")
         self.lines.extend(body)
-        namespace: Dict[str, object] = {"len": len}
+        namespace: Dict[str, object] = {"len": len, "_ET": ()}
         namespace.update(self.consts)
         exec("\n".join(self.lines), namespace)  # noqa: S102 - trusted codegen
         return namespace["_search"]
@@ -361,15 +409,22 @@ class _InstantiatorCodegen:
     in ``eg._inst_consts`` (interned ids are append-only, so the cache
     never goes stale), making the per-call prologue two attribute binds
     and one dict probe.
+
+    With *positions* given (variable name -> index into a flat match
+    row), the generated builder reads its bindings positionally —
+    ``subst[3]`` instead of ``subst['a']`` — so the runner's row pipeline
+    never materialises substitution dicts (see
+    :func:`compile_row_instantiator`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, positions: Optional[Dict[str, int]] = None) -> None:
         self.const_values: List[object] = []   # op names / payloads, in order
         self.const_kinds: List[str] = []       # "op" | "payload"
         self.id_locals: Dict[tuple, str] = {}
         self.body: List[str] = []
         self.var_locals: Dict[str, str] = {}
         self.counter = 0
+        self.positions = positions
 
     def _id_local(self, kind: str, value: object) -> str:
         memo_key = (kind, type(value).__name__, value)
@@ -393,7 +448,10 @@ class _InstantiatorCodegen:
             if local is None:
                 local = self._name("_s")
                 self.var_locals[node.name] = local
-                self.body.append(f"{local} = subst[{node.name!r}]")
+                if self.positions is None:
+                    self.body.append(f"{local} = subst[{node.name!r}]")
+                else:
+                    self.body.append(f"{local} = subst[{self.positions[node.name]}]")
             return local
         child_vars = [self._node(child) for child in node.children]
         key = self._name("_t")
@@ -411,18 +469,19 @@ class _InstantiatorCodegen:
             self.body.append("    find = eg.uf.find")
             self.body.append(f"    {key} = ({', '.join(parts[:2])}, {canon},)")
         self.body.append(f"{value} = hc({key})")
-        self.body.append(f"if {value} is None: {value} = eg.add_key({key})")
+        # the key is canonical (inline child re-canonicalisation above) and
+        # just missed the probe — take the arena's dedicated miss entry
+        self.body.append(f"if {value} is None: {value} = eg._add_canon_miss({key})")
         self.body.append(
             f"elif parent[{value}] != {value}: {value} = eg.uf.find({value})"
         )
         return value
 
-    def build(self, pattern: Pattern):
-        result = self._node(pattern)
+    def _prologue(self, name: str, args: str) -> List[str]:
         seq = _INST_SEQ()
         unpack = ", ".join(f"_i{i}" for i in range(len(self.id_locals)))
         lines = [
-            "def _instantiate(eg, subst):",
+            f"def {name}(eg, {args}):",
             "    hc = eg.hashcons.get",
             "    parent = eg.uf._parent",
             f"    _ids = eg._inst_consts.get({seq})",
@@ -432,9 +491,9 @@ class _InstantiatorCodegen:
         ]
         if unpack:
             lines.append(f"    {unpack}{',' if len(self.id_locals) == 1 else ''} = _ids")
-        lines.extend(f"    {line}" for line in self.body)
-        lines.append(f"    return {result}")
+        return lines
 
+    def _compile(self, lines: List[str], name: str):
         kinds = tuple(self.const_kinds)
         values = tuple(self.const_values)
 
@@ -446,22 +505,392 @@ class _InstantiatorCodegen:
 
         namespace: Dict[str, object] = {"_resolve": _resolve}
         exec("\n".join(lines), namespace)  # noqa: S102 - trusted codegen
-        return namespace["_instantiate"]
+        return namespace[name]
+
+    def build(self, pattern: Pattern):
+        result = self._node(pattern)
+        lines = self._prologue("_instantiate", "subst")
+        lines.extend(f"    {line}" for line in self.body)
+        lines.append(f"    return {result}")
+        return self._compile(lines, "_instantiate")
+
+    def build_batch(self, pattern: Pattern):
+        """Batched applier: instantiate + merge over a whole row list.
+
+        Generates the :meth:`build` body inside a ``for`` loop over match
+        rows, with the per-call prologue (hashcons/parent binds, interned
+        id resolution) hoisted out — one function call per *batch* instead
+        of one per match.  The loop epilogue is exactly
+        ``Rewrite.apply``'s hit path: canonicalise both sides with the
+        inline parent-array check and count the merges performed.  All
+        bound locals (the parent list, the hashcons dict) are mutated in
+        place by adds/merges, so hoisting the binds cannot change what the
+        loop observes.
+        """
+
+        result = self._node(pattern)
+        lines = self._prologue("_apply_rows", "rows")
+        lines += [
+            "    find = eg.uf.find",
+            "    merge_roots = eg.merge_roots",
+            "    applied = 0",
+            "    for subst in rows:",
+        ]
+        lines.extend(f"        {line}" for line in self.body)
+        lines += [
+            f"        ra = {result}",
+            "        if parent[ra] != ra: ra = find(ra)",
+            "        rb = subst[0]",
+            "        if parent[rb] != rb: rb = find(rb)",
+            "        if ra != rb:",
+            "            merge_roots(ra, rb)",
+            "            applied += 1",
+            "    return applied",
+        ]
+        return self._compile(lines, "_apply_rows")
+
+
+# ---------------------------------------------------------------------------
+# Relational (join-based) matching engine
+# ---------------------------------------------------------------------------
+
+
+class _Atom:
+    """One operator node of a flattened pattern.
+
+    ``class_var`` names the variable bound to the atom's e-class id
+    (synthetic — ``\\x00``-prefixed — except nowhere: pattern variables can
+    only occur in child slots); ``child_vars`` name the variables bound to
+    its child slots, one per child, real pattern variables and synthetic
+    link variables mixed.  A synthetic variable appears exactly twice: as a
+    parent's child slot and as the child atom's ``class_var`` — these links
+    plus repeated real variables are the join's equality constraints.
+    """
+
+    __slots__ = ("index", "op", "payload", "nchildren", "class_var", "child_vars")
+
+    def __init__(self, index: int, op: str, payload: object, nchildren: int,
+                 class_var: str) -> None:
+        self.index = index
+        self.op = op
+        self.payload = payload
+        self.nchildren = nchildren
+        self.class_var = class_var
+        self.child_vars: List[str] = []
+
+
+def _flatten_pattern(pattern: Pattern) -> List[_Atom]:
+    """Flatten *pattern* into atoms in the compiled matcher's loop order.
+
+    The compiled codegen opens one bucket loop per operator node in
+    depth-first pre-order (a nested operator child's loop opens inside its
+    parent's, before any later sibling's); atom indices reproduce exactly
+    that nesting order, which is what makes the rank-vector sort of
+    :func:`_relational_search` equal the nested loops' emission order.
+    """
+
+    atoms: List[_Atom] = []
+    counter = iter(range(1 << 30))
+
+    def visit(node: Pattern, class_var: str) -> None:
+        atom = _Atom(len(atoms), node.op, node.payload, len(node.children), class_var)
+        atoms.append(atom)
+        nested: List[Tuple[Pattern, str]] = []
+        for child in node.children:
+            if isinstance(child, PatternVar):
+                atom.child_vars.append(child.name)
+            else:
+                link = f"\x00{next(counter)}"
+                atom.child_vars.append(link)
+                nested.append((child, link))
+        for child, link in nested:
+            visit(child, link)
+
+    visit(pattern, "\x00cid")
+    return atoms
+
+
+def _vec_find(parent, ids):
+    """Canonical ids of *ids* under the *parent* array (gather to fixpoint).
+
+    Equivalent to mapping ``uf.find`` but vectorised; terminates because
+    every gather moves ids strictly up the union-find forest.
+    """
+
+    np = columns.np
+    out = parent[ids]
+    while True:
+        nxt = parent[out]
+        if np.array_equal(nxt, out):
+            return out
+        out = nxt
+
+
+#: Cache-miss sentinel (None is a meaningful cached value: empty relation).
+_NO_REL = object()
+
+
+def _build_relation(eg: EGraph, op_id: int, nchildren: int, pids):
+    """The column relation of one atom, or None when it is empty.
+
+    Rows are the *live* hashcons entries with operator *op_id*, exactly
+    *nchildren* children, and (when *pids* is given) payload id in *pids*
+    — the compiled matcher's arity/payload guards as column masks.  The
+    result maps:
+
+    * ``cls`` — canonical e-class id per row,
+    * ``child`` — canonical child class ids, one int64 array per slot,
+    * ``rank`` — the row's position within its class's deterministic
+      per-op bucket order (:meth:`EGraph.buckets_by_op_id`): rows are
+      lexsorted by ``(cls, raw child ids.., payload rank)``, which is the
+      bucket comparator ``(key[2:], (str(payload), type))`` restricted to
+      this relation's fixed arity — so ranks of filtered rows preserve
+      their relative bucket order, and
+    * ``n`` — the row count (the planner's size measure).
+
+    Join keys and emitted bindings use the *canonical* columns; the rank
+    sort uses the *raw* child spellings, because bucket order is defined
+    over the stored key tuples.
+    """
+
+    np = columns.np
+    store = eg.store
+    rows = store.op_rows(op_id)
+    if rows is None or not len(rows):
+        return None
+    alive = columns.as_uint8(store.alive)
+    nchild = columns.as_int64(store.nchild)
+    mask = (alive[rows] != 0) & (nchild[rows] == nchildren)
+    pid_col = columns.as_int64(store.payload)[rows]
+    if pids is not None:
+        pmask = np.zeros(len(rows), dtype=bool)
+        for pid in pids:
+            pmask |= pid_col == pid
+        mask &= pmask
+    keep = np.flatnonzero(mask)
+    n = len(keep)
+    if not n:
+        return None
+    rows = rows[keep]
+    pid_col = pid_col[keep]
+    parent = eg._np_parent()
+    cls = _vec_find(parent, columns.as_int64(store.cls)[rows])
+    raw = tuple(columns.as_int64(store.child[i])[rows] for i in range(nchildren))
+    canon = tuple(_vec_find(parent, col) for col in raw)
+    prank = columns.as_int64(eg._payload_ranks())[pid_col]
+    # np.lexsort: last key is primary -> (cls, child0.., prank) priority
+    order = np.lexsort((prank,) + raw[::-1] + (cls,))
+    sorted_cls = cls[order]
+    starts = np.zeros(n, dtype=np.int64)
+    if n > 1:
+        idx = np.arange(1, n, dtype=np.int64)
+        starts[1:] = np.where(sorted_cls[1:] != sorted_cls[:-1], idx, 0)
+        starts = np.maximum.accumulate(starts)
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n, dtype=np.int64) - starts
+    return {"cls": cls, "child": canon, "rank": rank, "n": n}
+
+
+def _pattern_relation(eg: EGraph, atom: _Atom, op_id: int, pids):
+    """Memoised :func:`_build_relation` (cache lives on the e-graph).
+
+    Keyed by ``(op id, arity, payload ids)`` so rules sharing an atom
+    shape share one relation per search phase; the whole cache is dropped
+    whenever the graph's ``(version, interned-key count)`` stamp moves.
+    """
+
+    stamp = (eg.version, len(eg.store))
+    if eg._relation_stamp != stamp:
+        eg._relation_cache.clear()
+        eg._relation_stamp = stamp
+    key = (op_id, atom.nchildren, pids)
+    rel = eg._relation_cache.get(key, _NO_REL)
+    if rel is _NO_REL:
+        rel = _build_relation(eg, op_id, atom.nchildren, pids)
+        eg._relation_cache[key] = rel
+    return rel
+
+
+def _atom_columns(atom: _Atom, rel):
+    """(variable -> column) map of *rel* plus the intra-atom equality mask.
+
+    A variable repeated inside a single atom (e.g. ``(* ?a ?a)``) yields a
+    column-equality mask; the first occurrence's column represents it.
+    """
+
+    cols = {atom.class_var: rel["cls"]}
+    mask = None
+    for i, var in enumerate(atom.child_vars):
+        col = rel["child"][i]
+        prev = cols.get(var)
+        if prev is None:
+            cols[var] = col
+        else:
+            eq = prev == col
+            mask = eq if mask is None else mask & eq
+    return cols, mask
+
+
+def _relational_search(
+    cp: "CompiledPattern", eg: EGraph, since: Optional[int]
+) -> Optional[List[tuple]]:
+    """Execute *cp* as a join over the columnar store.
+
+    Returns flat ``(cid, v0, v1, ..)`` rows in exactly the compiled
+    matcher's order, or None when the int64 join-key encoding could
+    overflow (caller falls back to the scan engine).
+
+    Plan: the root atom leads and carries the ``since`` touched-filter;
+    then greedily the smallest remaining relation among atoms connected to
+    the bound variables, ties broken by ``(size, op id, pre-order atom
+    index)`` — never by hash order.  Each step is a sort-based hash join
+    on the shared variables, encoded into a single int64 per row by Horner
+    evaluation in base ``len(parent) + 1`` (class ids are < the base, so
+    the encoding is injective; the caller is told to fall back when
+    ``base ** nkeys`` approaches 2**62).
+
+    Result order: joins track, per atom, the matched row's bucket rank;
+    the final lexsort by ``(root cid, rank_0, .., rank_{m-1})`` (atoms in
+    pre-order) reproduces the nested loops' emission order — two results
+    equal on all earlier ranks picked identical rows, so atom *i* draws
+    from the same bucket, where rank order is iteration order.
+    """
+
+    np = columns.np
+    atoms = cp._atoms
+    rels = []
+    for atom in atoms:
+        op_id = eg._op_ids.get(atom.op)
+        if op_id is None:
+            return []
+        if atom.payload is not None:
+            pids = eg.payload_ids_matching(atom.payload)
+            if not pids:
+                return []
+        else:
+            pids = None
+        rel = _pattern_relation(eg, atom, op_id, pids)
+        if rel is None:
+            return []
+        rels.append((atom, op_id, rel))
+
+    base = len(eg.uf._parent) + 1
+
+    # seed the state from the root atom's relation
+    atom, _, rel = rels[0]
+    cols, mask = _atom_columns(atom, rel)
+    if since is not None:
+        touched = columns.as_int64(eg._class_touched)
+        tmask = touched[rel["cls"]] > since
+        mask = tmask if mask is None else mask & tmask
+    if mask is not None:
+        keep = np.flatnonzero(mask)
+        state = {var: col[keep] for var, col in cols.items()}
+        ranks = {0: rel["rank"][keep]}
+    else:
+        state = dict(cols)
+        ranks = {0: rel["rank"]}
+    if not len(state[atom.class_var]):
+        return []
+
+    remaining = list(range(1, len(atoms)))
+    while remaining:
+        best = None
+        for ai in remaining:
+            cand_atom, cand_op, cand_rel = rels[ai]
+            if cand_atom.class_var not in state and not any(
+                v in state for v in cand_atom.child_vars
+            ):
+                continue
+            cand = (cand_rel["n"], cand_op, ai)
+            if best is None or cand < best:
+                best = cand
+        # the atom graph is a tree linked by synthetic variables, so some
+        # remaining atom is always connected once the root is bound
+        ai = best[2]
+        remaining.remove(ai)
+        atom, _, rel = rels[ai]
+        cols, mask = _atom_columns(atom, rel)
+        if mask is not None:
+            keep = np.flatnonzero(mask)
+            cols = {var: col[keep] for var, col in cols.items()}
+            arank = rel["rank"][keep]
+        else:
+            arank = rel["rank"]
+
+        # shared variables in deterministic (class var, child slots) order
+        shared = []
+        for var in (atom.class_var, *atom.child_vars):
+            if var in state and var not in shared:
+                shared.append(var)
+        if base ** len(shared) >= 2 ** 62:
+            return None
+        rcode = cols[shared[0]]
+        scode = state[shared[0]]
+        for var in shared[1:]:
+            rcode = rcode * base + cols[var]
+            scode = scode * base + state[var]
+        order = np.argsort(rcode, kind="stable")
+        rsorted = rcode[order]
+        left = np.searchsorted(rsorted, scode, side="left")
+        counts = np.searchsorted(rsorted, scode, side="right") - left
+        total = int(counts.sum())
+        if not total:
+            return []
+        out_s = np.repeat(np.arange(len(scode), dtype=np.int64), counts)
+        offsets = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(np.cumsum(counts) - counts, counts)
+            + np.repeat(left, counts)
+        )
+        out_r = order[offsets]
+        state = {var: col[out_s] for var, col in state.items()}
+        ranks = {i: r[out_s] for i, r in ranks.items()}
+        for var, col in cols.items():
+            if var not in state:
+                state[var] = col[out_r]
+        ranks[ai] = arank[out_r]
+
+    cid = state[atoms[0].class_var]
+    n = len(cid)
+    if not n:
+        return []
+    m = len(atoms)
+    order = np.lexsort(tuple(ranks[i] for i in range(m - 1, -1, -1)) + (cid,))
+    mat = np.empty((n, 1 + len(cp.vars)), dtype=np.int64)
+    mat[:, 0] = cid[order]
+    for j, name in enumerate(cp.vars):
+        mat[:, j + 1] = state[name][order]
+    # .tolist() materialises Python ints (not np.int64) — bindings flow
+    # into key tuples and must hash/compare like the arena's ids
+    return list(map(tuple, mat.tolist()))
 
 
 class CompiledPattern:
     """A pattern lowered into specialised match/instantiate functions."""
 
-    __slots__ = ("pattern", "vars", "root_op", "_fn", "_inst", "_bare_var")
+    __slots__ = (
+        "pattern", "vars", "root_op", "_fn", "_inst", "_bare_var", "_atoms",
+        "_hetero", "_to_subst",
+    )
 
     def __init__(self, pattern: Pattern) -> None:
         self.pattern = pattern
         self.vars: Tuple[str, ...] = tuple(pattern.variables())
         self.root_op = pattern.op
         self._fn = _MatcherCodegen(pattern).build()
+        # row -> substitution dict as a generated dict literal: an order of
+        # magnitude cheaper per match than dict(zip(names, row[1:])), and
+        # the dict-returning search()/match_class() APIs are themselves
+        # benchmark rows (rule_search) and the guarded-rule path
+        body = ", ".join(
+            f"{name!r}: row[{i + 1}]" for i, name in enumerate(self.vars)
+        )
+        self._to_subst = eval(f"lambda row: {{{body}}}")
         # a bare-variable pattern `?x` parses as ("?" ?x); its instantiation
         # is just the bound class
         self._bare_var: Optional[str] = None
+        self._hetero = False
         if (
             pattern.op == "?"
             and len(pattern.children) == 1
@@ -469,8 +898,24 @@ class CompiledPattern:
         ):
             self._bare_var = pattern.children[0].name
             self._inst = None
+            self._atoms = None
         else:
             self._inst = _InstantiatorCodegen().build(pattern)
+            atoms = _flatten_pattern(pattern)
+            # single-atom patterns gain nothing from a join; keep the
+            # compiled nested scan for them
+            self._atoms = atoms if len(atoms) >= 2 else None
+            if self._atoms is not None:
+                # heterogeneous = atoms draw from >= 2 distinct relations.
+                # Self-join-only patterns (e.g. associativity, all atoms the
+                # same op/arity) produce output proportional to the scan's
+                # work, so the join's fixed costs cannot win there — the
+                # auto backend keeps them on the scan engine.
+                shapes = {
+                    (a.op, a.nchildren, str(a.payload), type(a.payload).__name__)
+                    for a in self._atoms
+                }
+                self._hetero = len(shapes) >= 2
 
     def instantiate(self, egraph: EGraph, subst: Substitution) -> int:
         """Add the pattern under *subst*; returns the e-class id."""
@@ -482,9 +927,72 @@ class CompiledPattern:
     def match_class(self, egraph: EGraph, eclass_id: int) -> List[Substitution]:
         """All substitutions under which the pattern is in the class."""
 
-        out: List[Tuple[int, Substitution]] = []
+        out: List[tuple] = []
         self._fn(egraph, (egraph.find(eclass_id),), out)
-        return [subst for _, subst in out]
+        return [self._to_subst(row) for row in out]
+
+    def search_rows(
+        self,
+        egraph: EGraph,
+        since: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> List[tuple]:
+        """Search the e-graph; returns flat ``(eclass_id, v0, v1, ..)`` rows.
+
+        Variable values follow :attr:`vars` order.  Rows are what the
+        runner's apply loop consumes (together with the positional
+        instantiators) — no per-match dict is built.
+
+        *backend* selects the engine: ``None`` auto-selects — the
+        relational join for *full* scans of heterogeneous multi-atom
+        patterns under numpy (where inter-relation selectivity prunes
+        work the scan must do), the compiled scan otherwise (trivial or
+        self-join-only patterns, incremental scans whose touched cone the
+        scan visits directly, fallback builds); ``"join"`` forces the
+        relational engine (raises when unavailable — bench/test hook);
+        ``"scan"`` forces the compiled matcher.  Both engines return the
+        identical row list, so backend choice can never alter outcomes —
+        only wall-clock.
+
+        When *since* is given, classes whose ``touched`` stamp is
+        ``<= since`` are skipped — sound because :meth:`EGraph.rebuild`
+        propagates touches upward from every mutated class (matches rooted
+        at a skipped class are exactly the matches found by the previous
+        scan).  The relational engine applies the same filter to its
+        leading (root) relation.
+        """
+
+        if self._atoms is not None and columns.HAVE_NUMPY:
+            if backend == "join" or (
+                backend is None and self._hetero and since is None
+            ):
+                rows = _relational_search(self, egraph, since)
+                if rows is not None:
+                    return rows
+                # join-key overflow guard tripped: int64 encoding would not
+                # be injective on this graph, use the scan engine instead
+                if backend == "join":
+                    raise RuntimeError(
+                        "join backend unavailable: join-key encoding overflow"
+                    )
+        elif backend == "join":
+            raise RuntimeError(
+                "join backend unavailable: trivial pattern or numpy inactive"
+            )
+
+        matches: List[tuple] = []
+        candidates = egraph.classes_with_op(self.root_op)
+        if not candidates:
+            return matches
+        if since is not None:
+            # the flat touched mirror makes this a single array read per
+            # candidate (vs. a dict lookup plus attribute load)
+            touched = egraph._class_touched
+            candidates = [c for c in candidates if touched[c] > since]
+        # class-id order == creation order, matching the naive matcher's
+        # iteration over the classes dict (keeps runs deterministic)
+        self._fn(egraph, sorted(candidates), matches)
+        return matches
 
     def search(
         self, egraph: EGraph, since: Optional[int] = None
@@ -492,24 +1000,64 @@ class CompiledPattern:
         """Search the e-graph; returns ``(eclass_id, substitution)`` pairs.
 
         Root candidates come from the e-graph's op-index, so only classes
-        containing the root operator are visited.  When *since* is given,
-        classes whose ``touched`` stamp is ``<= since`` are skipped — sound
-        because :meth:`EGraph.rebuild` propagates touches upward from every
-        mutated class (matches rooted at a skipped class are exactly the
-        matches found by the previous scan).
+        containing the root operator are visited.  This is the historical
+        dict-based API — a thin wrapper over :meth:`search_rows`.
         """
 
-        matches: List[Tuple[int, Substitution]] = []
-        candidates = egraph.classes_with_op(self.root_op)
-        if not candidates:
-            return matches
-        if since is not None:
-            classes = egraph.classes
-            candidates = [c for c in candidates if classes[c].touched > since]
-        # class-id order == creation order, matching the naive matcher's
-        # iteration over the classes dict (keeps runs deterministic)
-        self._fn(egraph, sorted(candidates), matches)
-        return matches
+        to_subst = self._to_subst
+        return [
+            (row[0], to_subst(row)) for row in self.search_rows(egraph, since)
+        ]
+
+    def join_plan(self, egraph: EGraph) -> Optional[List[Tuple[int, str, int]]]:
+        """The relational engine's join order on *egraph*, for introspection.
+
+        Returns ``(atom index, op name, relation size)`` triples in the
+        order the join would execute them, or None when the pattern would
+        run on the scan engine.  The plan depends only on deterministic
+        inputs (relation sizes, interned op ids, pre-order atom indices),
+        never on hash iteration order — the determinism test asserts this
+        across ``PYTHONHASHSEED`` values.
+        """
+
+        if self._atoms is None or not columns.HAVE_NUMPY:
+            return None
+        sizes: List[int] = []
+        op_ids: List[int] = []
+        for atom in self._atoms:
+            op_id = egraph._op_ids.get(atom.op)
+            if atom.payload is not None:
+                pids = egraph.payload_ids_matching(atom.payload)
+            else:
+                pids = None
+            if op_id is None or (atom.payload is not None and not pids):
+                rel = None
+            else:
+                rel = _pattern_relation(egraph, atom, op_id, pids)
+            sizes.append(0 if rel is None else rel["n"])
+            op_ids.append(-1 if op_id is None else op_id)
+        atoms = self._atoms
+        plan = [(0, atoms[0].op, sizes[0])]
+        bound = {atoms[0].class_var}
+        bound.update(atoms[0].child_vars)
+        remaining = list(range(1, len(atoms)))
+        while remaining:
+            best = None
+            for ai in remaining:
+                atom = atoms[ai]
+                if atom.class_var not in bound and not any(
+                    v in bound for v in atom.child_vars
+                ):
+                    continue
+                cand = (sizes[ai], op_ids[ai], ai)
+                if best is None or cand < best:
+                    best = cand
+            ai = best[2]
+            remaining.remove(ai)
+            plan.append((ai, atoms[ai].op, sizes[ai]))
+            bound.add(atoms[ai].class_var)
+            bound.update(atoms[ai].child_vars)
+        return plan
 
 
 @lru_cache(maxsize=None)
@@ -517,6 +1065,40 @@ def compile_pattern(pattern: Pattern) -> CompiledPattern:
     """Lower *pattern* to its compiled form (memoised per distinct pattern)."""
 
     return CompiledPattern(pattern)
+
+
+@lru_cache(maxsize=None)
+def compile_row_instantiator(pattern: Pattern, lhs_vars: Tuple[str, ...]):
+    """Instantiator for *pattern* reading bindings from a flat match row.
+
+    *lhs_vars* is the searcher's :attr:`CompiledPattern.vars` tuple; the
+    returned builder takes ``(egraph, row)`` where ``row`` is a
+    ``(cid, v0, v1, ..)`` tuple from ``search_rows`` and reads each
+    variable at its row position — the rows pipeline's replacement for
+    dict-based :meth:`CompiledPattern.instantiate`.  Requires every
+    variable of *pattern* to occur in *lhs_vars* (callers check; a KeyError
+    here would otherwise surface at compile time, not apply time).
+    """
+
+    positions = {name: i + 1 for i, name in enumerate(lhs_vars)}
+    return _InstantiatorCodegen(positions).build(pattern)
+
+
+@lru_cache(maxsize=None)
+def compile_row_applier(pattern: Pattern, lhs_vars: Tuple[str, ...]):
+    """Batched applier for *pattern* over a whole list of match rows.
+
+    Same contract as :func:`compile_row_instantiator`, but the returned
+    function takes ``(egraph, rows)`` and performs the full instantiate +
+    canonicalise + merge loop of :meth:`Rewrite.apply_rows` in one call,
+    returning the number of unions made.  Hoisting the per-match prologue
+    out of the loop is worth a few hundred nanoseconds per match — the
+    apply phase processes tens of thousands of (mostly redundant) matches
+    per saturation run.
+    """
+
+    positions = {name: i + 1 for i, name in enumerate(lhs_vars)}
+    return _InstantiatorCodegen(positions).build_batch(pattern)
 
 
 # ---------------------------------------------------------------------------

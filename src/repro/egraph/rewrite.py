@@ -30,6 +30,8 @@ from repro.egraph.pattern import (
     Pattern,
     Substitution,
     compile_pattern,
+    compile_row_applier,
+    compile_row_instantiator,
     parse_pattern,
 )
 
@@ -61,6 +63,36 @@ class Rewrite:
             if isinstance(self.applier, Pattern)
             else None
         )
+        # rows pipeline (guard-free pattern->pattern rules only): either a
+        # positional RHS builder or, for a bare-variable RHS, the row index
+        # of the bound variable.  A RHS variable absent from the LHS keeps
+        # the rule on the dict path, preserving its KeyError-at-apply
+        # behaviour (such a rule is malformed, but the failure mode is
+        # part of the observable API).
+        self._inst_rows = None
+        self._apply_rows_fn = None
+        self._bare_idx: Optional[int] = None
+        compiled_rhs = self._compiled_rhs
+        if compiled_rhs is not None and self.guard is None:
+            lhs_vars = self._compiled.vars
+            if compiled_rhs._bare_var is not None:
+                if compiled_rhs._bare_var in lhs_vars:
+                    self._bare_idx = 1 + lhs_vars.index(compiled_rhs._bare_var)
+            elif all(name in lhs_vars for name in compiled_rhs.vars):
+                self._inst_rows = compile_row_instantiator(self.applier, lhs_vars)
+                self._apply_rows_fn = compile_row_applier(self.applier, lhs_vars)
+
+    @property
+    def rows_capable(self) -> bool:
+        """True when this rule can run the flat-row search/apply pipeline.
+
+        Requires a guard-free pattern applier whose variables all occur in
+        the searcher — exactly the rules the runner may also search
+        incrementally.  Guarded or dynamic rules need substitution dicts
+        (their callables receive one by contract).
+        """
+
+        return self._bare_idx is not None or self._inst_rows is not None
 
     # ------------------------------------------------------------------
 
@@ -93,6 +125,25 @@ class Rewrite:
         if limit is not None and len(matches) > limit:
             del matches[limit:]
         return matches
+
+    def search_rows(
+        self,
+        egraph: EGraph,
+        since: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[tuple]:
+        """:meth:`search` for :attr:`rows_capable` rules: flat match rows.
+
+        Returns ``(eclass_id, v0, v1, ..)`` tuples (searcher variable
+        order) in the same deterministic order as :meth:`search` — the two
+        pipelines differ only in representation, never in content.  Only
+        valid for guard-free rules (callers check :attr:`rows_capable`).
+        """
+
+        rows = self._compiled.search_rows(egraph, since)
+        if limit is not None and len(rows) > limit:
+            del rows[limit:]
+        return rows
 
     def apply(
         self, egraph: EGraph, matches: List[Tuple[int, Substitution]]
@@ -155,6 +206,35 @@ class Rewrite:
                 egraph.merge(new_id, eclass_id)
                 applied += 1
         return applied
+
+    def apply_rows(self, egraph: EGraph, rows: List[tuple]) -> int:
+        """:meth:`apply` for flat match rows from :meth:`search_rows`.
+
+        Identical union sequence to :meth:`apply` on the equivalent dict
+        matches (same builders, same staleness checks, same merge order) —
+        minus the per-match substitution dict.
+        """
+
+        bare_idx = self._bare_idx
+        if bare_idx is not None:
+            applied = 0
+            find = egraph.uf.find
+            parent = egraph.uf._parent
+            merge_roots = egraph.merge_roots
+            for row in rows:
+                ra = row[bare_idx]
+                if parent[ra] != ra:
+                    ra = find(ra)
+                rb = row[0]
+                if parent[rb] != rb:
+                    rb = find(rb)
+                if ra != rb:
+                    merge_roots(ra, rb)
+                    applied += 1
+            return applied
+        # generated batch loop: instantiate + staleness checks + merge,
+        # with the prologue hoisted out of the per-match path
+        return self._apply_rows_fn(egraph, rows)
 
     def run(self, egraph: EGraph) -> int:
         """Search and apply in one step (rebuild is the caller's job)."""

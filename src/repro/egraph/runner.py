@@ -533,7 +533,15 @@ class Runner:
             since = self._last_scan[index] if incremental else None
             limit = scheduler.search_limit(iteration, index, rule)
             rt0 = time.perf_counter()
-            matches = rule.search(egraph, since=since, limit=limit)
+            # rows-capable rules (guard-free pattern rules) run the flat-row
+            # pipeline: search_rows + apply_rows skip every per-match
+            # substitution dict; both pipelines yield the same match
+            # sequence, and schedulers only count/slice batches, so the
+            # representation never leaks into scheduling decisions
+            if rule.rows_capable:
+                matches = rule.search_rows(egraph, since=since, limit=limit)
+            else:
+                matches = rule.search(egraph, since=since, limit=limit)
             rt1 = time.perf_counter()
             rs = stats[rule.name]
             rs.searches += 1
@@ -570,7 +578,10 @@ class Runner:
         applied = 0
         for index, rule, matches, complete in all_matches:
             at0 = time.perf_counter()
-            n_applied = rule.apply(egraph, matches)
+            if rule.rows_capable:
+                n_applied = rule.apply_rows(egraph, matches)
+            else:
+                n_applied = rule.apply(egraph, matches)
             at1 = time.perf_counter()
             if complete:
                 # matches up to scan_version are now committed; the next

@@ -39,7 +39,11 @@ __all__ = [
 #: arena-v3: PR-5 best-result anytime codegen — anytime-enabled configs
 #: may now ship the best in-loop extraction snapshot instead of the final
 #: greedy extraction, so artifacts cached by the older engine must re-miss.
-ENGINE_SCHEMA = "arena-v3"
+#: columnar-v4: PR-7 columnar e-graph core + relational e-matching — the
+#: saturation outcomes are bit-identical by construction, but pickled
+#: e-graph-adjacent state (column mirrors, pending buffers) changed shape,
+#: so older artifacts must re-miss rather than unpickle into the new core.
+ENGINE_SCHEMA = "columnar-v4"
 
 
 def fingerprint_text(text: str) -> str:

@@ -1,0 +1,285 @@
+"""PR-7 columnar core + relational e-matching guarantees.
+
+Four contracts pinned here:
+
+* **Engine equivalence** (hypothesis): on randomized e-graphs, the
+  relational (join-based) backend returns the *exact list* — multiset and
+  order — of match rows the compiled scan matcher produces, for patterns
+  spanning the planner's shapes (heterogeneous ops, shared variables,
+  self-joins).  Backend choice must never be observable in results.
+* **Join-plan determinism**: the greedy join order depends only on
+  relation sizes, interned op ids and pre-order atom indices — asserted
+  by comparing plans across ``PYTHONHASHSEED`` values in subprocesses.
+* **View-memo boundedness**: the ``EGraph._views`` ENode memo evicts
+  spellings retired by the rebuild sweep, so it tracks the live key set
+  instead of growing monotonically across rebuilds.
+* **Pending-buffer semantics**: the column store's deferred append buffer
+  is invisible from outside — kills and overwrites of still-pending keys
+  resolve inside the buffer, and materialised row order equals hashcons
+  dict order.
+
+Payloads are kept collision-free (plain ints) throughout: distinct
+payloads with identical ``(str, type name)`` sort pairs are a documented
+acceptable divergence between the engines' tie-breaks.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.egraph import columns
+from repro.egraph.columns import ColumnStore
+from repro.egraph.egraph import EGraph
+from repro.egraph.language import num, op, sym
+from repro.egraph.pattern import compile_pattern, parse_pattern
+
+# ---------------------------------------------------------------------------
+# Engine equivalence (hypothesis)
+# ---------------------------------------------------------------------------
+
+#: Multi-atom patterns exercising the planner's shapes: heterogeneous op
+#: pairs, a variable shared across atoms, nested same-op (self-join), and
+#: a payload-guarded leaf atom.
+_PATTERNS = [
+    "(+ ?a (* ?b ?c))",
+    "(* (+ ?a ?b) ?a)",
+    "(+ (+ ?a ?b) ?c)",
+    "(+ (* ?a ?b) (* ?b ?c))",
+    "(* ?a (+ ?b ?b))",
+    "(+ 1 ?x)",
+]
+
+_LEAVES = [sym("x"), sym("y"), sym("z"), num(1), num(2)]
+_OPS = ["+", "*"]
+
+
+@st.composite
+def _graph_script(draw):
+    """A build script: term specs plus merge pairs over their class ids."""
+
+    n_terms = draw(st.integers(min_value=2, max_value=10))
+    terms = []
+    for _ in range(n_terms):
+        depth = draw(st.integers(min_value=0, max_value=3))
+        terms.append(_draw_term(draw, depth))
+    n_merges = draw(st.integers(min_value=0, max_value=4))
+    merges = [
+        (
+            draw(st.integers(min_value=0, max_value=n_terms - 1)),
+            draw(st.integers(min_value=0, max_value=n_terms - 1)),
+        )
+        for _ in range(n_merges)
+    ]
+    return terms, merges
+
+
+def _draw_term(draw, depth):
+    if depth == 0:
+        return draw(st.sampled_from(_LEAVES))
+    left = _draw_term(draw, depth - 1)
+    right = _draw_term(draw, draw(st.integers(min_value=0, max_value=depth - 1)))
+    return op(draw(st.sampled_from(_OPS)), left, right)
+
+
+def _build(script):
+    terms, merges = script
+    eg = EGraph()
+    roots = [eg.add_term(t) for t in terms]
+    for a, b in merges:
+        eg.merge(roots[a], roots[b])
+    eg.rebuild()
+    return eg
+
+
+@pytest.mark.skipif(not columns.HAVE_NUMPY, reason="join backend needs numpy")
+@settings(max_examples=60, deadline=None)
+@given(script=_graph_script(), pattern_text=st.sampled_from(_PATTERNS))
+def test_join_backend_matches_scan_exactly(script, pattern_text):
+    eg = _build(script)
+    cp = compile_pattern(parse_pattern(pattern_text))
+    scan = cp.search_rows(eg, backend="scan")
+    join = cp.search_rows(eg, backend="join")
+    assert join == scan  # same rows, same order
+
+
+@pytest.mark.skipif(not columns.HAVE_NUMPY, reason="join backend needs numpy")
+def test_join_backend_matches_scan_on_default_ruleset():
+    """Every multi-atom rule of the paper ruleset, on a saturated graph."""
+
+    from repro.egraph.runner import Runner, RunnerLimits
+    from repro.rules import default_ruleset
+
+    eg = EGraph()
+    expr = op(
+        "+",
+        op("*", sym("a"), op("+", sym("b"), num(0))),
+        op("*", op("+", sym("a"), num(0)), sym("c")),
+    )
+    eg.add_term(expr)
+    rules = default_ruleset()
+    Runner(eg, rules, RunnerLimits(node_limit=400, iter_limit=4)).run()
+    for rule in rules:
+        cp = rule._compiled
+        if cp._atoms is None:
+            continue
+        assert cp.search_rows(eg, backend="join") == cp.search_rows(
+            eg, backend="scan"
+        ), rule.name
+
+
+def test_forced_join_unavailable_on_trivial_pattern():
+    eg = _build(([op("+", sym("x"), sym("y"))], []))
+    cp = compile_pattern(parse_pattern("(+ ?a ?b)"))  # single atom
+    with pytest.raises(RuntimeError):
+        cp.search_rows(eg, backend="join")
+
+
+# ---------------------------------------------------------------------------
+# Join-plan determinism across hash seeds
+# ---------------------------------------------------------------------------
+
+_PLAN_SCRIPT = """
+from repro.egraph.egraph import EGraph
+from repro.egraph.language import num, op, sym
+from repro.egraph.runner import Runner, RunnerLimits
+from repro.rules import default_ruleset
+
+eg = EGraph()
+expr = op("+", op("*", sym("a"), sym("b")),
+        op("*", op("+", sym("a"), num(1)), sym("c")))
+eg.add_term(expr)
+rules = default_ruleset()
+Runner(eg, rules, RunnerLimits(node_limit=300, iter_limit=3)).run()
+for rule in rules:
+    print(rule.name, rule._compiled.join_plan(eg))
+"""
+
+
+def _run_with_hash_seed(seed: str) -> str:
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _PLAN_SCRIPT],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+@pytest.mark.skipif(not columns.HAVE_NUMPY, reason="join plans need numpy")
+def test_join_plans_are_hash_seed_independent():
+    outputs = {_run_with_hash_seed(seed) for seed in ("0", "1", "12345")}
+    assert len(outputs) == 1, f"join plans diverged across hash seeds: {outputs}"
+
+
+# ---------------------------------------------------------------------------
+# View-memo boundedness across rebuilds
+# ---------------------------------------------------------------------------
+
+
+def test_view_memo_evicts_retired_spellings():
+    """Viewing every live key each round must not grow the memo unboundedly.
+
+    Merging chains re-spells nodes every rebuild; the sweep retires the
+    stale spellings and must drop their memoized views, so the memo stays
+    a subset of the live hashcons key set.
+    """
+
+    eg = EGraph()
+    base = eg.add_term(op("+", sym("x"), sym("y")))
+    for i in range(12):
+        other = eg.add_term(op("+", sym("x"), op("*", sym("y"), num(i))))
+        eg.merge(base, other)
+        eg.rebuild()
+        for key in list(eg.hashcons):
+            eg._view(key)  # populate the memo with every live spelling
+    live = set(eg.hashcons)
+    assert set(eg._views) <= live, "memo retains retired spellings"
+    assert len(eg._views) <= len(live)
+
+
+# ---------------------------------------------------------------------------
+# Pending-buffer semantics of the column store
+# ---------------------------------------------------------------------------
+
+
+def test_pending_kill_drops_unmaterialised_row():
+    store = ColumnStore()
+    store.append_new((1, 0), 0)
+    store.append_new((2, 0), 1)
+    store.kill((1, 0))  # still pending: must vanish without a dead row
+    store.flush()
+    assert store.keys == [(2, 0)]
+    assert list(store.row_of) == [(2, 0)]
+    assert list(store.alive) == [1]
+
+
+def test_pending_reinsert_requeues_at_end():
+    store = ColumnStore()
+    store.append_new((1, 0), 0)
+    store.append_new((2, 0), 1)
+    store.kill((1, 0))
+    store.append_new((1, 0), 2)  # pop + re-insert => row order (2,..), (1,..)
+    store.flush()
+    assert store.keys == [(2, 0), (1, 0)]
+    assert store.cls.tolist() == [1, 2]
+
+
+def test_pending_insert_overwrites_in_place():
+    store = ColumnStore()
+    store.append_new((1, 0), 0)
+    store.insert((1, 0), 5)  # overwrite of a pending key keeps its slot
+    store.flush()
+    assert store.keys == [(1, 0)]
+    assert store.cls.tolist() == [5]
+    assert len(store) == 1
+
+
+def test_len_counts_pending_rows():
+    store = ColumnStore()
+    assert len(store) == 0
+    store.append_new((1, 0), 0)
+    assert len(store) == 1  # visible before materialisation
+    store.flush()
+    assert len(store) == 1
+
+
+# ---------------------------------------------------------------------------
+# Backend-equality of saturation outcomes (REPRO_NO_NUMPY escape hatch)
+# ---------------------------------------------------------------------------
+
+_OUTCOME_SCRIPT = """
+from repro.egraph.egraph import EGraph
+from repro.egraph.language import num, op, sym
+from repro.egraph.runner import Runner, RunnerLimits
+from repro.rules import default_ruleset
+
+eg = EGraph()
+expr = op("+", op("*", sym("a"), op("+", sym("b"), num(0))),
+        op("*", op("+", sym("a"), num(0)), sym("c")))
+eg.add_term(expr)
+report = Runner(eg, default_ruleset(), RunnerLimits(node_limit=500, iter_limit=5)).run()
+print(report.stop_reason.value, len(eg), eg.num_classes)
+"""
+
+
+def test_numpy_and_fallback_backends_agree_on_outcomes():
+    src = Path(__file__).resolve().parents[2] / "src"
+    outputs = set()
+    for no_numpy in ("0", "1"):
+        env = dict(os.environ)
+        env["REPRO_NO_NUMPY"] = no_numpy
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _OUTCOME_SCRIPT],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        outputs.add(proc.stdout.strip())
+    assert len(outputs) == 1, f"backends diverged: {outputs}"
