@@ -24,8 +24,10 @@ too (a regeneration that failed its own checks cannot slip in), the
 no-fault outcome invariants must hold (one pipeline run per distinct
 kernel, a follow-up cache hit per kernel), and — when the fresh and
 committed runs share the same parameters — the default (no-fault)
-outcome figures and the deterministic ``faults``-wave record must match
-the committed ones exactly (timings excluded).
+outcome figures and the deterministic ``faults``- and
+``worker_faults``-wave records must match the committed ones exactly
+(timings and the worker count excluded: the worker-death wave's record
+is worker-count independent by construction).
 
 Usage::
 
@@ -70,6 +72,22 @@ _FAULT_WAVE_KEYS = (
     "stats",
 )
 
+#: Timing- and worker-count-free keys of the ``worker_faults`` (worker
+#: death) record — deterministic per seed under any pool size.
+_DEATH_WAVE_KEYS = (
+    "seed",
+    "requests",
+    "outcomes",
+    "worker_deaths",
+    "worker_respawns",
+    "retried",
+    "recovered",
+    "injected",
+    "all_terminal",
+    "conserved",
+    "stats",
+)
+
 
 def _check_service(fresh, committed, committed_path) -> list:
     """Failures of the service-bench outcome guard (see the docstring)."""
@@ -111,6 +129,15 @@ def _check_service(fresh, committed, committed_path) -> list:
                     failures.append(
                         f"faults.{key}: fresh={actual!r} != committed={expected!r}"
                     )
+        if "worker_faults" in fresh and "worker_faults" in committed:
+            for key in _DEATH_WAVE_KEYS:
+                expected = committed["worker_faults"].get(key)
+                actual = fresh["worker_faults"].get(key)
+                if actual != expected:
+                    failures.append(
+                        f"worker_faults.{key}: fresh={actual!r} "
+                        f"!= committed={expected!r}"
+                    )
     elif "faults" in committed:
         # different scale: still guard that the committed wave terminated
         # and actually exercised the retry/degradation paths
@@ -122,6 +149,18 @@ def _check_service(fresh, committed, committed_path) -> list:
                 f"committed faults wave in {committed_path} has zero "
                 "retried/degraded counts"
             )
+        deaths = committed.get("worker_faults")
+        if deaths is not None:
+            if deaths.get("all_terminal") is not True or deaths.get("conserved") is not True:
+                failures.append(
+                    f"committed worker-death wave in {committed_path} is not "
+                    "all-terminal/conserved"
+                )
+            if not deaths.get("worker_deaths") or not deaths.get("recovered"):
+                failures.append(
+                    f"committed worker-death wave in {committed_path} has zero "
+                    "worker_deaths/recovered counts"
+                )
     return failures
 
 

@@ -28,6 +28,21 @@ the seed — the ``faults`` section of ``BENCH_service.json`` — and
 ``--check`` replays the wave to assert exactly that, plus nonzero
 retried/degraded counts and universal termination.
 
+``--faults`` also appends a **worker-death wave** (PR 8): the mix served
+by the ``process`` executor while a seeded plan hard-kills workers
+mid-job (``worker:crash``) and drops finished results in IPC
+(``ipc:result-drop``).  Both kinds are consumed at dispatch/result
+receipt — points synchronous with the job's own attempt sequence — so
+the kill pattern, recovery counts, and final stats are pure functions of
+the seed, *independent of the worker count*; ``--check`` replays the
+wave with a different number of workers and asserts the records match
+bit-for-bit (timings excluded), that every orphan recovered, and that
+the conservation law ``submitted == completed + failed + cancelled``
+held through the carnage.
+
+The payload's ``executors`` section compares the ``thread`` and
+``process`` backends at the standard bursty load (throughput, p50/p95).
+
 ``--check`` turns the invariants into hard assertions (exit 1 on
 violation) — CI runs the generator at small scale in that mode to prove
 the service terminates every job and actually coalesces under load.
@@ -124,11 +139,12 @@ def _percentiles(values: list) -> tuple:
     return cuts[9], cuts[18]
 
 
-def _drive(mix, config, workers, coalesce):
+def _drive(mix, config, workers, coalesce, executor="thread"):
     """Submit the whole mix, start the workers, drain; return the record."""
 
     service = OptimizationService(
-        config=config, cache=MemoryCache(), workers=workers, coalesce=coalesce
+        config=config, cache=MemoryCache(), workers=workers, coalesce=coalesce,
+        executor=executor,
     )
     t0 = time.perf_counter()
     handles = [
@@ -144,6 +160,7 @@ def _drive(mix, config, workers, coalesce):
     stats = service.stats.snapshot()
     record = {
         "coalesce": coalesce,
+        "executor": executor,
         "requests": len(handles),
         "wall_seconds": elapsed,
         "throughput_rps": len(handles) / elapsed if elapsed > 0 else float("inf"),
@@ -239,6 +256,75 @@ def _drive_faults(mix, config, workers, seed):
     return record, elapsed
 
 
+def _worker_death_plan(seed):
+    """The worker-death wave's plan: only **dispatch/result-synchronous**
+    kinds, so the kill pattern is a function of each job's own attempt
+    sequence and replays identically under any worker count.
+
+    A seeded per-job coin hard-kills ~1 in 5 attempts after one published
+    iteration (``worker:crash``); another drops ~1 in 10 finished results
+    on the way back (``ipc:result-drop``).  Both route the orphan through
+    the standard retry path.
+    """
+
+    return FaultPlan(
+        [
+            FaultRule("worker:crash", "crash", probability=0.2, after=1),
+            FaultRule("ipc:result-drop", "drop", probability=0.1),
+        ],
+        seed=seed,
+    )
+
+
+def _drive_worker_deaths(mix, config, workers, seed):
+    """One deterministic worker-death wave on the ``process`` executor.
+
+    Coalescing off + unique per-request names (as in ``_drive_faults``)
+    key the per-job fault streams; the queue is unbounded so every
+    request is admitted and the outcome set is exactly the per-job fault
+    verdicts.  Returns the (replayable) record and the wall time.
+    """
+
+    plan = _worker_death_plan(seed)
+    service = OptimizationService(
+        config=config,
+        cache=MemoryCache(),
+        workers=workers,
+        coalesce=False,
+        faults=plan,
+        executor="process",
+        retry_backoff=0.001,
+        retry_backoff_cap=0.002,
+    )
+    handles = [
+        service.submit(source, priority=index % 3, name_prefix=f"{name}-{index:04d}")
+        for index, (name, source) in enumerate(mix)
+    ]
+    t0 = time.perf_counter()
+    service.start()
+    service.join()
+    elapsed = time.perf_counter() - t0
+    service.stop()
+
+    outcomes = [handle.state.value for handle in handles]
+    stats = service.stats.snapshot()
+    record = {
+        "seed": seed,
+        "requests": len(mix),
+        "outcomes": {state: outcomes.count(state) for state in sorted(set(outcomes))},
+        "worker_deaths": stats["worker_deaths"],
+        "worker_respawns": stats["worker_respawns"],
+        "retried": stats["retried"],
+        "recovered": stats["recovered"],
+        "injected": plan.injected(),
+        "all_terminal": all(handle.done() for handle in handles),
+        "conserved": stats["submitted"]
+        == stats["completed"] + stats["failed"] + stats["cancelled"],
+        "stats": stats,
+    }
+    return record, elapsed
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -319,19 +405,53 @@ def main(argv=None) -> int:
         if coalesced_record["wall_seconds"] > 0 else float("inf")
     )
 
+    # -- executor comparison: thread vs supervised processes ---------------
+    process_service, process_handles, process_record = _drive(
+        mix, config, args.workers, coalesce=True, executor="process"
+    )
+    process_service.stop()
+
+    def _executor_summary(record):
+        return {
+            key: record[key]
+            for key in ("wall_seconds", "throughput_rps", "latency_p50_s",
+                        "latency_p95_s", "pipeline_runs", "coalesced")
+        }
+
+    executors = {
+        "thread": _executor_summary(coalesced_record),
+        "process": _executor_summary(process_record),
+    }
+
     # -- chaos wave: deterministic fault injection -------------------------
     faults_record = None
     faults_replay = None
+    deaths_record = None
+    deaths_replay = None
     if args.faults:
         faults_record, faults_elapsed = _drive_faults(
             mix, config, args.workers, args.fault_seed
         )
         faults_record["wall_seconds"] = faults_elapsed
+        deaths_record, deaths_elapsed = _drive_worker_deaths(
+            mix, config, args.workers, args.fault_seed
+        )
+        deaths_record["workers"] = args.workers
+        deaths_record["wall_seconds"] = deaths_elapsed
         if args.check:
             # replay the identical wave: everything but the wall clock must
             # reproduce bit-for-bit (the determinism contract of FaultPlan)
             faults_replay, _ = _drive_faults(
                 mix, config, args.workers, args.fault_seed
+            )
+            # the worker-death wave must replay identically under a
+            # *different* worker count: the kill pattern is per-job, not
+            # per-worker
+            alt_workers = max(1, args.workers // 2)
+            if alt_workers == args.workers:
+                alt_workers = args.workers + 1
+            deaths_replay, _ = _drive_worker_deaths(
+                mix, config, alt_workers, args.fault_seed
             )
 
     payload = {
@@ -348,14 +468,21 @@ def main(argv=None) -> int:
         "coalescing": coalesced_record,
         "no_coalescing_baseline": baseline_record,
         "speedup_coalescing": speedup,
+        "executors": executors,
         "checks": {
             "all_terminal": all(h.done() for h in handles + followup),
             "coalesced_results_identical": identical,
             "matches_solo_run": solo_matches,
+            "process_all_terminal": all(h.done() for h in process_handles),
+            "process_matches_thread": [
+                h.result().code for h in process_handles
+            ] == [h.result().code for h in handles],
         },
     }
     if faults_record is not None:
         payload["faults"] = faults_record
+    if deaths_record is not None:
+        payload["worker_faults"] = deaths_record
 
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -374,12 +501,25 @@ def main(argv=None) -> int:
     print(f"  speedup    : {speedup:8.2f}x   "
           f"coalesce rate {100 * coalesced_record['coalesce_rate']:.0f}%   "
           f"follow-up cache hits {followup_hits}/{len(kernels)}")
+    print(
+        f"  processes  : {process_record['throughput_rps']:8.1f} req/s "
+        f"(p50 {1e3 * process_record['latency_p50_s']:.0f} ms, "
+        f"p95 {1e3 * process_record['latency_p95_s']:.0f} ms, "
+        f"{process_record['pipeline_runs']} pipeline runs)"
+    )
     if faults_record is not None:
         print(
             f"  faults     : {faults_record['admitted']}/{faults_record['requests']} admitted, "
             f"outcomes {faults_record['outcomes']}, "
             f"retried {faults_record['retried']} recovered {faults_record['recovered']} "
             f"degraded {faults_record['degraded']} shed {faults_record['shed']}"
+        )
+    if deaths_record is not None:
+        print(
+            f"  deaths     : outcomes {deaths_record['outcomes']}, "
+            f"worker deaths {deaths_record['worker_deaths']} "
+            f"respawns {deaths_record['worker_respawns']}, "
+            f"retried {deaths_record['retried']} recovered {deaths_record['recovered']}"
         )
 
     if args.check:
@@ -399,6 +539,12 @@ def main(argv=None) -> int:
                 f"coalescing ran {coalesced_record['pipeline_runs']} pipelines "
                 f"for {len(kernels)} distinct kernels"
             )
+        if not payload["checks"]["process_all_terminal"]:
+            failures.append("process-executor wave left a job non-terminal")
+        if not payload["checks"]["process_matches_thread"]:
+            failures.append(
+                "process-executor artifacts deviate from the thread wave"
+            )
         if faults_record is not None:
             if not faults_record["all_terminal"]:
                 failures.append("fault wave left a job non-terminal")
@@ -413,6 +559,32 @@ def main(argv=None) -> int:
             if replay != wave:
                 failures.append(
                     "fault wave is not deterministic: replay deviates "
+                    f"(fresh={wave!r} replay={replay!r})"
+                )
+        if deaths_record is not None:
+            if not deaths_record["all_terminal"]:
+                failures.append("worker-death wave left a job non-terminal")
+            if not deaths_record["conserved"]:
+                failures.append(
+                    "worker-death wave broke the conservation law "
+                    f"(stats={deaths_record['stats']!r})"
+                )
+            if deaths_record["worker_deaths"] == 0:
+                failures.append("worker-death wave killed no workers")
+            if deaths_record["recovered"] == 0:
+                failures.append("worker-death wave produced no recoveries")
+            replay = {
+                k: v for k, v in (deaths_replay or {}).items()
+                if k not in ("wall_seconds", "workers")
+            }
+            wave = {
+                k: v for k, v in deaths_record.items()
+                if k not in ("wall_seconds", "workers")
+            }
+            if replay != wave:
+                failures.append(
+                    "worker-death wave is worker-count dependent: replay "
+                    f"under a different pool size deviates "
                     f"(fresh={wave!r} replay={replay!r})"
                 )
         if failures:

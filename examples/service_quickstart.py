@@ -19,6 +19,13 @@ whose deadline trips mid-saturation finishes from its best anytime
 snapshot and resolves with a ``degraded=True`` artifact instead of
 failing.
 
+Section 5 switches to the **supervised process workers** (PR 8,
+``executor="process"``): each job runs in a worker process, and a worker
+that dies mid-job is detected, its orphaned job retried on a respawned
+worker — here demonstrated with a deterministically injected
+``worker:crash`` fault.  The same backend is available on the CLI as
+``accsat serve --executor process``.
+
 Usage::
 
     PYTHONPATH=src python examples/service_quickstart.py
@@ -119,6 +126,26 @@ def main() -> None:
               f"{result.kernels[0].extracted_cost:.1f}")
         print("degraded results are never cached: "
               f"stores={service.session.cache.stats.stores}")
+
+    # -- 5. process workers: surviving worker death ------------------------
+    # executor="process" runs each attempt in a supervised worker process.
+    # The injected crash hard-exits the worker after it published one
+    # iteration; the supervisor detects the death, requeues the orphaned
+    # job through the retry path, respawns the pool, and the retry serves
+    # the same artifact an undisturbed run would have.
+    plan = FaultPlan([FaultRule("worker:crash", "crash", nth=1, after=1)])
+    with OptimizationService(
+        config=CONFIG, workers=2, executor="process", faults=plan
+    ) as service:
+        survivor = service.submit(KERNEL)
+        result = survivor.result(timeout=120)
+        stats = service.stats.snapshot()
+        print(f"worker crashed mid-job: deaths={stats['worker_deaths']} "
+              f"respawns={stats['worker_respawns']} "
+              f"retried={stats['retried']} recovered={stats['recovered']}")
+        print(f"recovered result: {len(result.kernels)} kernel(s), "
+              f"extracted cost {result.kernels[0].extracted_cost:.1f}, "
+              f"degraded={result.degraded}")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,11 @@ streamed with ``--stream``, and the run ends with a service-stats summary::
 
     accsat serve --workers 4 --anytime kernels/*.c
     accsat serve --workers 8 --cache-dir /tmp/cache --report stats.json a.c a.c b.c
+    accsat serve --executor process --workers 2 --cache-dir /tmp/cache kernels/*.c
+
+``--executor process`` runs each job in a supervised worker *process*
+instead of a thread: a worker that crashes or hangs is detected, its
+orphaned job is requeued through the retry path, and the pool respawns.
 """
 
 from __future__ import annotations
@@ -260,6 +265,13 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="worker threads of the service (default 4)",
     )
     parser.add_argument(
+        "--executor", default="thread", choices=["thread", "process"],
+        help="worker backend: 'thread' runs jobs on worker threads in this "
+             "process; 'process' runs each job in a supervised worker process "
+             "that survives crashes — a dead worker is respawned and its "
+             "orphaned job retried (default: thread)",
+    )
+    parser.add_argument(
         "--no-coalesce", action="store_true",
         help="disable in-flight request coalescing (every submission runs)",
     )
@@ -335,6 +347,7 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
 
     service = OptimizationService(
         config=config, cache=cache, workers=args.workers,
+        executor=args.executor,
         coalesce=not args.no_coalesce,
         max_queue=args.max_queue,
         overload_policy=args.overload_policy,

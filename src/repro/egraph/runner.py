@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import enum
 import json
+import os
 import time
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
@@ -74,6 +75,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 __all__ = [
     "AnytimeExtraction",
     "CancellationToken",
+    "FileTripSignal",
     "IterationCallback",
     "StopReason",
     "RunnerLimits",
@@ -81,6 +83,7 @@ __all__ = [
     "RuleStats",
     "RunnerReport",
     "Runner",
+    "TripSignal",
 ]
 
 #: Progress hook invoked after every completed saturation iteration with
@@ -105,6 +108,92 @@ class StopReason(enum.Enum):
     CANCELLED = "cancelled"
 
 
+class TripSignal:
+    """Transport for a cancellation/deadline trip across a process boundary.
+
+    A :class:`CancellationToken` is an in-memory object: its flags cannot
+    reach a saturation loop running in *another* process.  A ``TripSignal``
+    is the pluggable escape hatch — ``trip(kind)`` records the trip in some
+    medium both sides can see (a file, a pipe, shared memory), and
+    ``poll()`` reads it back.  Two tokens sharing one signal therefore
+    share their trips: the parent process trips its token, the child-side
+    token polls the same signal at the next iteration boundary and stops
+    with the usual :attr:`StopReason.CANCELLED` / :attr:`StopReason.DEADLINE`
+    semantics.
+
+    Kinds are the strings ``"cancelled"`` and ``"deadline"``.  A signal is
+    irrevocable like the token flags: once ``poll()`` returned a kind it
+    never goes back to ``None`` (``"cancelled"`` may still supersede
+    ``"deadline"`` — explicit cancellation wins, mirroring the token).
+    """
+
+    #: The legal trip kinds, in priority order (first wins).
+    KINDS = ("cancelled", "deadline")
+
+    def trip(self, kind: str) -> None:
+        raise NotImplementedError
+
+    def poll(self) -> Optional[str]:
+        raise NotImplementedError
+
+
+class FileTripSignal(TripSignal):
+    """A :class:`TripSignal` backed by a small file both processes can see.
+
+    ``trip`` writes the kind atomically (temp file + ``os.replace``) so a
+    concurrent ``poll`` sees either nothing or a complete kind, never a
+    torn write; ``poll`` is one ``open`` + ``read`` — cheap enough for the
+    runner's once-per-iteration cadence.  A ``"cancelled"`` trip may
+    overwrite a ``"deadline"`` one (cancellation wins); never the reverse.
+    Unreadable/absent files poll as ``None``: losing a trip file degrades
+    to the fallback defenses (pickup-time deadline checks, post-hoc result
+    drops), it never crashes the loop.
+    """
+
+    __slots__ = ("path", "_seen")
+
+    def __init__(self, path: Union[str, "os.PathLike"]) -> None:
+        self.path = os.fspath(path)
+        #: Cache of a positive poll: trips are irrevocable, so once a kind
+        #: was read the file never needs stat-ing again.
+        self._seen: Optional[str] = None
+
+    def trip(self, kind: str) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown trip kind {kind!r}; expected {self.KINDS}")
+        current = self.poll()
+        if current == "cancelled" or current == kind:
+            return
+        tmp = f"{self.path}.tmp-{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="ascii") as fh:
+                fh.write(kind)
+            os.replace(tmp, self.path)
+        except OSError:
+            # best effort: an unwritable trip file falls back to the
+            # pickup-time/post-hoc defenses on the other side
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        self._seen = kind if current is None else "cancelled"
+
+    def poll(self) -> Optional[str]:
+        if self._seen == "cancelled":
+            return self._seen
+        try:
+            with open(self.path, "r", encoding="ascii") as fh:
+                kind = fh.read().strip()
+        except OSError:
+            return self._seen
+        if kind in self.KINDS:
+            self._seen = kind
+        return self._seen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<FileTripSignal path={self.path!r} seen={self._seen!r}>"
+
+
 class CancellationToken:
     """Cooperative cancellation: an explicit ``cancel()`` and/or a deadline.
 
@@ -120,19 +209,29 @@ class CancellationToken:
     Tokens are safe to share across threads: the flags are only ever set
     (never cleared), so a reader can at worst see a trip one poll late —
     exactly the cooperative contract.
+
+    ``signal`` extends the sharing across *processes*: ``cancel()`` and
+    ``expire()`` also trip the attached :class:`TripSignal`, and every
+    read consults it, so a child-process token built on the same signal
+    observes the parent's trips (and vice versa).  Monotonic deadlines do
+    **not** cross the boundary — ``time.monotonic()`` instants are not
+    comparable between processes, so a cross-process deadline is spelled
+    as a ``timeout`` re-anchored at handoff plus the shared signal.
     """
 
-    __slots__ = ("deadline", "_cancelled", "_expired")
+    __slots__ = ("deadline", "signal", "_cancelled", "_expired")
 
     def __init__(
         self,
         deadline: Optional[float] = None,
         timeout: Optional[float] = None,
+        signal: Optional[TripSignal] = None,
     ) -> None:
         if timeout is not None:
             at = time.monotonic() + timeout
             deadline = at if deadline is None else min(deadline, at)
         self.deadline = deadline
+        self.signal = signal
         self._cancelled = False
         self._expired = False
 
@@ -140,6 +239,8 @@ class CancellationToken:
         """Request cooperative cancellation (idempotent, irrevocable)."""
 
         self._cancelled = True
+        if self.signal is not None:
+            self.signal.trip("cancelled")
 
     def expire(self) -> None:
         """Force the deadline-expired state regardless of the clock.
@@ -149,21 +250,28 @@ class CancellationToken:
         """
 
         self._expired = True
+        if self.signal is not None:
+            self.signal.trip("deadline")
+
+    def _signalled(self) -> Optional[str]:
+        return None if self.signal is None else self.signal.poll()
 
     @property
     def cancelled(self) -> bool:
-        return self._cancelled
+        return self._cancelled or self._signalled() == "cancelled"
 
     @property
     def expired(self) -> bool:
-        return self._expired or (
-            self.deadline is not None and time.monotonic() > self.deadline
+        return (
+            self._expired
+            or (self.deadline is not None and time.monotonic() > self.deadline)
+            or self._signalled() == "deadline"
         )
 
     def tripped(self) -> Optional["StopReason"]:
         """The stop reason this token demands right now, or ``None``."""
 
-        if self._cancelled:
+        if self.cancelled:
             return StopReason.CANCELLED
         if self.expired:
             return StopReason.DEADLINE

@@ -18,11 +18,16 @@ subsystem whose unit of work is *traffic*, not a single pipeline run:
   transient-vs-permanent failure classification,
 * :mod:`repro.service.faults` — the seeded, deterministic
   :class:`FaultPlan` fault-injection harness,
+* :mod:`repro.service.procpool` — :class:`ProcessWorkerPool`: the
+  supervised process-worker backend (PR 8) — spawned worker processes
+  with heartbeat/exit-code supervision, orphaned-job recovery through
+  the retry path, and file-backed cross-process deadline/cancellation,
 * :mod:`repro.service.service` — :class:`OptimizationService`: a worker
   pool over an :class:`~repro.session.OptimizationSession` with
   **in-flight request coalescing** keyed on the session cache key, plus
   deadlines with graceful degradation, overload policies, and retry with
-  exponential backoff.
+  exponential backoff; ``executor="thread" | "process"`` picks the
+  backend.
 
 The ``accsat serve`` CLI mode, ``examples/service_quickstart.py`` and the
 load-test harness (``benchmarks/run_service_bench.py``) all sit on this
@@ -35,6 +40,7 @@ from repro.service.errors import (
     ServiceError,
     ServiceOverloadedError,
     TransientError,
+    WorkerDiedError,
     is_transient,
 )
 from repro.service.faults import FaultPlan, FaultRule
@@ -46,6 +52,7 @@ from repro.service.job import (
     OptimizationRequest,
     ProgressEvent,
 )
+from repro.service.procpool import ProcessWorkerPool, WorkerTask
 from repro.service.queue import JobQueue
 from repro.service.service import OptimizationService
 from repro.service.stats import ServiceStats
@@ -62,10 +69,13 @@ __all__ = [
     "JobState",
     "OptimizationRequest",
     "OptimizationService",
+    "ProcessWorkerPool",
     "ProgressEvent",
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceStats",
     "TransientError",
+    "WorkerDiedError",
+    "WorkerTask",
     "is_transient",
 ]

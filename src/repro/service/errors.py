@@ -22,6 +22,7 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "TransientError",
+    "WorkerDiedError",
     "is_transient",
 ]
 
@@ -47,6 +48,14 @@ class TransientError(ServiceError):
     """A retryable failure.  Raise (or wrap a cause in) this to tell the
     service the attempt may succeed if repeated; the deterministic fault
     harness raises it for its ``"transient"`` kind."""
+
+
+class WorkerDiedError(TransientError):
+    """A worker process died (or its result was lost in IPC) while running
+    a job.  The attempt tells the service nothing about the job itself —
+    the same work may well succeed on a respawned worker — so worker death
+    is *transient* by construction: the supervisor raises this to route
+    the orphaned job through the standard retry/backoff path."""
 
 
 class InjectedFault(ServiceError):

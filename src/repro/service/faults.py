@@ -4,15 +4,21 @@ A :class:`FaultPlan` decides, at named **sites** along the serving path,
 whether to inject a failure.  The sites are no-op hooks in production
 (``None`` everywhere) and cost one attribute check when armed:
 
-=================== =====================================================
-site                where it fires
-=================== =====================================================
-``cache:get``       artifact-cache lookup (``MemoryCache``/``DiskCache``)
-``cache:store``     artifact-cache store
-``stage:<name>``    before each pipeline stage (``stage:saturate``, ...)
-``worker:pickup``   a worker picked the job up, before the pipeline runs
+==================== =====================================================
+site                 where it fires
+==================== =====================================================
+``cache:get``        artifact-cache lookup (``MemoryCache``/``DiskCache``)
+``cache:store``      artifact-cache store
+``stage:<name>``     before each pipeline stage (``stage:saturate``, ...)
+``worker:pickup``    a worker picked the job up, before the pipeline runs
 ``progress:publish`` before each per-iteration progress event
-=================== =====================================================
+``worker:crash``     at dispatch of an attempt (process backend): decides
+                     whether — and after how many iterations — the worker
+                     process hard-exits (``os._exit``) mid-job
+``ipc:result-drop``  on receipt of a child worker's result: decides
+                     whether the parent discards it (simulating a result
+                     lost in IPC after the child already finished)
+==================== =====================================================
 
 Determinism is the whole point: every counter and RNG stream is keyed by
 ``(site, job key)`` — *not* by global arrival order — so which attempt of
@@ -22,7 +28,7 @@ therefore reproduces the exact same fault pattern, failure set, and
 service stats on every run; the chaos test suite and the
 ``run_service_bench.py --faults`` mode both assert on that.
 
-Three fault kinds:
+Five fault kinds:
 
 * ``"transient"`` — raises :class:`~repro.service.errors.TransientError`
   (the service retries with backoff),
@@ -31,7 +37,16 @@ Three fault kinds:
 * ``"deadline"`` — calls ``expire()`` on the running job's
   :class:`~repro.egraph.runner.CancellationToken`, tripping its deadline
   at the next iteration boundary (degradation path) without touching the
-  wall clock.
+  wall clock,
+* ``"crash"`` / ``"drop"`` — **structural** kinds: :meth:`FaultPlan.fire`
+  only counts them; the process-worker supervisor consumes their verdicts
+  through the non-raising :meth:`FaultPlan.check` at its deterministic
+  decision points (dispatch and result receipt) and performs the kill /
+  drop itself.  ``FaultRule.after`` picks the kill boundary for a crash:
+  the worker publishes that many iterations, then hard-exits.  Under the
+  thread executor a ``crash`` verdict is simulated as a pickup-time
+  :class:`~repro.service.errors.WorkerDiedError` (there is no process to
+  kill), keeping per-job attempt counts identical across executors.
 """
 
 from __future__ import annotations
@@ -51,7 +66,11 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 __all__ = ["FaultPlan", "FaultRule", "KINDS"]
 
 #: The legal fault kinds (see the module docstring).
-KINDS = ("transient", "permanent", "deadline")
+KINDS = ("transient", "permanent", "deadline", "crash", "drop")
+
+#: Kinds :meth:`FaultPlan.fire` acts on; the structural kinds (crash/drop)
+#: are consumed by the supervisor through :meth:`FaultPlan.check` instead.
+_RAISING_KINDS = ("transient", "permanent", "deadline")
 
 
 @dataclass(frozen=True)
@@ -66,6 +85,10 @@ class FaultRule:
     ``probability`` switches the rule to a seeded per-hit coin flip drawn
     from an RNG stream private to ``(site, job, rule)``; the flips each
     job sees are then reproducible regardless of thread scheduling.
+
+    ``after`` applies to ``"crash"`` rules only: the worker process
+    publishes that many iteration-progress messages before hard-exiting
+    (``after=0`` dies at pickup, before any work).
     """
 
     site: str
@@ -73,6 +96,7 @@ class FaultRule:
     nth: int = 1
     count: int = 1
     probability: Optional[float] = None
+    after: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -81,6 +105,10 @@ class FaultRule:
             raise ValueError("nth and count are 1-based and must be >= 1")
         if self.probability is not None and not 0.0 <= self.probability <= 1.0:
             raise ValueError("probability must be within [0, 1]")
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+        if self.after and self.kind != "crash":
+            raise ValueError("after only applies to 'crash' rules")
 
 
 class FaultPlan:
@@ -118,11 +146,12 @@ class FaultPlan:
 
     # -- the hook ------------------------------------------------------------
 
-    def fire(self, site: str) -> None:
-        """Count one hit at *site* for the bound job; maybe inject.
+    def _evaluate(self, site: str) -> Tuple[List[FaultRule], Optional[str], int]:
+        """Count one hit at *site* for the bound job; collect the verdicts.
 
-        Raises for ``transient``/``permanent`` kinds; a ``deadline`` kind
-        expires the bound job's cancellation token and returns.
+        The shared core of :meth:`fire` and :meth:`check` — both count the
+        hit identically, so a plan replays the same pattern whichever way
+        its sites are consumed.
         """
 
         key = getattr(self._tl, "key", None)
@@ -141,10 +170,37 @@ class FaultPlan:
                     verdicts.append(rule)
             for rule in verdicts:
                 self._injected[rule.kind] = self._injected.get(rule.kind, 0) + 1
+        return verdicts, key, hit
+
+    def fire(self, site: str) -> None:
+        """Count one hit at *site* for the bound job; maybe inject.
+
+        Raises for ``transient``/``permanent`` kinds; a ``deadline`` kind
+        expires the bound job's cancellation token and returns.  The
+        structural kinds (``crash``/``drop``) are counted but never acted
+        on here — the process supervisor consumes them via :meth:`check`.
+        """
+
+        verdicts, key, hit = self._evaluate(site)
         # act outside the lock: injections raise, and the deadline kind
         # touches the token (which other threads may be polling)
         for rule in verdicts:
-            self._inject(rule, site, key, hit)
+            if rule.kind in _RAISING_KINDS:
+                self._inject(rule, site, key, hit)
+
+    def check(self, site: str) -> List[FaultRule]:
+        """Count one hit at *site*; return the fired rules without acting.
+
+        The supervisor's entry point for the structural kinds: a
+        ``worker:crash`` check at dispatch returns the crash rules whose
+        ``after`` picks the kill boundary, an ``ipc:result-drop`` check at
+        result receipt returns whether to discard the payload.  Counting
+        is identical to :meth:`fire`, so hit patterns stay deterministic
+        per ``(site, job)`` regardless of which method consumes a site.
+        """
+
+        verdicts, _, _ = self._evaluate(site)
+        return verdicts
 
     def _rng(self, index: int, site: str, key: Optional[str]) -> random.Random:
         """The rule's private RNG stream for one (site, job) pair.

@@ -14,6 +14,12 @@ space hostage.  A full queue makes :meth:`push` block (the service's
 ``block`` overload policy) until a pop or a :meth:`discard` frees a slot;
 the ``reject``/``shed`` policies use :attr:`full`, :meth:`worst_queued`
 and :meth:`steal` instead and never block.
+
+Lazy skipping leaves **tombstones** in the heap (entries whose job was
+stolen or discarded).  Mirroring ``ColumnStore.compact()``'s policy, the
+queue compacts whenever tombstones outnumber live entries — i.e. exceed
+half the heap — so the heap's size stays within 2x the live job count
+even under adversarial cancel/shed storms.
 """
 
 from __future__ import annotations
@@ -119,12 +125,31 @@ class JobQueue:
         with self._cond:
             return self._depth() >= self.max_depth
 
+    def _compact(self) -> None:
+        """Drop tombstones when they exceed half the heap (caller holds
+        the condition).
+
+        Every live job has exactly one heap entry (a requeued job is only
+        re-pushed after its pop removed both), so the tombstone count is
+        simply ``len(heap) - len(live)``.  The >half trigger is the same
+        amortization ``ColumnStore.compact()`` uses: each rebuild is
+        O(heap) but at least half the heap was garbage, so the cost
+        amortizes to O(1) per discard and the heap never exceeds
+        ``2 * live + 1`` entries.
+        """
+
+        tombstones = len(self._heap) - len(self._live)
+        if tombstones * 2 > len(self._heap):
+            self._heap = [entry for entry in self._heap if entry[2] in self._live]
+            heapq.heapify(self._heap)
+
     def discard(self, job: Job) -> None:
         """Free *job*'s slot early (it was cancelled outside the queue)."""
 
         with self._cond:
             if job in self._live:
                 self._live.discard(job)
+                self._compact()
                 self._cond.notify_all()
 
     def worst_queued(self) -> Optional[Job]:
@@ -146,6 +171,7 @@ class JobQueue:
             if job not in self._live or job.state is not JobState.QUEUED:
                 return False
             self._live.discard(job)
+            self._compact()
             self._cond.notify_all()
             return True
 

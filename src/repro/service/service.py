@@ -56,25 +56,31 @@ concurrency, ordering (priorities), and single-flight semantics on top.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import threading
 import time
 from itertools import count
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.egraph.runner import CancellationToken
+from repro.egraph.runner import CancellationToken, FileTripSignal, StopReason
 from repro.saturator.config import SaturatorConfig
+from repro.saturator.report import OptimizationResult
 from repro.service.errors import (
     JobDeadlineError,
     ServiceOverloadedError,
+    TransientError,
+    WorkerDiedError,
     is_transient,
 )
 from repro.service.faults import FaultPlan
 from repro.service.job import Job, JobHandle, JobState, OptimizationRequest, ProgressEvent
+from repro.service.procpool import ProcessWorkerPool, WorkerTask
 from repro.service.queue import JobQueue
 from repro.service.stats import ServiceStats
-from repro.session.cache import ArtifactCache, MemoryCache
+from repro.session.cache import MISS, ArtifactCache, MemoryCache
 from repro.session.fingerprint import CacheKey
-from repro.session.session import OptimizationSession
+from repro.session.session import OptimizationSession, _cache_dir_of
 from repro.session.stages import DeadlineExceeded, SaturationCancelled
 
 __all__ = ["OptimizationService"]
@@ -86,6 +92,9 @@ _POLICIES = {
     "shed": "shed",
     "shed-oldest-lowest-priority": "shed",
 }
+
+#: Accepted ``executor`` spellings.
+_EXECUTORS = ("thread", "process")
 
 
 def _default_workers() -> int:
@@ -116,6 +125,22 @@ class OptimizationService:
     * ``faults`` arms a :class:`~repro.service.faults.FaultPlan` on the
       serving path (cache, stages, worker pickup, progress publish).
 
+    The execution backend (PR 8):
+
+    * ``executor="thread"`` (default) runs pipelines on the worker threads
+      themselves, exactly as before.  ``executor="process"`` turns the
+      worker threads into dispatchers over a supervised
+      :class:`~repro.service.procpool.ProcessWorkerPool`: cold pipelines
+      run in spawned worker processes (sharing the session's disk cache
+      tier when it has one), worker death is detected, classified
+      transient, and recovered through the retry path, and
+      deadlines/cancellation cross the process boundary via per-job
+      :class:`~repro.egraph.runner.FileTripSignal` trip files — the PR 6
+      degradation contract holds unchanged under both executors.
+    * ``heartbeat_timeout`` (process executor only) kills and replaces a
+      busy worker silent for that many seconds — hangs become transient
+      worker deaths.  ``None`` disables it.
+
     The service can be used as a context manager::
 
         with OptimizationService(workers=4) as service:
@@ -140,6 +165,8 @@ class OptimizationService:
         retry_backoff: float = 0.05,
         retry_backoff_cap: float = 1.0,
         faults: Optional[FaultPlan] = None,
+        executor: str = "thread",
+        heartbeat_timeout: Optional[float] = None,
     ) -> None:
         if session is not None and (config is not None or cache is not None):
             raise ValueError("pass either a session or config/cache, not both")
@@ -158,6 +185,14 @@ class OptimizationService:
             )
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
+            )
+        self.executor = executor
+        self.heartbeat_timeout = heartbeat_timeout
+        self._pool: Optional[ProcessWorkerPool] = None
+        self._trip_dir: Optional[str] = None
         self.coalesce = coalesce
         self.overload_policy = _POLICIES[overload_policy]
         self.submit_timeout = submit_timeout
@@ -198,7 +233,12 @@ class OptimizationService:
     # ------------------------------------------------------------------
 
     def start(self) -> "OptimizationService":
-        """Spawn the worker threads (idempotent)."""
+        """Spawn the worker threads (idempotent).
+
+        With ``executor="process"`` this also spawns the supervised worker
+        processes (one per worker thread, so a dispatcher never waits for
+        a lease) and the per-job trip-file directory.
+        """
 
         with self._lock:
             if self._stopped:
@@ -206,6 +246,14 @@ class OptimizationService:
             if self._started:
                 return self
             self._started = True
+            if self.executor == "process":
+                self._trip_dir = tempfile.mkdtemp(prefix="repro-service-trips-")
+                self._pool = ProcessWorkerPool(
+                    workers=self.workers,
+                    cache_dir=_cache_dir_of(self.session.cache),
+                    heartbeat_timeout=self.heartbeat_timeout,
+                    stats=self.stats,
+                ).start()
             for index in range(self.workers):
                 thread = threading.Thread(
                     target=self._worker, name=f"repro-service-{index}", daemon=True
@@ -239,6 +287,13 @@ class OptimizationService:
         if wait:
             for thread in threads:
                 thread.join()
+            # the dispatchers are gone, so no lease is outstanding: the
+            # worker processes and the trip files can go too
+            if self._pool is not None:
+                self._pool.stop()
+            if self._trip_dir is not None:
+                shutil.rmtree(self._trip_dir, ignore_errors=True)
+                self._trip_dir = None
 
     def __enter__(self) -> "OptimizationService":
         return self.start()
@@ -500,27 +555,8 @@ class OptimizationService:
             job.publish(event)
             self.stats.count("progress_events")
 
-        request = job.request
         try:
-            if plan is not None:
-                with plan.scoped(job):
-                    plan.fire("worker:pickup")
-                    result, from_cache = self.session.run_detailed(
-                        request.source,
-                        request.config,
-                        request.name_prefix,
-                        on_iteration=publish,
-                        cancellation=job.cancellation,
-                        fault_hook=plan.fire,
-                    )
-            else:
-                result, from_cache = self.session.run_detailed(
-                    request.source,
-                    request.config,
-                    request.name_prefix,
-                    on_iteration=publish,
-                    cancellation=job.cancellation,
-                )
+            result, from_cache = self._execute(job, publish, plan)
         except SaturationCancelled:
             # every handle detached and the token stopped the loop at an
             # iteration boundary; late coalescers (attached after the trip)
@@ -570,3 +606,120 @@ class OptimizationService:
         outcomes = job.live_handles
         job.resolve(result, from_cache)
         self.stats.count("completed", outcomes)
+
+    # ------------------------------------------------------------------
+    # execution backends
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, job: Job, publish, plan: Optional[FaultPlan]
+    ) -> Tuple[OptimizationResult, bool]:
+        """Run one attempt of *job* on the configured backend."""
+
+        request = job.request
+        if plan is None:
+            if self._pool is None:
+                return self.session.run_detailed(
+                    request.source,
+                    request.config,
+                    request.name_prefix,
+                    on_iteration=publish,
+                    cancellation=job.cancellation,
+                )
+            return self._dispatch(job, publish, plan, crash_after=None)
+        with plan.scoped(job):
+            plan.fire("worker:pickup")
+            # the crash site is checked under BOTH executors so per-job
+            # hit counts (and thus the whole fault pattern) are identical
+            # whichever backend runs the wave
+            crash_rules = plan.check("worker:crash")
+            crash_after = min((r.after for r in crash_rules), default=None)
+            if self._pool is None:
+                if crash_rules:
+                    # no process to kill: simulate the death as a
+                    # pickup-time transient so the job still takes the
+                    # orphan-recovery path
+                    self.stats.count("worker_deaths")
+                    raise WorkerDiedError(
+                        "injected worker crash (thread executor: simulated "
+                        "as a pickup-time death)"
+                    )
+                return self.session.run_detailed(
+                    request.source,
+                    request.config,
+                    request.name_prefix,
+                    on_iteration=publish,
+                    cancellation=job.cancellation,
+                    fault_hook=plan.fire,
+                )
+            return self._dispatch(job, publish, plan, crash_after)
+
+    def _dispatch(
+        self,
+        job: Job,
+        publish,
+        plan: Optional[FaultPlan],
+        crash_after: Optional[int],
+    ) -> Tuple[OptimizationResult, bool]:
+        """One attempt on the process pool: probe the parent cache, ship
+        the job to a worker, relay progress, store the artifact.
+
+        The parent-side cache probe keeps hit/coalescing semantics (and
+        the ``cache:get`` fault site) identical to the thread path; on a
+        miss the child runs the pipeline against its own session — warm
+        via the shared disk tier when the service cache has one — and the
+        non-degraded artifact is stored parent-side so memory-only caches
+        work too.  Degraded artifacts are never stored on either side.
+        """
+
+        assert self._pool is not None
+        request = job.request
+        cache = self.session.cache
+        if cache is not None:
+            hit = cache.get(job.key)
+            if hit is not MISS:
+                return OptimizationSession._mark_cached(hit), True
+        token = job.cancellation
+        timeout = None
+        trip_path = None
+        if token is not None:
+            if token.signal is None and self._trip_dir is not None:
+                # one trip file per job (not per attempt): a trip is
+                # irrevocable, and retries of a tripped job must stay
+                # tripped
+                signal = FileTripSignal(
+                    os.path.join(self._trip_dir, f"job-{job.seq}.trip")
+                )
+                token.signal = signal
+                reason = token.tripped()
+                if reason is not None:
+                    # cancel()/expire() raced the attach: propagate the
+                    # trip into the file the child is about to watch
+                    signal.trip(
+                        "cancelled"
+                        if reason is StopReason.CANCELLED
+                        else "deadline"
+                    )
+            if isinstance(token.signal, FileTripSignal):
+                trip_path = token.signal.path
+            if token.deadline is not None:
+                # monotonic instants don't cross process boundaries:
+                # re-anchor the deadline as remaining seconds at dispatch
+                timeout = max(0.0, token.deadline - time.monotonic())
+        task = WorkerTask(
+            task_id=f"{job.seq}.{job.retries}",
+            source=request.source,
+            config=request.config or self.session.config,
+            name_prefix=request.name_prefix,
+            timeout=timeout,
+            trip_path=trip_path,
+            crash_after=crash_after,
+        )
+        result, from_cache = self._pool.run_job(task, publish)
+        if plan is not None and plan.check("ipc:result-drop"):
+            raise TransientError(
+                f"result of task {task.task_id} dropped in IPC (injected)"
+            )
+        if cache is not None and not result.degraded:
+            cache.put(job.key, result)
+        return result, from_cache

@@ -43,6 +43,14 @@ class ServiceStats:
     * ``retried`` — transient-failure requeues (one per retry attempt),
     * ``recovered`` — jobs that completed after at least one retry.
 
+    The process-worker backend (PR 8) adds:
+
+    * ``worker_deaths`` — worker processes observed dead (or hung past the
+      heartbeat timeout and killed) while running a job; each such attempt
+      is also counted in ``retried`` when the job requeues,
+    * ``worker_respawns`` — replacement worker processes spawned by the
+      supervisor after a death.
+
     ``queued`` and ``running`` are gauges maintained by the queue/worker
     transitions.  Every ``submitted`` handle ends in exactly one of the
     three terminal counters, so ``submitted == completed + failed +
@@ -64,6 +72,8 @@ class ServiceStats:
         "degraded",
         "retried",
         "recovered",
+        "worker_deaths",
+        "worker_respawns",
     )
 
     def __init__(self) -> None:

@@ -26,6 +26,7 @@ from repro.session.cache import (
 )
 from repro.session.executor import (
     BatchExecutor,
+    ExecutorBrokenError,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -55,6 +56,7 @@ __all__ = [
     "MISS",
     "ArtifactCache",
     "BatchExecutor",
+    "ExecutorBrokenError",
     "CacheKey",
     "CacheStats",
     "CodegenStage",

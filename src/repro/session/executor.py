@@ -21,6 +21,12 @@ The experiment harness and the CLI evaluate many independent units of work
 order, so parallel evaluation is output-identical to serial evaluation.
 :func:`make_executor` parses the CLI/Env spellings: ``serial``,
 ``threads[:N]``, ``processes[:N]``, or a bare integer (thread count).
+
+When a pool worker process dies mid-batch (OOM kill, segfault, SIGKILL),
+``concurrent.futures`` surfaces an untyped ``BrokenProcessPool``; ``map``
+wraps it in :class:`ExecutorBrokenError`, which records how many results
+from the **front of the batch** had already completed so callers can
+report or resume partial work instead of discarding the whole batch.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar, 
 
 __all__ = [
     "BatchExecutor",
+    "ExecutorBrokenError",
     "ProcessExecutor",
     "SerialExecutor",
     "ThreadExecutor",
@@ -44,6 +51,22 @@ _R = TypeVar("_R")
 
 def _default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
+
+
+class ExecutorBrokenError(RuntimeError):
+    """The executor's pool broke mid-batch (a worker process died).
+
+    Raised in place of the raw ``concurrent.futures`` ``BrokenExecutor`` /
+    ``BrokenProcessPool`` so callers catch one typed error.  ``completed``
+    is the number of results from the **front of the batch** that were
+    collected before the break — because ``map`` gathers results in input
+    order, items ``[0, completed)`` are known good and a caller may resume
+    from item ``completed`` instead of redoing everything.
+    """
+
+    def __init__(self, message: str, completed: int = 0) -> None:
+        super().__init__(message)
+        self.completed = completed
 
 
 class BatchExecutor:
@@ -94,7 +117,20 @@ class _PoolExecutor(BatchExecutor):
             return [fn(item) for item in items]
         workers = min(self.jobs, len(items))
         with self._pool_cls(max_workers=workers, **self._pool_kwargs()) as pool:
-            return list(pool.map(fn, items))
+            futures = [pool.submit(fn, item) for item in items]
+            results: List[_R] = []
+            try:
+                for future in futures:
+                    results.append(future.result())
+            except concurrent.futures.BrokenExecutor as error:
+                for future in futures:
+                    future.cancel()
+                raise ExecutorBrokenError(
+                    f"executor pool broke after {len(results)} of "
+                    f"{len(items)} results: {error or type(error).__name__}",
+                    completed=len(results),
+                ) from error
+            return results
 
 
 class ThreadExecutor(_PoolExecutor):

@@ -14,7 +14,13 @@ import pytest
 from repro.egraph.egraph import EGraph
 from repro.egraph.language import op, sym
 from repro.egraph.rewrite import rewrite
-from repro.egraph.runner import CancellationToken, Runner, RunnerLimits, StopReason
+from repro.egraph.runner import (
+    CancellationToken,
+    FileTripSignal,
+    Runner,
+    RunnerLimits,
+    StopReason,
+)
 
 
 def _chain_egraph(depth: int = 6) -> EGraph:
@@ -73,6 +79,86 @@ class TestCancellationToken:
         token = CancellationToken(timeout=-1.0)
         token.cancel()
         assert token.tripped() is StopReason.CANCELLED
+
+
+class TestFileTripSignal:
+    """The file-backed trip transport behind cross-process cancellation."""
+
+    def test_untripped_signal_polls_none(self, tmp_path):
+        signal = FileTripSignal(tmp_path / "job.trip")
+        assert signal.poll() is None
+
+    def test_trip_round_trips_through_a_second_signal(self, tmp_path):
+        path = tmp_path / "job.trip"
+        FileTripSignal(path).trip("deadline")
+        assert FileTripSignal(path).poll() == "deadline"
+
+    def test_cancelled_supersedes_deadline_never_the_reverse(self, tmp_path):
+        path = tmp_path / "job.trip"
+        signal = FileTripSignal(path)
+        signal.trip("deadline")
+        signal.trip("cancelled")
+        assert signal.poll() == "cancelled"
+        # a later deadline trip (e.g. the clock firing after an explicit
+        # cancel) must not demote the cancellation
+        signal.trip("deadline")
+        assert signal.poll() == "cancelled"
+        assert FileTripSignal(path).poll() == "cancelled"
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileTripSignal(tmp_path / "job.trip").trip("paused")
+
+    def test_garbage_file_polls_none(self, tmp_path):
+        path = tmp_path / "job.trip"
+        path.write_text("not-a-kind")
+        assert FileTripSignal(path).poll() is None
+
+    def test_two_tokens_sharing_a_signal_share_their_trips(self, tmp_path):
+        """The cross-process contract, minus the processes: the 'parent'
+        token cancels, the 'child' token (a distinct object on the same
+        path) observes it — and vice versa for deadlines."""
+
+        path = tmp_path / "job.trip"
+        parent = CancellationToken(signal=FileTripSignal(path))
+        child = CancellationToken(signal=FileTripSignal(path))
+
+        assert not child.cancelled and not child.expired
+        parent.cancel()
+        assert child.cancelled
+        assert child.tripped() is StopReason.CANCELLED
+
+        other = tmp_path / "other.trip"
+        parent2 = CancellationToken(signal=FileTripSignal(other))
+        child2 = CancellationToken(signal=FileTripSignal(other))
+        child2.expire()
+        assert parent2.expired and not parent2.cancelled
+        assert parent2.tripped() is StopReason.DEADLINE
+
+    def test_signalled_runner_stops_like_a_local_trip(self, tmp_path):
+        """A runner polling a token whose only trip arrives via the file
+        stops at the observing boundary, byte-identical to an iter-limit
+        stop there — the degradation contract's foundation."""
+
+        path = tmp_path / "job.trip"
+        remote = FileTripSignal(path)
+        token = CancellationToken(signal=FileTripSignal(path))
+
+        def hook(row):
+            if row.index == 1:
+                remote.trip("deadline")
+
+        report = Runner(
+            _chain_egraph(), RULES, RunnerLimits(5000, 8, 60.0),
+            cancellation=token, on_iteration=hook,
+        ).run()
+        assert report.stop_reason is StopReason.DEADLINE
+        assert len(report.iterations) == 2
+
+        limited = Runner(_chain_egraph(), RULES, RunnerLimits(5000, 2, 60.0)).run()
+        assert [r.egraph_nodes for r in limited.iterations] == [
+            r.egraph_nodes for r in report.iterations
+        ]
 
 
 class TestRunnerCancellation:

@@ -54,6 +54,33 @@ class TestServe:
         assert stats["coalesced"] + stats["cache_hits"] == 2
         assert [entry["state"] for entry in payload["files"]] == ["done"] * 3
 
+    def test_serve_process_executor_matches_thread_outputs(self, tmp_path):
+        a, b = _write_inputs(tmp_path)
+        assert main(["serve", "--quiet", "--workers", "2", str(a), str(b)]) == 0
+        thread_a = a.with_suffix(".sat.c").read_text()
+        thread_b = b.with_suffix(".sat.c").read_text()
+        a.with_suffix(".sat.c").unlink()
+        b.with_suffix(".sat.c").unlink()
+
+        report = tmp_path / "serve.json"
+        assert main([
+            "serve", "--quiet", "--workers", "2", "--executor", "process",
+            "--report", str(report), str(a), str(b),
+        ]) == 0
+        assert a.with_suffix(".sat.c").read_text() == thread_a
+        assert b.with_suffix(".sat.c").read_text() == thread_b
+        stats = json.loads(report.read_text())["service"]
+        assert stats["submitted"] == 2 and stats["worker_deaths"] == 0
+
+    def test_serve_rejects_unknown_executor(self, tmp_path, capsys):
+        a, _ = _write_inputs(tmp_path)
+        try:
+            main(["serve", "--executor", "fibers", str(a)])
+        except SystemExit as error:
+            assert error.code == 2
+        else:  # pragma: no cover - argparse must reject the value
+            raise AssertionError("argparse accepted an unknown executor")
+
     def test_serve_streams_progress_with_anytime(self, tmp_path, capsys):
         a, _ = _write_inputs(tmp_path)
         assert main([

@@ -65,6 +65,55 @@ class TestJobQueue:
         assert len(queue) == 0
 
 
+class TestHeapCompaction:
+    """Tombstones (stolen/discarded entries awaiting their lazy pop-time
+    skip) must never dominate the heap: the queue compacts when they
+    exceed half of it, bounding ``len(queue) <= 2 * live + 1``."""
+
+    def _bound_holds(self, queue):
+        return len(queue) <= 2 * queue.live_depth + 1
+
+    def test_steal_storm_keeps_heap_bounded(self):
+        queue = JobQueue()
+        jobs = [_job(0, seq) for seq in range(100)]
+        for job in jobs:
+            queue.push(job)
+        # steal every other job: without compaction the heap would keep
+        # all 100 entries while only 50 stay poppable
+        for job in jobs[::2]:
+            assert queue.steal(job)
+            assert self._bound_holds(queue), (len(queue), queue.live_depth)
+        assert queue.live_depth == 50
+        assert len(queue) <= 2 * 50 + 1
+
+    def test_discard_storm_keeps_heap_bounded(self):
+        queue = JobQueue()
+        jobs = [_job(0, seq) for seq in range(64)]
+        for job in jobs:
+            queue.push(job)
+        for job in jobs[:63]:
+            job.state = JobState.CANCELLED
+            queue.discard(job)
+            assert self._bound_holds(queue), (len(queue), queue.live_depth)
+        # one live job among at most three heap entries
+        assert queue.live_depth == 1
+        assert len(queue) <= 3
+        assert queue.pop(timeout=1) is jobs[63]
+
+    def test_compaction_preserves_pop_order(self):
+        queue = JobQueue()
+        jobs = [_job(priority % 3, seq) for seq, priority in enumerate(range(30))]
+        for job in jobs:
+            queue.push(job)
+        stolen = jobs[::2]
+        for job in stolen:
+            queue.steal(job)
+        survivors = [job for job in jobs if job not in stolen]
+        expected = sorted(survivors, key=lambda j: (j.request.priority, j.seq))
+        popped = [queue.pop(timeout=1) for _ in survivors]
+        assert popped == expected
+
+
 class TestServiceStats:
     def test_counters_and_gauges(self):
         stats = ServiceStats()

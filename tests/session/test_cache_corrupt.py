@@ -9,6 +9,7 @@ counter records it, and the next probe is a plain miss that a fresh
 
 import copy
 import pickle
+import threading
 
 from repro.session import DiskCache, MISS, TieredCache
 from repro.session.cache import CacheStats
@@ -68,6 +69,50 @@ class TestCorruptQuarantine:
         assert cache.get(_key("absent")) is MISS
         assert cache.stats.corrupt == 0
         assert cache.stats.misses == 1
+
+    def test_concurrent_probes_quarantine_once_and_refill_clean(self, tmp_path):
+        """Two threads racing into the same corrupt entry must not fight.
+
+        Whichever thread loses the ``os.replace`` race degrades to a
+        plain miss (or a second best-effort unlink that finds nothing):
+        exactly one ``.corrupt`` quarantine file appears, each thread
+        books at most one ``corrupt`` increment, and a subsequent ``put``
+        refills the slot cleanly.
+        """
+
+        cache = DiskCache(tmp_path)
+        key = _key("raced")
+        _corrupt_entry(cache, key, b"\x80\x04 definitely not a pickle")
+        path = cache._path(key)
+
+        barrier = threading.Barrier(2)
+        results = []
+
+        def probe():
+            barrier.wait()
+            results.append(cache.get(key))
+
+        threads = [threading.Thread(target=probe) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert results == [MISS, MISS]
+        # exactly one quarantine artifact, none left on the probe path
+        assert not path.exists()
+        quarantined = list(path.parent.glob("*.corrupt"))
+        assert len(quarantined) == 1
+        # each probe books at most one corruption event (the loser of the
+        # rename race may instead see a plain FileNotFoundError miss)
+        assert 1 <= cache.stats.corrupt <= 2
+        assert cache.stats.misses == 2
+
+        # clean refill: the quarantined entry no longer shadows the slot
+        cache.put(key, "fresh")
+        assert cache.get(key) == "fresh"
+        assert cache.stats.hits == 1
+        assert len(list(path.parent.glob("*.corrupt"))) == 1
 
     def test_tiered_cache_surfaces_disk_corruption_as_miss(self, tmp_path):
         disk = DiskCache(tmp_path)

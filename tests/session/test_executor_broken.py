@@ -1,0 +1,69 @@
+"""A worker process dying mid-batch surfaces as a typed, resumable error.
+
+``concurrent.futures`` reports a killed pool worker as the untyped
+``BrokenProcessPool``; the executor layer must instead raise
+:class:`~repro.session.ExecutorBrokenError` carrying how many results from
+the front of the batch were already collected, so a caller can resume at
+the first unfinished item instead of redoing the whole batch.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.session import (
+    ExecutorBrokenError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+
+
+def _work(item):
+    """Module-level (hence picklable) batch callable.
+
+    ``("die", delay)`` sleeps, then SIGKILLs its own worker process —
+    the delay gives earlier items time to finish so the completed-prefix
+    count is deterministic.
+    """
+
+    if isinstance(item, tuple) and item[0] == "die":
+        time.sleep(item[1])
+        os.kill(os.getpid(), signal.SIGKILL)
+    return item * 2
+
+
+class TestExecutorBroken:
+    def test_sigkilled_worker_raises_typed_error_with_completed_prefix(self):
+        executor = ProcessExecutor(jobs=2)
+        items = [1, ("die", 1.0), 3, 4]
+        with pytest.raises(ExecutorBrokenError) as excinfo:
+            executor.map(_work, items)
+        error = excinfo.value
+        # item 0 is trivial and finished well inside the killer's 1s nap;
+        # item 1's future breaks, so exactly one prefix result landed
+        assert error.completed == 1
+        assert isinstance(error, RuntimeError)
+        assert "1 of 4" in str(error)
+
+    def test_break_on_first_item_reports_zero_completed(self):
+        executor = ProcessExecutor(jobs=2)
+        with pytest.raises(ExecutorBrokenError) as excinfo:
+            executor.map(_work, [("die", 0.0), ("die", 0.0)])
+        assert excinfo.value.completed == 0
+
+    def test_healthy_batches_are_unaffected(self):
+        items = list(range(6))
+        expected = [item * 2 for item in items]
+        assert ProcessExecutor(jobs=2).map(_work, items) == expected
+        assert ThreadExecutor(jobs=2).map(_work, items) == expected
+        assert SerialExecutor().map(_work, items) == expected
+
+    def test_ordinary_exceptions_propagate_untyped(self):
+        # only a *broken pool* wraps; a callable raising normally must
+        # surface its own exception type
+        executor = ThreadExecutor(jobs=2)
+        with pytest.raises(TypeError):
+            executor.map(_work, [1, object(), 3])
