@@ -50,6 +50,10 @@ _OUTCOME_KEYS = (
     # adaptive scheduling (PR 4)
     "saturation_backoff_outcome",
     "pipeline_anytime_outcome",
+    # steady-state confirmation sweep (PR 9) — the batched-apply /
+    # delta-join workload; its outcome is a pure function of (source,
+    # config) like every record above, whichever engine serves it
+    "saturation_steady_outcome",
 )
 
 

@@ -42,9 +42,11 @@ __all__ = [
     "ColumnStore",
     "HAVE_NUMPY",
     "REPRO_NO_NUMPY",
+    "RowBatch",
     "as_int64",
     "as_uint8",
     "np",
+    "vec_find",
 ]
 
 NodeKey = Tuple[int, ...]
@@ -89,6 +91,81 @@ def as_uint8(buf: bytearray):
     return np.frombuffer(buf, dtype=np.uint8, count=len(buf))
 
 
+class RowBatch:
+    """Lazy list-of-tuples facade over an int64 match-row matrix.
+
+    The relational matcher produces its result as one ``(n, width)``
+    ndarray; materialising ``n`` Python tuples out of it costs more than
+    the join itself, and the batched applier consumes the matrix
+    directly.  A RowBatch defers the tuples: it quacks like the list the
+    scan matcher returns (length, indexing, slicing, iteration,
+    equality — all yielding plain int tuples) but only builds them on
+    first such access, and slices pull just their window from the
+    matrix.  ``mat`` is the backing matrix; consumers that can work
+    columnar read it and never pay for tuples at all.
+    """
+
+    __slots__ = ("mat", "_rows")
+
+    def __init__(self, mat):
+        self.mat = mat
+        self._rows = None
+
+    def _materialize(self) -> list:
+        rows = self._rows
+        if rows is None:
+            # .tolist() materialises Python ints (not np.int64) — bindings
+            # flow into key tuples and must hash/compare like arena ids
+            rows = self._rows = list(map(tuple, self.mat.tolist()))
+        return rows
+
+    def __len__(self) -> int:
+        return len(self.mat)
+
+    def __bool__(self) -> bool:
+        return len(self.mat) > 0
+
+    def __getitem__(self, i):
+        rows = self._rows
+        if rows is not None:
+            return rows[i]
+        if isinstance(i, slice):
+            return list(map(tuple, self.mat[i].tolist()))
+        return tuple(self.mat[i].tolist())
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __eq__(self, other):
+        if isinstance(other, RowBatch):
+            other = other._materialize()
+        if isinstance(other, list):
+            return self._materialize() == other
+        return NotImplemented
+
+    def __ne__(self, other):
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __repr__(self) -> str:
+        return f"RowBatch({self._materialize()!r})"
+
+
+def vec_find(parent, ids):
+    """Canonical ids of *ids* under the *parent* array (gather to fixpoint).
+
+    Equivalent to mapping ``uf.find`` but vectorised; terminates because
+    every gather moves ids strictly up the union-find forest.
+    """
+
+    out = parent[ids]
+    while True:
+        nxt = parent[out]
+        if np.array_equal(nxt, out):
+            return out
+        out = nxt
+
+
 class ColumnStore:
     """Append-only parallel columns mirroring the e-graph's hashcons.
 
@@ -110,6 +187,9 @@ class ColumnStore:
         "row_of",
         "rows_by_op",
         "pending",
+        "touch",
+        "touch_stamp",
+        "epoch",
     )
 
     def __init__(self) -> None:
@@ -146,6 +226,22 @@ class ColumnStore:
         #: (:meth:`op_rows`, :meth:`stale_alive_rows`, :meth:`copy`) and
         #: ``EGraph.check_invariants`` flush.
         self.pending: Dict[NodeKey, int] = {}
+        #: Per-row touch stamp: the ``touched`` version of the row's
+        #: (canonical) class as of the last :meth:`EGraph._sync_row_touch`.
+        #: Fresh rows materialise with ``-1`` (unsynced); the sync stamp
+        #: below tells readers whether the column is current.  The delta
+        #: readers of the semi-naive join engine slice this column, so
+        #: "rows in classes touched since stamp S" is a vector compare,
+        #: not a Python loop.
+        self.touch = array("q")
+        #: ``EGraph.version`` at the last touch sync (-1 = never synced).
+        self.touch_stamp = -1
+        #: Bumped by :meth:`compact`: row indices handed out before a
+        #: compaction are invalid after it, so caches keyed on
+        #: ``(version, len(store))`` include this to survive the corner
+        #: case where re-keying restores a previous length without a
+        #: version bump.
+        self.epoch = 0
 
     def __len__(self) -> int:
         return len(self.keys) + len(self.pending)
@@ -188,6 +284,7 @@ class ColumnStore:
         self.nchild.extend(ncs)
         self.cls.extend(pending.values())
         self.alive.extend(b"\x01" * len(batch))
+        self.touch.frombytes(_PAD * len(batch))  # -1 = not yet touch-synced
         child = self.child
         widest = max(ncs)
         if widest > len(child):
@@ -274,6 +371,70 @@ class ColumnStore:
             return None
         return as_int64(bucket)
 
+    def rows_touched_since(self, op_id: int, stamp: int):
+        """Ascending *live* row indices with *op_id* in classes touched
+        after *stamp* — the delta slice of the semi-naive join engine.
+
+        Reads the per-row :attr:`touch` column, so the caller must have
+        synced it (``EGraph._sync_row_touch``) since the last graph
+        mutation; with ``stamp = -1`` this is exactly the live rows of the
+        op (every class carries a touched version >= 1).  Returns None
+        when the op has no rows at all.
+        """
+
+        rows = self.op_rows(op_id)
+        if rows is None:
+            return None
+        touch = as_int64(self.touch)[rows]
+        alive = as_uint8(self.alive)[rows]
+        return rows[(alive != 0) & (touch > stamp)]
+
+    # ------------------------------------------------------------------
+
+    def compact(self) -> int:
+        """Drop dead (tombstoned) rows, renumbering the live ones.
+
+        Live rows keep their relative order, which is the hashcons dict
+        order — the store's core invariant — so every deterministic order
+        derived from ascending live rows is unchanged.  Row *indices* do
+        change: :attr:`epoch` is bumped so index-keyed caches (the
+        relation cache, parent snapshots) can tell, and the per-row
+        :attr:`touch` column is compacted in the same pass so the delta
+        readers stay coherent.  Pending appends are flushed first — a
+        compaction halfway through an append buffer would otherwise
+        interleave old and new rows.  Returns the number of rows dropped.
+        """
+
+        if self.pending:
+            self.flush()
+        alive = self.alive
+        dead = len(alive) - sum(alive)
+        if not dead:
+            return 0
+        keep = [row for row, a in enumerate(alive) if a]
+        self.op = array("q", [self.op[r] for r in keep])
+        self.payload = array("q", [self.payload[r] for r in keep])
+        self.nchild = array("q", [self.nchild[r] for r in keep])
+        self.cls = array("q", [self.cls[r] for r in keep])
+        self.touch = array("q", [self.touch[r] for r in keep])
+        self.child = [array("q", [col[r] for r in keep]) for col in self.child]
+        keys = self.keys
+        self.keys = [keys[r] for r in keep]
+        self.alive = bytearray(b"\x01" * len(keep))
+        self.row_of = {key: row for row, key in enumerate(self.keys)}
+        rows_by_op = {}
+        for row, key in enumerate(self.keys):
+            bucket = rows_by_op.get(key[0])
+            if bucket is None:
+                rows_by_op[key[0]] = array("q", (row,))
+            else:
+                bucket.append(row)
+        self.rows_by_op = rows_by_op
+        self.epoch += 1
+        # row indices moved: force a touch re-sync before the next delta read
+        self.touch_stamp = -1
+        return dead
+
     # ------------------------------------------------------------------
 
     def copy(self) -> "ColumnStore":
@@ -292,4 +453,7 @@ class ColumnStore:
         dup.row_of = dict(self.row_of)
         dup.rows_by_op = {op: array("q", rows) for op, rows in self.rows_by_op.items()}
         dup.pending = {}
+        dup.touch = array("q", self.touch)
+        dup.touch_stamp = self.touch_stamp
+        dup.epoch = self.epoch
         return dup

@@ -89,6 +89,10 @@ NodeKey = Tuple[int, ...]
 
 _EMPTY: Tuple = ()
 
+#: Cache-miss sentinel for the relation/probe cache (None is a meaningful
+#: cached value: an empty relation or probe index).
+_NO_ENTRY = object()
+
 
 @dataclass(frozen=True, eq=False)
 class ENode:
@@ -279,12 +283,30 @@ class EGraph:
         #: (version, int64 ndarray) snapshot of the union-find parent
         #: array for vectorised passes; valid until the next add/merge.
         self._parent_snapshot: Optional[tuple] = None
+        #: (version, int64 ndarray) fully-compressed snapshot: entry i is
+        #: ``find(i)``.  One pointer-chase to fixpoint amortised across
+        #: every vectorised canonicalisation at this version.
+        self._roots_snapshot: Optional[tuple] = None
         #: Per-(op, arity, payload-signature) relation cache for the
         #: relational matcher, cleared when the stamp moves (pattern.py).
         self._relation_cache: Dict[tuple, tuple] = {}
         self._relation_stamp: tuple = (-1, -1)
+        #: Probe-index snapshots (:meth:`_probe_index`), keyed by the
+        #: sweep generation instead of :attr:`version`: the apply phase
+        #: only ever *appends* hashcons entries, so a snapshot stays a
+        #: valid sub-index across adds and unions — consumers treat its
+        #: misses as conservative.  Bumped by :meth:`rebuild` (the only
+        #: place rows die or keys are re-spelled).
+        self._probe_gen = 0
+        self._probe_cache: Dict[tuple, object] = {}
+        self._probe_stamp: tuple = (-1, -1)
         #: (table size, payload-id -> deterministic sort rank) cache.
         self._payload_rank: Optional[Tuple[int, array]] = None
+        #: Running union count.  Adds only ever *extend* the hashcons and
+        #: the union-find, so a batched pass that verified a row against a
+        #: snapshot stays valid until this moves — the cheap invalidation
+        #: check of the batched appliers and :meth:`add_keys_batch`.
+        self._n_unions = 0
 
     # ------------------------------------------------------------------
     # Interning
@@ -370,6 +392,27 @@ class EGraph:
         self._parent_snapshot = (self.version, arr)
         return arr
 
+    def _np_roots(self):
+        """Fully-compressed :meth:`_np_parent`: ``arr[i] == find(i)``.
+
+        Turns every subsequent vectorised find into a single gather
+        (``roots[ids]``) instead of a per-call pointer chase; root tests
+        stay the same predicate (``roots[i] == i`` iff ``i`` is a root).
+        Cached per :attr:`version` like the parent snapshot.
+        """
+
+        snap = self._roots_snapshot
+        if snap is not None and snap[0] == self.version:
+            return snap[1]
+        np = columns.np
+        arr = self._np_parent()
+        out = arr[arr]
+        while not np.array_equal(out, arr):
+            arr = out
+            out = arr[arr]
+        self._roots_snapshot = (self.version, out)
+        return out
+
     def _payload_ranks(self) -> array:
         """payload id -> rank in the deterministic payload sort order.
 
@@ -390,6 +433,206 @@ class EGraph:
             cache = (n, ranks)
             self._payload_rank = cache
         return cache[1]
+
+    def _live_relation_cache(self) -> Dict[tuple, tuple]:
+        """The relation/probe-index cache, cleared if the graph moved.
+
+        Keyed by ``(version, interned-key count, store epoch)``: any add,
+        merge, re-keying or compaction moves at least one component, so a
+        cached relation (or sorted probe index) is always a faithful view
+        of the current store.
+        """
+
+        stamp = (self.version, len(self.store), self.store.epoch)
+        if self._relation_stamp != stamp:
+            self._relation_cache.clear()
+            self._relation_stamp = stamp
+        return self._relation_cache
+
+    def _sync_row_touch(self) -> None:
+        """Refresh the store's per-row touch-stamp column.
+
+        ``touch[row] = _class_touched[find(cls[row])]`` for every row, as
+        one gather under numpy (a Python loop otherwise — only invariant
+        checks take that path; the delta readers are numpy-gated).  Synced
+        eagerly at the end of :meth:`rebuild` and lazily (stamp-checked)
+        by the delta readers, so a search issued without an intervening
+        rebuild still sees current stamps.
+        """
+
+        store = self.store
+        if store.pending:
+            store.flush()
+        stamp = (self.version, len(store.keys), store.epoch)
+        if store.touch_stamp == stamp:
+            return
+        if columns.HAVE_NUMPY:
+            touched = columns.as_int64(self._class_touched)
+            cls = columns.as_int64(store.cls)
+            if len(cls):
+                canon = columns.vec_find(self._np_parent(), cls)
+                columns.as_int64(store.touch)[:] = touched[canon]
+        else:
+            find = self.uf.find
+            touched = self._class_touched
+            cls = store.cls
+            touch = store.touch
+            for row in range(len(touch)):
+                touch[row] = touched[find(cls[row])]
+        store.touch_stamp = stamp
+
+    def rows_touched_since(self, op_id: int, stamp: int):
+        """Live rows of *op_id* in classes touched after *stamp*.
+
+        The semi-naive join engine's delta reader: syncs the store's
+        touch column (no-op when current) and returns the column slice.
+        """
+
+        self._sync_row_touch()
+        return self.store.rows_touched_since(op_id, stamp)
+
+    def _probe_index(self, op_id: int, pid: int, nchildren: int):
+        """Sorted int64 probe index over the live rows of one node shape.
+
+        Maps the hashcons probe ``key in hashcons`` for keys of shape
+        ``(op_id, pid, c0..ck)`` onto a binary search: live rows with
+        exactly that op/payload/arity are encoded by Horner evaluation of
+        their *raw* child ids in base ``len(parent) + 1`` (ids are < the
+        base, so the encoding is injective — exactly tuple equality).
+        Returns ``(sorted codes, aligned raw cls values, base)`` (owned
+        copies, never zero-copy views) or None when no live row has that
+        shape.  ``False`` signals an encoding overflow (caller must fall
+        back to scalar probes).
+
+        Cached per *sweep generation* (:attr:`_probe_gen`), not per
+        :attr:`version`: between rebuilds the hashcons only gains keys —
+        no row dies, no entry's value changes — so a snapshot remains a
+        correct **sub-index**.  A hit is a genuine current entry; a miss
+        is only "not in the snapshot" and the caller must treat it
+        conservatively (scalar dict probe / opaque row).  Rows interned
+        after the snapshot are invisible, and a probe child id ``>=
+        base`` (a class allocated after the snapshot) breaks the Horner
+        injectivity, so callers must force such rows to miss.
+        """
+
+        stamp = (self._probe_gen, self.store.epoch)
+        if self._probe_stamp != stamp:
+            self._probe_cache.clear()
+            self._probe_stamp = stamp
+        cache = self._probe_cache
+        key = (op_id, pid, nchildren)
+        entry = cache.get(key, _NO_ENTRY)
+        if entry is not _NO_ENTRY:
+            return entry
+        np = columns.np
+        store = self.store
+        base = len(self.uf._parent) + 1
+        entry = None
+        if nchildren and base ** nchildren >= 2 ** 62:
+            entry = False
+        else:
+            rows = store.op_rows(op_id)
+            if rows is not None and len(rows):
+                alive = columns.as_uint8(store.alive)[rows]
+                nc = columns.as_int64(store.nchild)[rows]
+                pids = columns.as_int64(store.payload)[rows]
+                keep = np.flatnonzero(
+                    (alive != 0) & (nc == nchildren) & (pids == pid)
+                )
+                if len(keep):
+                    rows = rows[keep]
+                    code = np.zeros(len(rows), dtype=np.int64)
+                    for i in range(nchildren):
+                        code = code * base + columns.as_int64(store.child[i])[rows]
+                    order = np.argsort(code, kind="stable")
+                    vals = columns.as_int64(store.cls)[rows][order]
+                    entry = (code[order], vals, base)
+        cache[key] = entry
+        return entry
+
+    def add_keys_batch(self, keys: List[NodeKey]) -> List[int]:
+        """Intern a batch of e-node keys: ``[self.add_key(k) for k in keys]``.
+
+        Exactly that loop, observable-state-wise — same hashcons content,
+        same class-id allocation order, same analysis activity, same
+        returned ids — but hits resolve through one vectorised probe pass
+        per *miss-free run* instead of a dict probe per key.  The batch is
+        probed against a sorted columnar index of the hashcons
+        (:meth:`_probe_index`); runs of hits are answered in bulk, each
+        miss is interned scalar in batch order (the hashcons itself
+        deduplicates repeated spellings within the batch: the first
+        occurrence adds, later ones re-probe as hits).  Adds extend the
+        probe snapshot monotonically, so hit flags stay valid across
+        them; a union (an analysis ``modify`` firing during an add) drops
+        the snapshot and re-probes the remaining suffix.  Falls back to
+        the scalar loop for small or mixed-shape batches and under the
+        array fallback.
+        """
+
+        n = len(keys)
+        if n < 16 or not columns.HAVE_NUMPY:
+            add_key = self.add_key
+            return [add_key(k) for k in keys]
+        first = keys[0]
+        op_id, pid = first[0], first[1]
+        width = len(first)
+        for k in keys:
+            if k[0] != op_id or k[1] != pid or len(k) != width:
+                add_key = self.add_key
+                return [add_key(k) for k in keys]
+        np = columns.np
+        mat = np.array(keys, dtype=np.int64)
+        out: List[int] = [0] * n
+        add_key = self.add_key
+        i = 0
+        rounds = 0
+        while i < n:
+            rounds += 1
+            index = self._probe_index(op_id, pid, width - 2)
+            if index is False or rounds > 8:
+                for j in range(i, n):
+                    out[j] = add_key(keys[j])
+                return out
+            parent = self._np_parent()
+            if index is None:
+                hit = np.zeros(n - i, dtype=bool)
+                values = None
+            else:
+                codes, vals, base = index
+                cand = np.zeros(n - i, dtype=np.int64)
+                inbase = None
+                for c in range(2, width):
+                    col = mat[i:, c]
+                    child = columns.vec_find(parent, col)
+                    # snapshot sub-index: ids allocated after it was
+                    # built must miss (see :meth:`_probe_index`)
+                    ok = child < base
+                    inbase = ok if inbase is None else (inbase & ok)
+                    cand = cand * base + child
+                pos = np.searchsorted(codes, cand)
+                pos_safe = np.minimum(pos, len(codes) - 1)
+                hit = codes[pos_safe] == cand
+                if inbase is not None:
+                    hit &= inbase
+                values = columns.vec_find(parent, np.where(hit, vals[pos_safe], 0))
+            unions0 = self._n_unions
+            j = i
+            while j < n and hit[j - i]:
+                j += 1
+            if j > i:
+                out[i:j] = values[: j - i].tolist()
+            while j < n:
+                if hit[j - i]:
+                    # still valid: only adds happened since the probe
+                    out[j] = int(values[j - i])
+                    j += 1
+                    continue
+                out[j] = add_key(keys[j])
+                j += 1
+                if self._n_unions != unions0:
+                    break  # a union moved the parent array: re-probe
+            i = j
+        return out
 
     # ------------------------------------------------------------------
     # Introspection
@@ -690,6 +933,7 @@ class EGraph:
         """
 
         self.version += 1
+        self._n_unions += 1
         # inline uf.union_roots (same survivor rule: larger set wins,
         # ties keep ra) — one call frame saved per union
         uf = self.uf
@@ -742,6 +986,10 @@ class EGraph:
         """
 
         n_repairs = 0
+        # rebuild is the only phase that kills rows, re-spells keys or
+        # rewrites entry values: retire the probe-index snapshots on both
+        # sides of it (repairs below consult the hashcons themselves)
+        self._probe_gen += 1
         while True:
             while self._dirty or self._analysis_dirty:
                 todo = {self.uf.find(i) for i in self._dirty}
@@ -765,6 +1013,23 @@ class EGraph:
             if not self._dirty and not self._analysis_dirty:
                 break
         self._propagate_touches()
+        store = self.store
+        if store.pending:
+            store.flush()
+        n_rows = len(store.keys)
+        # compaction policy: reclaim once tombstones outnumber live rows
+        # (>50% dead) past a floor that keeps small graphs loop-free.
+        # Invisible to outcomes — live-row relative order is preserved and
+        # every row-index cache is epoch-keyed — so the policy only moves
+        # wall-clock, and it depends only on counts (backend-independent).
+        if n_rows >= 512 and 2 * (n_rows - sum(store.alive)) > n_rows:
+            store.compact()
+        self._probe_gen += 1
+        if columns.HAVE_NUMPY:
+            # keep the per-row touch-stamp column current for the delta
+            # readers: one gather per rebuild, amortised across every
+            # incremental search issued before the next mutation
+            self._sync_row_touch()
         return n_repairs
 
     def _sweep_stale_keys(self) -> int:
@@ -810,6 +1075,7 @@ class EGraph:
         find = uf.find
         merges = 0
         views_pop = self._views.pop
+        classes = self.classes
         for key in stale:
             value = self.hashcons.pop(key)
             store.kill(key)
@@ -826,6 +1092,19 @@ class EGraph:
             elif find(prior) != find(value):
                 self.merge(prior, value)
                 merges += 1
+            # the retired spelling can still sit in its class's key set:
+            # the parents-driven repair only canonicalises spellings it
+            # finds in parent lists, and a spelling minted *by* a repair is
+            # recorded in just one child's list — swap it for the canonical
+            # one here too, or the class double-counts the node (and the
+            # scan matcher emits duplicate matches the join engine,
+            # reading the deduplicated hashcons rows, can never produce)
+            owner = classes.get(find(value))
+            if owner is not None and key in owner.keys:
+                n0 = len(owner.keys)
+                owner.keys.discard(key)
+                owner.keys.add(canon)
+                self._node_count += len(owner.keys) - n0
         return merges
 
     def _propagate_touches(self) -> None:
@@ -898,7 +1177,27 @@ class EGraph:
         views_pop = self._views.pop
         touched_arr = self._class_touched
         seen: Dict[NodeKey, int] = {}
+        prev_key: Optional[NodeKey] = None
+        prev_class = -1
+        prev_unions = -1
         for parent_key, parent_class in old_parents:
+            # batched-dedup fast path: a run of exact duplicates (a child
+            # occupying several slots of one node appends one entry per
+            # slot) is a pure no-op after its first occurrence *provided
+            # no union happened in between* — same canonical spelling,
+            # same canonical class, so the is_duplicate branch below
+            # cannot merge and every write repeats itself.  A union
+            # (congruence found while processing the first occurrence)
+            # voids that proof, so the union counter gates the skip.
+            if (
+                parent_key is prev_key
+                and parent_class == prev_class
+                and self._n_unions == prev_unions
+            ):
+                continue
+            prev_key, prev_class, prev_unions = (
+                parent_key, parent_class, self._n_unions,
+            )
             # re-canonicalise only stale spellings (inline staleness check).
             # A canonical spelling needs no hashcons pop/reinsert round
             # trip — and since the pop would have removed the entry, the
@@ -1269,6 +1568,7 @@ class EGraph:
         # constants valid
         dup._views = dict(self._views)
         dup._inst_consts = dict(self._inst_consts)
+        dup._n_unions = self._n_unions
         return dup
 
     def dump(self) -> str:  # pragma: no cover - debugging helper

@@ -83,6 +83,8 @@ __all__ = [
     "compile_pattern",
     "compile_row_applier",
     "compile_row_instantiator",
+    "compile_rhs_plan",
+    "rhs_pure_partition",
     "parse_pattern",
     "Substitution",
 ]
@@ -630,13 +632,18 @@ def _vec_find(parent, ids):
 _NO_REL = object()
 
 
-def _build_relation(eg: EGraph, op_id: int, nchildren: int, pids):
+def _build_relation(eg: EGraph, op_id: int, nchildren: int, pids, rows=None):
     """The column relation of one atom, or None when it is empty.
 
     Rows are the *live* hashcons entries with operator *op_id*, exactly
     *nchildren* children, and (when *pids* is given) payload id in *pids*
-    — the compiled matcher's arity/payload guards as column masks.  The
-    result maps:
+    — the compiled matcher's arity/payload guards as column masks.  When
+    *rows* is given it replaces the op-index scan: the relation is built
+    over exactly that (already alive-filtered) row slice — the delta-join
+    entry point, where *rows* comes from ``rows_touched_since``.  Because
+    touch stamps are per-class, a delta slice always contains *complete*
+    class groups, so the within-class ranks computed here equal the full
+    relation's ranks for the same rows.  The result maps:
 
     * ``cls`` — canonical e-class id per row,
     * ``child`` — canonical child class ids, one int64 array per slot,
@@ -655,12 +662,18 @@ def _build_relation(eg: EGraph, op_id: int, nchildren: int, pids):
 
     np = columns.np
     store = eg.store
-    rows = store.op_rows(op_id)
-    if rows is None or not len(rows):
+    if rows is None:
+        rows = store.op_rows(op_id)
+        if rows is None or not len(rows):
+            return None
+        alive = columns.as_uint8(store.alive)
+        mask = alive[rows] != 0
+    elif not len(rows):
         return None
-    alive = columns.as_uint8(store.alive)
+    else:
+        mask = np.ones(len(rows), dtype=bool)
     nchild = columns.as_int64(store.nchild)
-    mask = (alive[rows] != 0) & (nchild[rows] == nchildren)
+    mask &= nchild[rows] == nchildren
     pid_col = columns.as_int64(store.payload)[rows]
     if pids is not None:
         pmask = np.zeros(len(rows), dtype=bool)
@@ -696,18 +709,40 @@ def _pattern_relation(eg: EGraph, atom: _Atom, op_id: int, pids):
 
     Keyed by ``(op id, arity, payload ids)`` so rules sharing an atom
     shape share one relation per search phase; the whole cache is dropped
-    whenever the graph's ``(version, interned-key count)`` stamp moves.
+    whenever the graph's ``(version, interned-key count, store epoch)``
+    stamp moves (:meth:`EGraph._live_relation_cache`).
     """
 
-    stamp = (eg.version, len(eg.store))
-    if eg._relation_stamp != stamp:
-        eg._relation_cache.clear()
-        eg._relation_stamp = stamp
+    cache = eg._live_relation_cache()
     key = (op_id, atom.nchildren, pids)
-    rel = eg._relation_cache.get(key, _NO_REL)
+    rel = cache.get(key, _NO_REL)
     if rel is _NO_REL:
         rel = _build_relation(eg, op_id, atom.nchildren, pids)
-        eg._relation_cache[key] = rel
+        cache[key] = rel
+    return rel
+
+
+def _pattern_delta_relation(eg: EGraph, atom: _Atom, op_id: int, pids, since):
+    """The *delta* relation of one atom: rows of classes touched > *since*.
+
+    The semi-naive half of :func:`_pattern_relation` — rows come from the
+    store's touch-stamp column (``rows_touched_since``) instead of the
+    full op index, so steady-state incremental searches slice out only the
+    recently-touched fraction of each relation.  Cached next to the full
+    relations, additionally keyed by *since* (one search phase typically
+    probes many rules at the same stamp).
+    """
+
+    cache = eg._live_relation_cache()
+    key = (op_id, atom.nchildren, pids, since)
+    rel = cache.get(key, _NO_REL)
+    if rel is _NO_REL:
+        rows = eg.rows_touched_since(op_id, since)
+        if rows is None or not len(rows):
+            rel = None
+        else:
+            rel = _build_relation(eg, op_id, atom.nchildren, pids, rows=rows)
+        cache[key] = rel
     return rel
 
 
@@ -740,10 +775,16 @@ def _relational_search(
     matcher's order, or None when the int64 join-key encoding could
     overflow (caller falls back to the scan engine).
 
-    Plan: the root atom leads and carries the ``since`` touched-filter;
-    then greedily the smallest remaining relation among atoms connected to
-    the bound variables, ties broken by ``(size, op id, pre-order atom
-    index)`` — never by hash order.  Each step is a sort-based hash join
+    Plan: the root atom leads; on an incremental (``since``) search it is
+    the semi-naive *delta* relation — only rows of classes touched after
+    the stamp, sliced straight off the store's touch column — while every
+    other atom joins against its full relation.  (Upward touch
+    propagation makes the root-delta join alone exactly the incremental
+    result: any match with an untouched root has all-untouched atoms and
+    was emitted by the previous search.)  Then greedily the smallest
+    remaining relation among atoms connected to the bound variables, ties
+    broken by ``(size, op id, pre-order atom index)`` — never by hash
+    order.  Each step is a sort-based hash join
     on the shared variables, encoded into a single int64 per row by Horner
     evaluation in base ``len(parent) + 1`` (class ids are < the base, so
     the encoding is injective; the caller is told to fall back when
@@ -759,7 +800,7 @@ def _relational_search(
     np = columns.np
     atoms = cp._atoms
     rels = []
-    for atom in atoms:
+    for ai, atom in enumerate(atoms):
         op_id = eg._op_ids.get(atom.op)
         if op_id is None:
             return []
@@ -769,20 +810,21 @@ def _relational_search(
                 return []
         else:
             pids = None
-        rel = _pattern_relation(eg, atom, op_id, pids)
+        if ai == 0 and since is not None:
+            rel = _pattern_delta_relation(eg, atom, op_id, pids, since)
+        else:
+            rel = _pattern_relation(eg, atom, op_id, pids)
         if rel is None:
             return []
         rels.append((atom, op_id, rel))
 
     base = len(eg.uf._parent) + 1
 
-    # seed the state from the root atom's relation
+    # seed the state from the root atom's relation (the delta relation on
+    # incremental searches — its ranks equal the full relation's, see
+    # _build_relation, so the final rank lexsort is unaffected)
     atom, _, rel = rels[0]
     cols, mask = _atom_columns(atom, rel)
-    if since is not None:
-        touched = columns.as_int64(eg._class_touched)
-        tmask = touched[rel["cls"]] > since
-        mask = tmask if mask is None else mask & tmask
     if mask is not None:
         keep = np.flatnonzero(mask)
         state = {var: col[keep] for var, col in cols.items()}
@@ -861,9 +903,9 @@ def _relational_search(
     mat[:, 0] = cid[order]
     for j, name in enumerate(cp.vars):
         mat[:, j + 1] = state[name][order]
-    # .tolist() materialises Python ints (not np.int64) — bindings flow
-    # into key tuples and must hash/compare like the arena's ids
-    return list(map(tuple, mat.tolist()))
+    # a lazy facade: tuples materialise only if a consumer asks for them —
+    # the batched applier reads the matrix directly (columns.RowBatch)
+    return columns.RowBatch(mat)
 
 
 class CompiledPattern:
@@ -902,15 +944,13 @@ class CompiledPattern:
         else:
             self._inst = _InstantiatorCodegen().build(pattern)
             atoms = _flatten_pattern(pattern)
-            # single-atom patterns gain nothing from a join; keep the
-            # compiled nested scan for them
-            self._atoms = atoms if len(atoms) >= 2 else None
+            # every operator pattern runs on the relational engine — a
+            # single-atom "join" is just the (delta) relation slice itself,
+            # already in emission order, with no scan-side per-class loop
+            self._atoms = atoms if atoms else None
             if self._atoms is not None:
-                # heterogeneous = atoms draw from >= 2 distinct relations.
-                # Self-join-only patterns (e.g. associativity, all atoms the
-                # same op/arity) produce output proportional to the scan's
-                # work, so the join's fixed costs cannot win there — the
-                # auto backend keeps them on the scan engine.
+                # heterogeneous = atoms draw from >= 2 distinct relations
+                # (inter-relation selectivity prunes work the scan must do)
                 shapes = {
                     (a.op, a.nchildren, str(a.payload), type(a.payload).__name__)
                     for a in self._atoms
@@ -944,28 +984,30 @@ class CompiledPattern:
         instantiators) — no per-match dict is built.
 
         *backend* selects the engine: ``None`` auto-selects — the
-        relational join for *full* scans of heterogeneous multi-atom
-        patterns under numpy (where inter-relation selectivity prunes
-        work the scan must do), the compiled scan otherwise (trivial or
-        self-join-only patterns, incremental scans whose touched cone the
-        scan visits directly, fallback builds); ``"join"`` forces the
-        relational engine (raises when unavailable — bench/test hook);
-        ``"scan"`` forces the compiled matcher.  Both engines return the
-        identical row list, so backend choice can never alter outcomes —
-        only wall-clock.
+        relational join for heterogeneous multi-atom patterns under
+        numpy (where inter-relation selectivity prunes work the scan
+        must do), full and incremental alike (the semi-naive delta join
+        restricts the root relation to recently-touched rows, so the
+        incremental join stays delta-bound); the compiled scan otherwise
+        (trivial patterns, self-join-only patterns — whose incremental
+        scans are already delta-bound via the touched filter and carry
+        none of the join's per-call relation overhead — and fallback
+        builds); ``"join"`` forces the relational engine (raises when
+        unavailable — bench/test hook); ``"scan"`` forces the compiled
+        matcher.  Both engines return the identical row list, so backend
+        choice can never alter outcomes — only wall-clock.
 
         When *since* is given, classes whose ``touched`` stamp is
         ``<= since`` are skipped — sound because :meth:`EGraph.rebuild`
         propagates touches upward from every mutated class (matches rooted
         at a skipped class are exactly the matches found by the previous
-        scan).  The relational engine applies the same filter to its
-        leading (root) relation.
+        scan).  The relational engine serves the same contract with a
+        delta join: its leading (root) relation is built over the store's
+        touch-stamp column (:func:`_pattern_delta_relation`).
         """
 
         if self._atoms is not None and columns.HAVE_NUMPY:
-            if backend == "join" or (
-                backend is None and self._hetero and since is None
-            ):
+            if backend != "scan":
                 rows = _relational_search(self, egraph, since)
                 if rows is not None:
                     return rows
@@ -1009,22 +1051,26 @@ class CompiledPattern:
             (row[0], to_subst(row)) for row in self.search_rows(egraph, since)
         ]
 
-    def join_plan(self, egraph: EGraph) -> Optional[List[Tuple[int, str, int]]]:
+    def join_plan(
+        self, egraph: EGraph, since: Optional[int] = None
+    ) -> Optional[List[Tuple[int, str, int]]]:
         """The relational engine's join order on *egraph*, for introspection.
 
         Returns ``(atom index, op name, relation size)`` triples in the
         order the join would execute them, or None when the pattern would
-        run on the scan engine.  The plan depends only on deterministic
-        inputs (relation sizes, interned op ids, pre-order atom indices),
-        never on hash iteration order — the determinism test asserts this
-        across ``PYTHONHASHSEED`` values.
+        run on the scan engine.  With *since*, the root atom's size is its
+        *delta* relation's (the plan the incremental search runs).  The
+        plan depends only on deterministic inputs (relation sizes,
+        interned op ids, pre-order atom indices), never on hash iteration
+        order — the determinism test asserts this across
+        ``PYTHONHASHSEED`` values.
         """
 
         if self._atoms is None or not columns.HAVE_NUMPY:
             return None
         sizes: List[int] = []
         op_ids: List[int] = []
-        for atom in self._atoms:
+        for ai, atom in enumerate(self._atoms):
             op_id = egraph._op_ids.get(atom.op)
             if atom.payload is not None:
                 pids = egraph.payload_ids_matching(atom.payload)
@@ -1032,6 +1078,8 @@ class CompiledPattern:
                 pids = None
             if op_id is None or (atom.payload is not None and not pids):
                 rel = None
+            elif ai == 0 and since is not None:
+                rel = _pattern_delta_relation(egraph, atom, op_id, pids, since)
             else:
                 rel = _pattern_relation(egraph, atom, op_id, pids)
             sizes.append(0 if rel is None else rel["n"])
@@ -1099,6 +1147,132 @@ def compile_row_applier(pattern: Pattern, lhs_vars: Tuple[str, ...]):
 
     positions = {name: i + 1 for i, name in enumerate(lhs_vars)}
     return _InstantiatorCodegen(positions).build_batch(pattern)
+
+
+@lru_cache(maxsize=None)
+def compile_rhs_plan(pattern: Pattern, lhs_vars: Tuple[str, ...]):
+    """Probe plan of a pattern applier for the vectorised purity prepass.
+
+    Flattens *pattern* into a postorder node list; each node is
+    ``(op name, payload, child refs)`` where a ref is ``(0, row column)``
+    for a searcher variable (1-based — row column 0 is the matched class)
+    or ``(1, node index)`` for an inner node's result.  Returns
+    ``(nodes, root ref)``.  The plan drives :func:`rhs_pure_partition`:
+    probing every node of every match row against the columnar hashcons
+    index in one vector pass per node.
+    """
+
+    positions = {name: i + 1 for i, name in enumerate(lhs_vars)}
+    nodes: List[tuple] = []
+
+    def walk(node: PatternNode):
+        if isinstance(node, PatternVar):
+            return (0, positions[node.name])
+        refs = tuple(walk(child) for child in node.children)
+        nodes.append((node.op, node.payload, refs))
+        return (1, len(nodes) - 1)
+
+    root = walk(pattern)
+    return tuple(nodes), root
+
+
+def rhs_pure_partition(eg: EGraph, plan, mat):
+    """Partition the match rows of *mat* by what applying each would do.
+
+    *mat* is the whole batch as an int64 matrix (handed over by the join
+    engine or converted once per apply call).  Evaluates *plan* bottom-up
+    over the rows with vectorised hashcons probes
+    (:meth:`EGraph._probe_index`) — no graph mutation.  Returns
+    ``(status, ra, rb, proof)`` aligned with *mat*:
+
+    * status 0 — **pure**: every RHS node already interned and the final
+      merge would be a no-op (``ra == rb``).  Applying such a row touches
+      nothing — not the hashcons, not the union-find, not the node count —
+      so the batched applier skips it outright.
+    * status 1 — **merge**: every node interned but ``ra != rb``; ``ra``
+      holds the canonical instantiation root to merge with the row's
+      canonicalised matched class ``rb``.
+    * status 2 — **opaque**: some probe missed; the row must run the
+      scalar applier (its adds and analysis hooks must fire in row order).
+
+    ``proof`` is an ``n x k`` int64 matrix holding, per row, every
+    canonical class id the verdict depended on: the canonicalised probe
+    children, each node's hashcons hit, and the two roots.  A verdict
+    stays exact across later *adds* (the hashcons only gains keys —
+    existing entries and the union-find are untouched) and across later
+    *unions that don't move any of the row's proof ids*: a union can only
+    change the row's reference behaviour by re-rooting one of the ids its
+    probes or final merge read, and a re-rooted id is exactly one whose
+    entry stops being a union-find root.  The batched applier exploits
+    this to revalidate verdicts with one gather instead of re-probing.
+
+    Returns None when a probe index would overflow its int64 encoding —
+    the caller falls back to the scalar loop.
+    """
+
+    np = columns.np
+    nodes, root = plan
+    # fully-compressed roots: every canonicalisation is one gather
+    roots = eg._np_roots()
+    n = len(mat)
+    alive = np.ones(n, dtype=bool)
+    vals: List[object] = []
+    proof_cols: List[object] = []
+    payload_ids = eg._payload_ids
+    zeros = None
+    for op_name, payload, refs in nodes:
+        op_id = eg._op_ids.get(op_name)
+        pid = (
+            0
+            if payload is None
+            else payload_ids.get((type(payload).__name__, payload))
+        )
+        index = (
+            None
+            if op_id is None or pid is None
+            else eg._probe_index(op_id, pid, len(refs))
+        )
+        if index is False:
+            return None
+        if index is None:
+            # shape absent from the graph: every (still-alive) row misses
+            alive[:] = False
+            if zeros is None:
+                zeros = np.zeros(n, dtype=np.int64)
+            vals.append(zeros)
+            continue
+        codes, pvals, base = index
+        cand = np.zeros(n, dtype=np.int64)
+        inbase = None
+        for kind, r in refs:
+            col = mat[:, r] if kind == 0 else vals[r]
+            child = roots[col] if kind == 0 else col
+            if kind == 0:
+                proof_cols.append(child)
+            # the index is a sub-snapshot: a child class allocated after
+            # it was built breaks the Horner injectivity, so such rows
+            # must read as misses (conservatively opaque), never as
+            # accidental code collisions
+            ok = child < base
+            inbase = ok if inbase is None else (inbase & ok)
+            cand = cand * base + child
+        pos = np.searchsorted(codes, cand)
+        pos_safe = np.minimum(pos, len(codes) - 1)
+        hit = codes[pos_safe] == cand
+        if inbase is not None:
+            hit &= inbase
+        alive &= hit
+        found = roots[np.where(hit, pvals[pos_safe], 0)]
+        proof_cols.append(found)
+        vals.append(found)
+    kind, r = root
+    ra = roots[mat[:, r]] if kind == 0 else vals[r]
+    rb = roots[mat[:, 0]]
+    proof_cols.append(ra)
+    proof_cols.append(rb)
+    status = np.where(alive, np.where(ra == rb, 0, 1), 2).astype(np.int8)
+    proof = np.column_stack(proof_cols)
+    return status, ra, rb, proof
 
 
 # ---------------------------------------------------------------------------

@@ -131,9 +131,20 @@ def test_join_backend_matches_scan_on_default_ruleset():
         ), rule.name
 
 
-def test_forced_join_unavailable_on_trivial_pattern():
+@pytest.mark.skipif(not columns.HAVE_NUMPY, reason="join backend needs numpy")
+def test_single_atom_join_matches_scan():
+    # a single-atom "join" is the relation slice itself — same rows,
+    # same order as the compiled scan
     eg = _build(([op("+", sym("x"), sym("y"))], []))
-    cp = compile_pattern(parse_pattern("(+ ?a ?b)"))  # single atom
+    cp = compile_pattern(parse_pattern("(+ ?a ?b)"))
+    assert cp.search_rows(eg, backend="join") == cp.search_rows(
+        eg, backend="scan"
+    )
+
+
+def test_forced_join_unavailable_on_bare_var_pattern():
+    eg = _build(([op("+", sym("x"), sym("y"))], []))
+    cp = compile_pattern(parse_pattern("?x"))  # no operator atom at all
     with pytest.raises(RuntimeError):
         cp.search_rows(eg, backend="join")
 
