@@ -208,6 +208,27 @@ def main(argv=None) -> int:
         elif actual != expected:
             failures.append(f"{key}: fresh={actual!r} != committed={expected!r}")
 
+    # the observational-telemetry contract (PR 10): the *traced* runs'
+    # outcome records must equal the committed *untraced* ones — a tracer
+    # may cost wall clock but can never change what the engine computes
+    overhead = fresh.get("telemetry_overhead")
+    if overhead is not None:
+        for traced_key, untraced_key in (
+            ("traced_outcome", "saturation_outcome"),
+            ("traced_pipeline_outcome", "pipeline_outcome"),
+        ):
+            expected = committed.get(untraced_key)
+            actual = overhead.get(traced_key)
+            if expected is None:
+                failures.append(
+                    f"{untraced_key}: missing from committed {committed_path}"
+                )
+            elif actual != expected:
+                failures.append(
+                    f"telemetry_overhead.{traced_key}: traced={actual!r} "
+                    f"!= committed untraced {untraced_key}={expected!r}"
+                )
+
     if failures:
         print("saturation outcome drift detected:")
         for failure in failures:

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Validate a trace written by ``accsat --trace`` / ``accsat serve --trace``.
+
+Checks the JSONL span/event log against the well-formedness contract of
+:mod:`repro.obs.check` — monotone sequence numbers, every started span
+ends exactly once, children nest inside their parents, job spans reach
+exactly one terminal state — and checks that the companion Chrome
+trace-event file parses as JSON with the required event fields.
+
+Usage::
+
+    python benchmarks/check_trace.py TRACE.jsonl [--chrome CHROME.json]
+
+When ``--chrome`` is omitted the companion path is derived the same way
+the exporter derives it (``out.json`` -> ``out.chrome.json``).  Exits
+non-zero, listing every violation, if either file fails validation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.obs import (
+    chrome_path_for,
+    load_jsonl,
+    validate_chrome_file,
+    validate_trace_records,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace file to validate")
+    parser.add_argument(
+        "--chrome", default=None,
+        help="companion Chrome trace-event file "
+             "(default: derived from the trace path)",
+    )
+    parser.add_argument(
+        "--min-spans", type=int, default=1,
+        help="fail unless the trace contains at least this many spans "
+             "(default 1; guards against a silently empty trace)",
+    )
+    args = parser.parse_args(argv)
+
+    failures = []
+    try:
+        meta, records = load_jsonl(args.trace)
+    except ValueError as exc:
+        print(f"FAIL {args.trace}: {exc}")
+        return 1
+    failures.extend(
+        f"{args.trace}: {error}" for error in validate_trace_records(records)
+    )
+    spans = sum(1 for record in records if record.get("type") == "start")
+    if spans < args.min_spans:
+        failures.append(
+            f"{args.trace}: only {spans} span(s), expected >= {args.min_spans}"
+        )
+
+    chrome = args.chrome or chrome_path_for(args.trace)
+    if os.path.exists(chrome):
+        failures.extend(f"{chrome}: {error}" for error in validate_chrome_file(chrome))
+    else:
+        failures.append(f"{chrome}: missing companion Chrome trace file")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    events = sum(1 for record in records if record.get("type") == "event")
+    print(
+        f"OK {args.trace}: {spans} spans, {events} events, "
+        f"schema={meta.get('schema')!r}; chrome file valid"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -429,6 +429,53 @@ def main(argv=None) -> int:
         },
     }
 
+    # -- telemetry overhead A/B (PR 10) ------------------------------------
+    # traced vs untraced, interleaved rep-by-rep in one process so drift
+    # (thermal, allocator state) hits both arms equally.  The traced arm
+    # attaches a live Tracer to the identical workload; the outcome
+    # records of the traced runs are kept so CI can assert tracing never
+    # changes results — the observational contract, measured.
+    from repro.obs import Tracer
+
+    def saturation_traced():
+        eg_t = EGraph(constant_folding_analysis())
+        root_t = eg_t.add_term(_bench_term())
+        tracer = Tracer()
+        span = tracer.span("bench:saturation")
+        report = Runner(
+            eg_t, default_ruleset(), RunnerLimits(2000, 5, _TIME_LIMIT),
+            tracer=tracer, trace_parent=span.span_id,
+        ).run()
+        span.end()
+        return report
+
+    def pipeline_traced():
+        tracer = Tracer()
+        span = tracer.span("bench:pipeline")
+        result = optimize_source(
+            LU_JACLD_SOURCE, config,
+            tracer=tracer, trace_parent=span.span_id,
+        )
+        span.end()
+        return result
+
+    def _interleaved_ab(untraced, traced, repeats):
+        untraced_times, traced_times = [], []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            untraced()
+            untraced_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            traced()
+            traced_times.append(time.perf_counter() - t0)
+        return statistics.median(untraced_times), statistics.median(traced_times)
+
+    saturation_traced()  # warm the obs module alongside everything else
+    sat_ab = _interleaved_ab(saturation, saturation_traced, args.repeats)
+    pipe_ab = _interleaved_ab(full_pipeline, pipeline_traced, args.repeats)
+    traced_sat_report = saturation_traced()
+    traced_pipe_kernel = pipeline_traced().kernels[0]
+
     results = {
         "parse_ssa": _median_time(parse_and_ssa, args.repeats),
         "saturation": _median_time(saturation, args.repeats),
@@ -522,6 +569,35 @@ def main(argv=None) -> int:
         # join vs scan e-matching engine timings (backend choice never
         # changes results, so nothing here feeds the outcome guard)
         "matching": matching,
+        # the observational contract, measured: interleaved traced vs
+        # untraced medians of the saturation and pipeline workloads, and
+        # the traced runs' outcome records — CI asserts the latter equal
+        # the committed *untraced* outcomes, so a tracer can never change
+        # what the engine computes
+        "telemetry_overhead": {
+            "method": "interleaved A/B in-process medians",
+            "repeats": args.repeats,
+            "saturation_untraced_seconds": sat_ab[0],
+            "saturation_traced_seconds": sat_ab[1],
+            "overhead_saturation": (
+                sat_ab[1] / sat_ab[0] if sat_ab[0] > 0 else float("inf")
+            ),
+            "pipeline_untraced_seconds": pipe_ab[0],
+            "pipeline_traced_seconds": pipe_ab[1],
+            "overhead_pipeline": (
+                pipe_ab[1] / pipe_ab[0] if pipe_ab[0] > 0 else float("inf")
+            ),
+            "traced_outcome": {
+                "stop_reason": traced_sat_report.stop_reason.value,
+                "egraph_nodes": traced_sat_report.egraph_nodes,
+                "egraph_classes": traced_sat_report.egraph_classes,
+            },
+            "traced_pipeline_outcome": {
+                "stop_reason": traced_pipe_kernel.runner.stop_reason.value,
+                "egraph_nodes": traced_pipe_kernel.egraph_nodes,
+                "egraph_classes": traced_pipe_kernel.egraph_classes,
+            },
+        },
         "phase_times": kernel_report.runner.phase_times,
         "phase_times_large": large_report.runner.phase_times,
         # per-rule saturation profile of the benchmark kernel, so future

@@ -139,12 +139,12 @@ def _percentiles(values: list) -> tuple:
     return cuts[9], cuts[18]
 
 
-def _drive(mix, config, workers, coalesce, executor="thread"):
+def _drive(mix, config, workers, coalesce, executor="thread", tracer=None):
     """Submit the whole mix, start the workers, drain; return the record."""
 
     service = OptimizationService(
         config=config, cache=MemoryCache(), workers=workers, coalesce=coalesce,
-        executor=executor,
+        executor=executor, tracer=tracer,
     )
     t0 = time.perf_counter()
     handles = [
@@ -350,6 +350,10 @@ def main(argv=None) -> int:
                              "(the 'faults' section of the output)")
     parser.add_argument("--fault-seed", type=int, default=1234,
                         help="seed of the fault wave's FaultPlan (default 1234)")
+    parser.add_argument("--trace",
+                        help="trace the main coalescing wave: write the JSONL "
+                             "span/event log to FILE plus a Chrome trace-event "
+                             "file next to it (observational only)")
     args = parser.parse_args(argv)
     if args.requests < args.kernels or args.kernels < 1:
         parser.error("--requests must be >= --kernels >= 1")
@@ -358,9 +362,15 @@ def main(argv=None) -> int:
     kernels = _kernel_pool(args.kernels)
     mix = _request_mix(kernels, args.requests)
 
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+
     # -- main wave, coalescing on -----------------------------------------
     service, handles, coalesced_record = _drive(
-        mix, config, args.workers, coalesce=True
+        mix, config, args.workers, coalesce=True, tracer=tracer
     )
 
     # -- follow-up wave: every kernel again -> plain cache hits ------------
@@ -372,6 +382,15 @@ def main(argv=None) -> int:
     coalesced_record["followup_cache_hits"] = followup_hits
     coalesced_record["stats"] = service.stats.snapshot()
     service.stop()
+    if tracer is not None:
+        from repro.obs import write_trace_files
+
+        jsonl_path, chrome_path = write_trace_files(
+            tracer.records(), args.trace,
+            meta={"mode": "service-bench", "requests": args.requests,
+                  "workers": args.workers},
+        )
+        print(f"trace -> {jsonl_path} (+ {chrome_path})")
 
     # -- correctness audit -------------------------------------------------
     # (a) each coalesced handle's result is byte-identical to the artifact

@@ -147,6 +147,32 @@ def main() -> None:
               f"extracted cost {result.kernels[0].extracted_cost:.1f}, "
               f"degraded={result.degraded}")
 
+    # -- 6. telemetry: trace a wave and summarize it -----------------------
+    # Pass a Tracer to the service and every job becomes a span tree:
+    # job -> attempt(s) -> kernel -> stage:* -> iteration, with cache
+    # probes, retries and injected faults as events.  Tracing is strictly
+    # observational — the artifacts are byte-identical to an untraced run
+    # — and service.metrics.snapshot() is the one deterministic document
+    # unifying service stats, cache counters, fault-injection counts,
+    # phase-time histograms and per-rule counters (what
+    # `accsat serve --report` emits).
+    from repro.obs import Tracer, render_summary
+
+    tracer = Tracer()
+    plan = FaultPlan([FaultRule("cache:get", "transient", nth=1)])
+    with OptimizationService(
+        config=CONFIG, workers=2, faults=plan, tracer=tracer,
+        retry_backoff=0.01, retry_backoff_cap=0.02,
+    ) as service:
+        service.submit(KERNEL).result(timeout=120)
+        snapshot = service.metrics.snapshot()
+    print("trace summary:")
+    print(render_summary(tracer.records()))
+    print(f"metrics sections: {sorted(snapshot)}")
+    print(f"phase histograms: {sorted(snapshot['histograms'])}")
+    # (`accsat --trace FILE` / `accsat serve --trace FILE` write this
+    # record stream as JSONL plus a chrome://tracing-loadable file.)
+
 
 if __name__ == "__main__":
     main()

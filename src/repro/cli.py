@@ -14,6 +14,7 @@ Examples::
     accsat kernel.c -o kernel.sat.c
     accsat --variant cse+bulk --report report.json nvc kernel.c
     accsat --emit-report-only --variant accsat kernel.c
+    accsat --trace trace.json kernel.c
 
 ``accsat serve`` is the service mode: the input files become jobs of a
 concurrent :class:`~repro.service.OptimizationService` (duplicate inputs
@@ -23,10 +24,21 @@ streamed with ``--stream``, and the run ends with a service-stats summary::
     accsat serve --workers 4 --anytime kernels/*.c
     accsat serve --workers 8 --cache-dir /tmp/cache --report stats.json a.c a.c b.c
     accsat serve --executor process --workers 2 --cache-dir /tmp/cache kernels/*.c
+    accsat serve --trace trace.json --report stats.json kernels/*.c
 
 ``--executor process`` runs each job in a supervised worker *process*
 instead of a thread: a worker that crashes or hangs is detected, its
 orphaned job is requeued through the retry path, and the pool respawns.
+
+``--trace FILE`` (both modes) writes a structured trace of the run: a
+JSONL span/event log at FILE (validated by ``benchmarks/check_trace.py``)
+plus a Chrome trace-event file next to it (``FILE`` ->
+``FILE.chrome.json``, loadable in chrome://tracing or Perfetto).  In
+serve mode the trace covers the full job lifecycle — queued, attempts,
+retries, degradation, injected faults — with worker spans collected
+across the process boundary; ``--report`` additionally embeds the
+unified ``MetricsRegistry.snapshot()`` under ``"metrics"``.  Tracing is
+strictly observational: outputs are byte-identical to an untraced run.
 """
 
 from __future__ import annotations
@@ -152,6 +164,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print the per-kernel report to stdout instead of writing code",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress the summary line")
+    parser.add_argument(
+        "--trace",
+        help="write a structured trace of the run: a JSONL span/event log "
+             "at FILE plus a Chrome trace-event file (chrome://tracing / "
+             "Perfetto) next to it; tracing is observational only — outputs "
+             "are byte-identical to an untraced run.  Forces the files "
+             "through an in-process serial executor so every span lands in "
+             "one stream",
+    )
     return parser
 
 
@@ -208,11 +229,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         readable.append(path)
         sources.append(path.read_text())
 
-    # the independent per-file sessions run through the executor; outputs
-    # are written back in input order either way
-    results = session.run_many(
-        [(source, path.stem) for source, path in zip(sources, readable)]
-    )
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+
+    if tracer is None:
+        # the independent per-file sessions run through the executor;
+        # outputs are written back in input order either way
+        results = session.run_many(
+            [(source, path.stem) for source, path in zip(sources, readable)]
+        )
+    else:
+        # traced runs go file-by-file in this process: a tracer cannot
+        # follow run_many into a process pool, and the whole point of the
+        # trace is one coherent span stream.  Results (and cache effects)
+        # are identical to the executor path.
+        results = []
+        for source, path in zip(sources, readable):
+            with tracer.span("file", input=str(path)) as file_span:
+                results.append(
+                    session.run(
+                        source, name_prefix=path.stem,
+                        tracer=tracer, trace_parent=file_span.span_id,
+                    )
+                )
 
     for path, result in zip(readable, results):
         file_report = {
@@ -239,6 +281,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.report:
         Path(args.report).write_text(json.dumps(overall_report, indent=2))
+    if tracer is not None:
+        from repro.obs import write_trace_files
+
+        jsonl_path, chrome_path = write_trace_files(
+            tracer.records(), args.trace,
+            meta={"mode": "optimize", "variant": variant.value},
+        )
+        if not args.quiet:
+            print(f"accsat: trace -> {jsonl_path} (+ {chrome_path})")
     if args.emit_report_only:
         json.dump(overall_report, sys.stdout, indent=2)
         print()
@@ -316,6 +367,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-write", action="store_true",
                         help="do not write .sat.c outputs (report/stats only)")
     parser.add_argument("--quiet", action="store_true", help="suppress per-job lines")
+    parser.add_argument(
+        "--trace",
+        help="write a structured trace of the service run: a JSONL "
+             "span/event log at FILE (job/attempt/stage/iteration spans, "
+             "retry/shed/fault events, worker spans collected across the "
+             "process boundary) plus a Chrome trace-event file next to it; "
+             "observational only — outputs are byte-identical to an "
+             "untraced run",
+    )
     return parser
 
 
@@ -345,6 +405,11 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"accsat serve: error: no such file: {path}", file=sys.stderr)
     paths = [path for path in paths if path.exists()]
 
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     service = OptimizationService(
         config=config, cache=cache, workers=args.workers,
         executor=args.executor,
@@ -352,6 +417,7 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         max_queue=args.max_queue,
         overload_policy=args.overload_policy,
         max_retries=args.retries,
+        tracer=tracer,
     )
     exit_code = 1 if missing else 0
     service.start()
@@ -395,8 +461,13 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
     service.stop(wait=True)
 
+    # the legacy "service"/"cache" keys stay for stable consumers; the
+    # "metrics" document is the full registry snapshot (same counters plus
+    # fault-injection counts, phase-time histograms, per-rule counters and
+    # the tracer's own bookkeeping), deterministically key-sorted
     report = {"files": [], "service": service.stats.snapshot(),
-              "cache": service.session.cache.stats.as_dict()}
+              "cache": service.session.cache.stats.as_dict(),
+              "metrics": service.metrics.snapshot()}
     for path, handle in zip(paths, handles):
         entry = {"input": str(path), "state": handle.state.value,
                  "coalesced": handle.coalesced, "from_cache": handle.from_cache}
@@ -436,6 +507,16 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.report:
         Path(args.report).write_text(json.dumps(report, indent=2))
+    if tracer is not None:
+        from repro.obs import write_trace_files
+
+        jsonl_path, chrome_path = write_trace_files(
+            tracer.records(), args.trace,
+            meta={"mode": "serve", "executor": args.executor,
+                  "workers": args.workers},
+        )
+        if not args.quiet:
+            print(f"accsat serve: trace -> {jsonl_path} (+ {chrome_path})")
     return exit_code
 
 

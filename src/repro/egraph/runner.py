@@ -573,6 +573,8 @@ class Runner:
         anytime: Optional[AnytimeExtraction] = None,
         on_iteration: Optional[IterationCallback] = None,
         cancellation: Optional[CancellationToken] = None,
+        tracer=None,
+        trace_parent=None,
     ) -> None:
         from repro.egraph.schedule import make_scheduler
 
@@ -597,6 +599,13 @@ class Runner:
         #: Cooperative cancellation/deadline token, polled at iteration
         #: boundaries only (where the e-graph is canonical).
         self.cancellation = cancellation
+        #: Optional :class:`repro.obs.Tracer` + parent span id — strictly
+        #: observational (like ``on_iteration``): never part of any config
+        #: fingerprint, and every use below is guarded by ``is not None``
+        #: so the disabled hot loop allocates no spans and reads no extra
+        #: clocks (phase child spans reuse the report's own timings).
+        self.tracer = tracer
+        self.trace_parent = trace_parent
         if anytime is not None:
             anytime.validate()
         #: Per-rule e-graph version of the last *committed* scan (parallel
@@ -788,6 +797,14 @@ class Runner:
                     break
 
             scheduler.begin_iteration(iteration)
+            tracer = self.tracer
+            it_span = None
+            if tracer is not None:
+                it_span = tracer.span(
+                    "iteration", parent=self.trace_parent, index=iteration,
+                    scheduler=scheduler.name,
+                    anytime=self.anytime is not None,
+                )
             scan_version = egraph.version
             t0 = time.perf_counter()
             all_matches = self._search_phase(iteration, stats)
@@ -807,6 +824,10 @@ class Runner:
                     rebuild_time=0.0,
                 )
                 report.iterations.append(row)
+                if it_span is not None:
+                    tracer.record_span("search", t0, t1, parent=it_span)
+                    it_span.end(applied=0, nodes=len(egraph),
+                                timed_out=True)
                 if self.on_iteration is not None:
                     self.on_iteration(row)
                 stop = StopReason.TIME_LIMIT
@@ -843,6 +864,18 @@ class Runner:
                 extracted_cost=extracted_cost,
             )
             report.iterations.append(row)
+            if it_span is not None:
+                # the child spans reuse the phase timings measured above
+                # for the iteration row — tracing adds no clock reads that
+                # untraced runs would not perform
+                tracer.record_span("search", t0, t1, parent=it_span)
+                tracer.record_span("apply", t1, t2, parent=it_span)
+                tracer.record_span("rebuild", t2, t3, parent=it_span)
+                it_span.end(
+                    applied=applied, nodes=len(egraph),
+                    classes=egraph.num_classes,
+                    extracted_cost=extracted_cost,
+                )
             if self.on_iteration is not None:
                 self.on_iteration(row)
 
@@ -870,4 +903,11 @@ class Runner:
         report.total_time = time.perf_counter() - start
         report.egraph_nodes = len(egraph)
         report.egraph_classes = egraph.num_classes
+        if self.tracer is not None:
+            self.tracer.event(
+                "saturation:stop", span=self.trace_parent,
+                reason=report.stop_reason.value,
+                iterations=len(report.iterations),
+                nodes=report.egraph_nodes, classes=report.egraph_classes,
+            )
         return report

@@ -1,0 +1,57 @@
+"""repro.obs — the unified telemetry layer (PR 10).
+
+Structured tracing (:mod:`repro.obs.trace`), the metrics registry
+(:mod:`repro.obs.metrics`), trace exporters (:mod:`repro.obs.export`),
+trace validation (:mod:`repro.obs.check`) and the instrumentation-site
+registry shared with fault injection (:mod:`repro.obs.sites`).
+
+The layer is strictly observational: instrumented code threads an
+``Optional[Tracer]`` defaulting to ``None``, never fingerprints it, and
+guards every instrumentation point with ``if tracer is not None`` — so
+traced and untraced runs produce byte-identical artifacts and the
+disabled path has near-zero overhead.
+"""
+
+from repro.obs.check import (
+    validate_chrome_file,
+    validate_trace_file,
+    validate_trace_records,
+)
+from repro.obs.export import (
+    SCHEMA,
+    chrome_path_for,
+    load_jsonl,
+    render_summary,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace_files,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, sorted_deep
+from repro.obs.sites import all_sites, check_site, is_known_site, register_site
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "all_sites",
+    "check_site",
+    "chrome_path_for",
+    "is_known_site",
+    "load_jsonl",
+    "register_site",
+    "render_summary",
+    "sorted_deep",
+    "to_chrome_trace",
+    "validate_chrome_file",
+    "validate_trace_file",
+    "validate_trace_records",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace_files",
+]

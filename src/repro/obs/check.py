@@ -1,0 +1,157 @@
+"""Trace well-formedness validation (shared by tests and ``check_trace.py``).
+
+A record stream is well-formed when:
+
+* ``seq`` is strictly monotone over the whole stream;
+* every ``start`` has a unique id and **exactly one** matching ``end``
+  (no dangling opens, no double-ends), with ``end.ts >= start.ts``;
+* every non-root span's parent exists and started before it, and the
+  child's interval nests inside the parent's (small float tolerance);
+* every event's ``span`` reference (when present) names a started span;
+* every ``job`` span's end carries exactly one terminal state
+  (``done`` / ``failed`` / ``cancelled``) — the service's conservation
+  law, visible in the trace.
+
+Validators return a list of human-readable failure strings (empty =
+valid) rather than raising, so callers can aggregate.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+#: Tolerance for nesting checks: timestamps come from ``perf_counter``
+#: and cross-process ingestion aligns a worker's root span exactly to
+#: its attempt span's start, so equality-up-to-float-noise must pass.
+_EPS = 1e-6
+
+_TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def validate_trace_records(records: List[Dict[str, Any]]) -> List[str]:
+    failures: List[str] = []
+    last_seq = None
+    starts: Dict[str, Dict[str, Any]] = {}
+    ends: Dict[str, Dict[str, Any]] = {}
+
+    for index, record in enumerate(records):
+        kind = record.get("type")
+        seq = record.get("seq")
+        if not isinstance(seq, int):
+            failures.append(f"record {index}: missing/non-int seq: {record!r}")
+        elif last_seq is not None and seq <= last_seq:
+            failures.append(
+                f"record {index}: seq {seq} not strictly greater than {last_seq}")
+        if isinstance(seq, int):
+            last_seq = seq
+
+        if kind == "start":
+            span_id = record.get("id")
+            if span_id in starts:
+                failures.append(f"span {span_id!r}: started twice")
+            else:
+                starts[span_id] = record
+            parent = record.get("parent")
+            if parent is not None and parent not in starts:
+                failures.append(
+                    f"span {span_id!r}: parent {parent!r} unknown or started later")
+        elif kind == "end":
+            span_id = record.get("id")
+            if span_id not in starts:
+                failures.append(f"end for unknown span {span_id!r}")
+            elif span_id in ends:
+                failures.append(f"span {span_id!r}: ended twice")
+            else:
+                ends[span_id] = record
+                if record["ts"] < starts[span_id]["ts"] - _EPS:
+                    failures.append(
+                        f"span {span_id!r}: end ts {record['ts']} before "
+                        f"start ts {starts[span_id]['ts']}")
+        elif kind == "event":
+            span = record.get("span")
+            if span is not None and span not in starts:
+                failures.append(
+                    f"event {record.get('name')!r}: span {span!r} unknown")
+        elif kind == "meta":
+            pass
+        else:
+            failures.append(f"record {index}: unknown type {kind!r}")
+
+    for span_id, start in starts.items():
+        if span_id not in ends:
+            failures.append(
+                f"span {span_id!r} ({start.get('name')!r}) never ended")
+
+    # interval nesting: child ⊆ parent (both must have ended)
+    for span_id, start in starts.items():
+        parent = start.get("parent")
+        if parent is None or span_id not in ends or parent not in ends:
+            continue
+        p_start, p_end = starts[parent]["ts"], ends[parent]["ts"]
+        c_start, c_end = start["ts"], ends[span_id]["ts"]
+        if c_start < p_start - _EPS or c_end > p_end + _EPS:
+            failures.append(
+                f"span {span_id!r} ({start.get('name')!r}) "
+                f"[{c_start:.6f}, {c_end:.6f}] escapes parent {parent!r} "
+                f"[{p_start:.6f}, {p_end:.6f}]")
+
+    # job spans: exactly one terminal state each
+    for span_id, start in starts.items():
+        if start.get("name") != "job":
+            continue
+        end = ends.get(span_id)
+        if end is None:
+            continue  # already reported as never-ended
+        terminal = (end.get("attrs") or {}).get("terminal")
+        if terminal not in _TERMINAL_STATES:
+            failures.append(
+                f"job span {span_id!r}: terminal state {terminal!r} not one "
+                f"of {_TERMINAL_STATES}")
+    return failures
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Parse + validate a JSONL trace file (meta header optional)."""
+
+    records = []
+    failures: List[str] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                failures.append(f"{path}:{lineno}: not JSON: {exc}")
+                continue
+            if record.get("type") != "meta":
+                records.append(record)
+    if failures:
+        return failures
+    if not records:
+        return [f"{path}: no trace records"]
+    return validate_trace_records(records)
+
+
+def validate_chrome_file(path: str) -> List[str]:
+    """Check the Chrome trace-event export parses and is structurally sane."""
+
+    try:
+        with open(path) as fh:
+            document = json.load(fh)
+    except ValueError as exc:
+        return [f"{path}: not valid JSON: {exc}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents is not a list"]
+    failures = []
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            failures.append(f"{path}: traceEvents[{index}] is not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                failures.append(f"{path}: traceEvents[{index}] missing {key!r}")
+    return failures

@@ -1,0 +1,153 @@
+"""Trace exporters: JSONL event log and Chrome trace-event (Perfetto) JSON.
+
+``accsat --trace FILE`` / ``accsat serve --trace FILE`` write two files:
+
+* **FILE** — the tracer's record stream as JSON Lines, prefixed with a
+  ``{"type": "meta", "schema": "repro-obs-trace/1", ...}`` header line.
+  This is the canonical, schema-checked format
+  (:mod:`repro.obs.check` / ``benchmarks/check_trace.py``).
+* **FILE with a ``.chrome.json`` suffix** (:func:`chrome_path_for`) — the
+  same spans/events in the Chrome trace-event format, loadable in
+  ``chrome://tracing`` or Perfetto: spans become complete (``"X"``)
+  events with microsecond timestamps, point events become instants.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+SCHEMA = "repro-obs-trace/1"
+
+
+def chrome_path_for(path: str) -> str:
+    """``out.json`` → ``out.chrome.json`` (suffix-preserving sibling)."""
+
+    root, dot, ext = path.rpartition(".")
+    if not dot or "/" in ext or "\\" in ext:
+        return path + ".chrome.json"
+    return f"{root}.chrome.{ext}"
+
+
+def write_jsonl(records: List[Dict[str, Any]], path: str,
+                meta: Optional[Dict[str, Any]] = None) -> None:
+    """Write the record stream as JSON Lines with a leading meta header."""
+
+    header = {"type": "meta", "schema": SCHEMA}
+    if meta:
+        header.update(meta)
+    with open(path, "w") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_jsonl(path: str):
+    """Read a JSONL trace; returns ``(meta_or_None, records)``."""
+
+    meta = None
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "meta":
+                meta = record
+            else:
+                records.append(record)
+    return meta, records
+
+
+def to_chrome_trace(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert the record stream to a Chrome trace-event document."""
+
+    starts: Dict[str, Dict[str, Any]] = {}
+    trace_events: List[Dict[str, Any]] = []
+    for record in records:
+        kind = record.get("type")
+        if kind == "start":
+            starts[record["id"]] = record
+        elif kind == "end":
+            start = starts.pop(record["id"], None)
+            if start is None:
+                continue
+            args = dict(start.get("attrs") or {})
+            args.update(record.get("attrs") or {})
+            args["id"] = record["id"]
+            if start.get("parent") is not None:
+                args["parent"] = start["parent"]
+            trace_events.append({
+                "name": start["name"],
+                "ph": "X",
+                "ts": start["ts"] * 1e6,
+                "dur": max(0.0, (record["ts"] - start["ts"]) * 1e6),
+                "pid": 1,
+                "tid": 1,
+                "cat": "span",
+                "args": args,
+            })
+        elif kind == "event":
+            args = dict(record.get("attrs") or {})
+            if record.get("span") is not None:
+                args["span"] = record["span"]
+            trace_events.append({
+                "name": record["name"],
+                "ph": "i",
+                "s": "t",
+                "ts": record["ts"] * 1e6,
+                "pid": 1,
+                "tid": 1,
+                "cat": "event",
+                "args": args,
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: List[Dict[str, Any]], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(records), fh, sort_keys=True)
+        fh.write("\n")
+
+
+def write_trace_files(records: List[Dict[str, Any]], path: str,
+                      meta: Optional[Dict[str, Any]] = None):
+    """Write both export formats; returns ``(jsonl_path, chrome_path)``."""
+
+    chrome_path = chrome_path_for(path)
+    write_jsonl(records, path, meta=meta)
+    write_chrome_trace(records, chrome_path)
+    return path, chrome_path
+
+
+def render_summary(records: List[Dict[str, Any]], width: int = 60) -> str:
+    """A human-readable trace digest (span counts/total durations by name,
+    event counts by name) — what ``examples/service_quickstart.py`` §6
+    prints."""
+
+    starts: Dict[str, Dict[str, Any]] = {}
+    span_stats: Dict[str, List[float]] = {}
+    event_counts: Dict[str, int] = {}
+    for record in records:
+        kind = record.get("type")
+        if kind == "start":
+            starts[record["id"]] = record
+        elif kind == "end":
+            start = starts.pop(record["id"], None)
+            if start is not None:
+                span_stats.setdefault(start["name"], []).append(
+                    record["ts"] - start["ts"])
+        elif kind == "event":
+            event_counts[record["name"]] = event_counts.get(record["name"], 0) + 1
+    lines = [f"{'span':<{width // 2}} {'count':>7} {'total_s':>10}"]
+    for name in sorted(span_stats):
+        durations = span_stats[name]
+        lines.append(
+            f"{name:<{width // 2}} {len(durations):>7} {sum(durations):>10.4f}")
+    if event_counts:
+        lines.append("")
+        lines.append(f"{'event':<{width // 2}} {'count':>7}")
+        for name in sorted(event_counts):
+            lines.append(f"{name:<{width // 2}} {event_counts[name]:>7}")
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""The metrics registry: counters, gauges, histograms, adapted sources.
+
+One :class:`MetricsRegistry` fronts every counter surface the system has
+grown — :class:`~repro.service.stats.ServiceStats`,
+:class:`~repro.session.cache.CacheStats`, the fault plan's injection
+counts, per-rule :class:`~repro.egraph.runner.RuleStats` aggregates and
+the runner's phase times — behind a single :meth:`MetricsRegistry.snapshot`
+whose output is a plain JSON-able dict with **deterministic key order**
+(recursively sorted).  That snapshot is the exact payload a future HTTP
+``/stats`` endpoint serves, and it is what ``accsat serve --report``
+emits today.
+
+Native instruments (:class:`Counter`, :class:`Gauge`, :class:`Histogram`)
+are cheap, thread-safe, and created on first use; *sources* are zero-arg
+callables adapted at snapshot time, so existing stats objects keep their
+own locking discipline and the registry never caches stale values.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict
+
+
+def sorted_deep(obj: Any) -> Any:
+    """Rebuild *obj* with recursively sorted dict keys (deterministic order)."""
+
+    if isinstance(obj, dict):
+        return {key: sorted_deep(obj[key]) for key in sorted(obj)}
+    if isinstance(obj, (list, tuple)):
+        return [sorted_deep(item) for item in obj]
+    return obj
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def set(self, value) -> None:
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """Streaming count/total/min/max summary of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            mean = self.total / self.count if self.count else None
+            return {
+                "count": self.count,
+                "max": self.max,
+                "mean": mean,
+                "min": self.min,
+                "total": self.total,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments plus adapted sources, snapshotted deterministically."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._sources: Dict[str, Callable[[], Dict[str, Any]]] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    def add_source(self, name: str, fn: Callable[[], Dict[str, Any]]) -> None:
+        """Register a zero-arg callable returning a dict, keyed *name*.
+
+        Reserved names (``counters``/``gauges``/``histograms``) are
+        rejected — sources appear as top-level snapshot sections.
+        """
+
+        if name in ("counters", "gauges", "histograms"):
+            raise ValueError(f"source name {name!r} is reserved")
+        with self._lock:
+            self._sources[name] = fn
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One self-consistent document: every source + native instrument.
+
+        Key order is deterministic (recursively sorted); values from
+        sources are read at call time under each source's own locking.
+        """
+
+        with self._lock:
+            counters = {name: c.value for name, c in self._counters.items()}
+            gauges = {name: g.value for name, g in self._gauges.items()}
+            histograms = {name: h.as_dict() for name, h in self._histograms.items()}
+            sources = dict(self._sources)
+        data: Dict[str, Any] = {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+        for name, fn in sources.items():
+            data[name] = fn()
+        return sorted_deep(data)

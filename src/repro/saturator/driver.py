@@ -29,6 +29,8 @@ def optimize_ast(
     on_iteration: Optional["IterationCallback"] = None,
     cancellation: Optional["CancellationToken"] = None,
     fault_hook: Optional["FaultHook"] = None,
+    tracer=None,
+    trace_parent=None,
 ) -> OptimizationResult:
     """Optimize every kernel found under *root*, mutating the AST.
 
@@ -45,12 +47,29 @@ def optimize_ast(
     kernels = find_parallel_kernels(root, name_prefix)
     reports = []
     for kernel in kernels:
-        _, report = optimize_kernel(
-            kernel, config, stages,
-            on_iteration=on_iteration,
-            cancellation=cancellation,
-            fault_hook=fault_hook,
-        )
+        kernel_span = None
+        if tracer is not None:
+            kernel_span = tracer.span(
+                "kernel", parent=trace_parent, name=kernel.name
+            )
+        try:
+            _, report = optimize_kernel(
+                kernel, config, stages,
+                on_iteration=on_iteration,
+                cancellation=cancellation,
+                fault_hook=fault_hook,
+                tracer=tracer,
+                trace_parent=None if kernel_span is None else kernel_span.span_id,
+            )
+        except BaseException as exc:
+            if kernel_span is not None:
+                kernel_span.end(error=type(exc).__name__)
+            raise
+        if kernel_span is not None:
+            kernel_span.end(
+                extracted_cost=report.extracted_cost,
+                degraded=report.degraded,
+            )
         reports.append(report)
     return OptimizationResult(
         code=print_c(root),
@@ -67,6 +86,8 @@ def optimize_source(
     on_iteration: Optional["IterationCallback"] = None,
     cancellation: Optional["CancellationToken"] = None,
     fault_hook: Optional["FaultHook"] = None,
+    tracer=None,
+    trace_parent=None,
 ) -> OptimizationResult:
     """Optimize OpenACC/OpenMP C *source* and return the regenerated code.
 
@@ -90,4 +111,6 @@ def optimize_source(
         on_iteration=on_iteration,
         cancellation=cancellation,
         fault_hook=fault_hook,
+        tracer=tracer,
+        trace_parent=trace_parent,
     )

@@ -43,6 +43,8 @@ def optimize_loop_body(
     on_iteration: Optional[IterationCallback] = None,
     cancellation: Optional[CancellationToken] = None,
     fault_hook: Optional["FaultHook"] = None,
+    tracer=None,
+    trace_parent=None,
 ) -> Tuple[GeneratedKernel, KernelReport]:
     """Optimize the body of one innermost parallel loop, in place.
 
@@ -72,6 +74,8 @@ def optimize_loop_body(
         on_iteration=on_iteration,
         cancellation=cancellation,
         fault_hook=fault_hook,
+        tracer=tracer,
+        trace_span=trace_parent,
     )
     run_stages(ctx, stages)
     return ctx.generated, ctx.report
@@ -84,6 +88,8 @@ def optimize_kernel(
     on_iteration: Optional[IterationCallback] = None,
     cancellation: Optional[CancellationToken] = None,
     fault_hook: Optional["FaultHook"] = None,
+    tracer=None,
+    trace_parent=None,
 ) -> Tuple[GeneratedKernel, KernelReport]:
     """Optimize one discovered kernel in place (see :func:`optimize_loop_body`)."""
 
@@ -94,4 +100,6 @@ def optimize_kernel(
         on_iteration=on_iteration,
         cancellation=cancellation,
         fault_hook=fault_hook,
+        tracer=tracer,
+        trace_parent=trace_parent,
     )

@@ -58,6 +58,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.sites import check_site
 from repro.service.errors import InjectedFault, TransientError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -109,6 +110,11 @@ class FaultRule:
             raise ValueError("after must be >= 0")
         if self.after and self.kind != "crash":
             raise ValueError("after only applies to 'crash' rules")
+        # sites come from the shared instrumentation-site registry
+        # (repro.obs.sites) — the same table telemetry instruments — so a
+        # typo'd or undeclared site fails here instead of never firing.
+        # Ad-hoc sites (tests, experiments) register via register_site().
+        check_site(self.site)
 
 
 class FaultPlan:
@@ -129,6 +135,12 @@ class FaultPlan:
         self._injected: Dict[str, int] = {}
         self._rngs: Dict[Tuple[int, str, Optional[str]], random.Random] = {}
         self._tl = threading.local()
+        #: Optional observer ``(site, rule, job_key, hit)`` called — outside
+        #: the plan lock, before the fault acts — for every verdict either
+        #: :meth:`fire` or :meth:`check` produced.  The service wires it to
+        #: the tracer, so every injected fault is automatically a trace
+        #: event; observers must not raise.
+        self.on_inject = None
 
     # -- binding -------------------------------------------------------------
 
@@ -182,6 +194,7 @@ class FaultPlan:
         """
 
         verdicts, key, hit = self._evaluate(site)
+        self._observe(verdicts, site, key, hit)
         # act outside the lock: injections raise, and the deadline kind
         # touches the token (which other threads may be polling)
         for rule in verdicts:
@@ -199,7 +212,8 @@ class FaultPlan:
         per ``(site, job)`` regardless of which method consumes a site.
         """
 
-        verdicts, _, _ = self._evaluate(site)
+        verdicts, key, hit = self._evaluate(site)
+        self._observe(verdicts, site, key, hit)
         return verdicts
 
     def _rng(self, index: int, site: str, key: Optional[str]) -> random.Random:
@@ -216,6 +230,15 @@ class FaultPlan:
             rng = random.Random(zlib.crc32(material))
             self._rngs[stream] = rng
         return rng
+
+    def _observe(
+        self, verdicts: List[FaultRule], site: str, key: Optional[str], hit: int
+    ) -> None:
+        observer = self.on_inject
+        if observer is None:
+            return
+        for rule in verdicts:
+            observer(site, rule, key, hit)
 
     def _inject(
         self, rule: FaultRule, site: str, key: Optional[str], hit: int

@@ -142,6 +142,15 @@ class Job:
     #: events stay uniquely and monotonically numbered across retries —
     #: streams must never see the event list shrink or renumber.
     event_seq: int = 0
+    #: The job's telemetry span (a :class:`repro.obs.Span`), set by the
+    #: service at submit when tracing is on; ``None`` otherwise.  The
+    #: service ends it exactly once with the job's terminal state.
+    span: Optional[object] = None
+    #: The span of the attempt currently running this job (set by the
+    #: worker loop per attempt); ended before the job span so the span
+    #: tree nests attempt ⊆ job even on terminal transitions that happen
+    #: mid-attempt.
+    attempt_span: Optional[object] = None
     #: Monotonic timestamps of the lifecycle transitions (for latency
     #: accounting in the load-test harness; never part of any artifact).
     created_at: float = field(default_factory=time.monotonic)

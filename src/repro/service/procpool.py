@@ -54,6 +54,7 @@ import threading
 import time
 import multiprocessing
 import multiprocessing.connection
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
@@ -93,6 +94,12 @@ class WorkerTask:
     timeout: Optional[float]
     trip_path: Optional[str]
     crash_after: Optional[int]
+    #: Telemetry opt-in: the child builds a local tracer, runs the attempt
+    #: under a ``worker:run`` root span, and ships its buffered records up
+    #: the pipe (``("spans", task_id, records)``) just before the terminal
+    #: message; the parent re-parents them under the attempt span.  Purely
+    #: observational — the flag never reaches the pipeline's cache key.
+    trace: bool = False
 
 
 class _CrashNow(BaseException):
@@ -116,6 +123,11 @@ def _child_main(
     * ``("error", task_id, pickled_exc | None, type_name, message,
       transient)`` — any other failure; the original exception rides
       along when it pickles.
+    * ``("spans", task_id, records)`` — when ``task.trace``: the child
+      tracer's rebased record buffer, sent immediately *before* the
+      terminal message so an attempt's spans always precede its outcome
+      (a crashed child simply loses its buffer — the parent records the
+      death on the attempt span instead).
 
     A ``None`` task is the shutdown sentinel.
     """
@@ -156,39 +168,65 @@ def _child_main(
             if task.crash_after is not None and published >= task.crash_after:
                 raise _CrashNow()
 
-        try:
-            result, from_cache = session.run_detailed(
-                task.source,
-                task.config,
-                task.name_prefix,
-                on_iteration=on_iteration,
-                cancellation=token,
+        tracer = None
+        root_span = None
+        if task.trace:
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer()
+            root_span = tracer.span(
+                "worker:run", task=task.task_id, pid=os.getpid()
             )
+            if cache is not None:
+                # cache probes during this attempt become trace events
+                # parented (via the bind below) to the worker's root span
+                cache.trace_hook = tracer.hook
+
+        try:
+            run_scope = (
+                tracer.bind(root_span) if tracer is not None else nullcontext()
+            )
+            with run_scope:
+                result, from_cache = session.run_detailed(
+                    task.source,
+                    task.config,
+                    task.name_prefix,
+                    on_iteration=on_iteration,
+                    cancellation=token,
+                    tracer=tracer,
+                    trace_parent=None if root_span is None else root_span.span_id,
+                )
         except _CrashNow:
             # the injected kill: a hard exit at the iteration boundary,
             # exactly where a real SIGKILL mid-saturation would land
             os._exit(CRASH_EXIT_CODE)
         except SaturationCancelled as error:
-            conn.send(("cancelled", task.task_id, str(error)))
+            terminal = ("cancelled", task.task_id, str(error))
         except DeadlineExceeded as error:
-            conn.send(("deadline", task.task_id, str(error)))
+            terminal = ("deadline", task.task_id, str(error))
         except BaseException as error:  # ship it; the parent re-raises
             try:
                 payload: Optional[bytes] = pickle.dumps(error)
             except Exception:
                 payload = None
-            conn.send(
-                (
-                    "error",
-                    task.task_id,
-                    payload,
-                    type(error).__name__,
-                    str(error),
-                    isinstance(error, OSError),
-                )
+            terminal = (
+                "error",
+                task.task_id,
+                payload,
+                type(error).__name__,
+                str(error),
+                isinstance(error, OSError),
             )
         else:
-            conn.send(("done", task.task_id, result, from_cache))
+            terminal = ("done", task.task_id, result, from_cache)
+        if tracer is not None:
+            root_span.end(outcome=terminal[0])
+            if cache is not None:
+                cache.trace_hook = None
+            # rebased timestamps: perf_counter origins do not cross the
+            # process boundary; the parent offsets them to the attempt span
+            conn.send(("spans", task.task_id, tracer.rebased_records()))
+        conn.send(terminal)
 
 
 def _ensure_child_importable() -> None:
@@ -353,6 +391,7 @@ class ProcessWorkerPool:
         self,
         task: WorkerTask,
         on_progress: Optional[Callable[["IterationReport"], None]] = None,
+        on_spans: Optional[Callable[[list], None]] = None,
     ) -> Tuple["OptimizationResult", bool]:
         """Run one attempt on a leased worker; supervise until terminal.
 
@@ -381,7 +420,7 @@ class ProcessWorkerPool:
             )
         worker.last_beat = time.monotonic()
         try:
-            outcome = self._supervise(worker, task, on_progress)
+            outcome = self._supervise(worker, task, on_progress, on_spans)
         except WorkerDiedError:
             raise
         except BaseException:
@@ -401,6 +440,7 @@ class ProcessWorkerPool:
         worker: _Worker,
         task: WorkerTask,
         on_progress: Optional[Callable[["IterationReport"], None]],
+        on_spans: Optional[Callable[[list], None]] = None,
     ) -> tuple:
         """Pump messages until the attempt's terminal message (returned).
 
@@ -420,12 +460,12 @@ class ProcessWorkerPool:
                 except (EOFError, OSError):
                     self._died(worker, task, "its pipe closed mid-message")
                 worker.last_beat = time.monotonic()
-                terminal = self._relay(message, task, on_progress)
+                terminal = self._relay(message, task, on_progress, on_spans)
                 if terminal is not None:
                     return terminal
                 continue
             if not worker.proc.is_alive():
-                terminal = self._drain(worker, task, on_progress)
+                terminal = self._drain(worker, task, on_progress, on_spans)
                 if terminal is not None:
                     # the child finished the job, then died: the result is
                     # complete and valid — use it, but still replace the
@@ -458,6 +498,7 @@ class ProcessWorkerPool:
         worker: _Worker,
         task: WorkerTask,
         on_progress: Optional[Callable[["IterationReport"], None]],
+        on_spans: Optional[Callable[[list], None]] = None,
     ) -> Optional[tuple]:
         """Consume whatever a dead worker managed to send; return a
         terminal message if one made it out before the death."""
@@ -469,7 +510,7 @@ class ProcessWorkerPool:
                 message = worker.conn.recv()
             except (EOFError, OSError):
                 return None
-            terminal = self._relay(message, task, on_progress)
+            terminal = self._relay(message, task, on_progress, on_spans)
             if terminal is not None:
                 return terminal
 
@@ -478,6 +519,7 @@ class ProcessWorkerPool:
         message: tuple,
         task: WorkerTask,
         on_progress: Optional[Callable[["IterationReport"], None]],
+        on_spans: Optional[Callable[[list], None]] = None,
     ) -> Optional[tuple]:
         """Dispatch one child message; non-None = the terminal message."""
 
@@ -487,6 +529,10 @@ class ProcessWorkerPool:
         if tag == "progress":
             if on_progress is not None:
                 on_progress(message[2])
+            return None
+        if tag == "spans":
+            if on_spans is not None:
+                on_spans(message[2])
             return None
         return message
 

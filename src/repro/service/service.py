@@ -64,6 +64,7 @@ from itertools import count
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.egraph.runner import CancellationToken, FileTripSignal, StopReason
+from repro.obs.metrics import MetricsRegistry
 from repro.saturator.config import SaturatorConfig
 from repro.saturator.report import OptimizationResult
 from repro.service.errors import (
@@ -167,6 +168,7 @@ class OptimizationService:
         faults: Optional[FaultPlan] = None,
         executor: str = "thread",
         heartbeat_timeout: Optional[float] = None,
+        tracer=None,
     ) -> None:
         if session is not None and (config is not None or cache is not None):
             raise ValueError("pass either a session or config/cache, not both")
@@ -227,6 +229,35 @@ class OptimizationService:
             ):
                 if tier is not None:
                     tier.fault_hook = faults.fire
+        #: Strictly observational telemetry (PR 10).  ``tracer`` is an
+        #: optional :class:`repro.obs.Tracer`; ``metrics`` always exists —
+        #: it adapts every counter surface (ServiceStats, CacheStats, the
+        #: fault plan's injection counts, the tracer's own counters, plus
+        #: phase-time histograms and per-rule counters observed from
+        #: completed runs) behind one deterministic ``snapshot()``, the
+        #: payload ``accsat serve --report`` emits.
+        self.tracer = tracer
+        self.metrics = MetricsRegistry()
+        self.metrics.add_source("service", self.stats.snapshot)
+        if session.cache is not None:
+            self.metrics.add_source("cache", session.cache.stats.as_dict)
+        if faults is not None:
+            self.metrics.add_source("faults", faults.injected)
+        if tracer is not None:
+            self.metrics.add_source("telemetry", tracer.counts)
+            # cache probes become trace events parented (via the per-
+            # attempt bind) to the job that issued them
+            session.cache.trace_hook = tracer.hook
+            if faults is not None:
+                # every fault verdict — raising or structural — surfaces
+                # as a trace event automatically (the observer runs under
+                # the per-attempt bind, so it lands on the right span)
+                def _fault_event(site, rule, key, hit):
+                    tracer.event(
+                        "fault:injected", site=site, kind=rule.kind, hit=hit
+                    )
+
+                faults.on_inject = _fault_event
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -350,6 +381,11 @@ class OptimizationService:
                 if handle is not None:
                     self.stats.count("submitted")
                     self.stats.count("coalesced")
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "job:coalesce", span=job.span,
+                            followers=len(job.handles),
+                        )
                     return handle
             seq = next(self._seq)
             if self._queue.full and self.overload_policy != "block":
@@ -358,6 +394,12 @@ class OptimizationService:
                 # rollback
                 self._admit_under_load(request, seq)
             job = Job(request, key, seq=seq, stats=self.stats)
+            if self.tracer is not None:
+                job.span = self.tracer.span(
+                    "job", seq=seq, key=key.digest[:12],
+                    priority=request.priority,
+                    name_prefix=request.name_prefix,
+                )
             # every job gets a token (deadline or not) so running jobs
             # are always cooperatively cancellable
             job.cancellation = CancellationToken(timeout=request.deadline)
@@ -376,6 +418,8 @@ class OptimizationService:
                         del self._inflight[key]
                 self._jobs.remove(job)
                 self.stats.count("rejected")
+                if job.span is not None:
+                    job.span.end(terminal="cancelled", reason="submit-timeout")
                 raise ServiceOverloadedError(
                     f"no queue space within {self.submit_timeout!r}s "
                     f"(max_depth={self._queue.max_depth})"
@@ -428,6 +472,9 @@ class OptimizationService:
                     "outranked it"
                 )
             )
+            if self.tracer is not None:
+                self.tracer.event("job:shed", span=victim.span)
+            self._end_job_span(victim, "failed", reason="shed")
             self.stats.count("shed")
             self.stats.count("failed", outcomes)
             self.stats.job_dequeued()
@@ -475,6 +522,22 @@ class OptimizationService:
 
         self._queue.discard(job)
         self._drop_inflight(job)
+        self._end_job_span(job, "cancelled")
+
+    def _end_job_span(self, job: Job, terminal: str, **attrs) -> None:
+        """End the job's span with its terminal state (idempotent: only
+        the first terminal transition emits the end record)."""
+
+        span = job.span
+        if span is not None:
+            # close the running attempt (if any) first: terminal
+            # transitions happen mid-attempt, and the job span must
+            # outlive its children for the trace to nest.  Span.end is
+            # idempotent, so the attempt wrapper's own end is a no-op.
+            attempt = job.attempt_span
+            if attempt is not None:
+                attempt.end()
+            span.end(terminal=terminal, retries=job.retries, **attrs)
 
     def _drop_inflight(self, job: Job) -> None:
         # registry lock only: this runs on worker threads, which must
@@ -490,6 +553,7 @@ class OptimizationService:
         self._drop_inflight(job)
         outcomes = job.live_handles
         job.fail(error)
+        self._end_job_span(job, "failed", error=type(error).__name__)
         self.stats.count("failed", outcomes)
 
     def _backoff(self, attempt: int) -> float:
@@ -515,6 +579,7 @@ class OptimizationService:
                 job.fail(
                     JobDeadlineError("deadline expired before the job started")
                 )
+                self._end_job_span(job, "failed", reason="queued-expiry")
                 self.stats.job_dequeued()
                 self.stats.count("expired")
                 self.stats.count("failed", outcomes)
@@ -531,11 +596,38 @@ class OptimizationService:
                 if not job.state.terminal:
                     outcomes = job.live_handles
                     job.fail(error)
+                    self._end_job_span(job, "failed", error=type(error).__name__)
                     self.stats.count("failed", outcomes)
             finally:
                 self.stats.job_finished()
 
     def _run_job(self, job: Job) -> None:
+        """Run one attempt of *job*, under an ``attempt`` span when traced.
+
+        The attempt span is **bound** to the worker thread for the
+        duration of the attempt, so instrumentation that cannot thread an
+        explicit parent — shared-cache probes, fault-injection verdicts —
+        parents its events to the right attempt automatically.  Each
+        retry gets a fresh attempt span under the same job span, which is
+        also where a process worker's ingested spans re-parent.
+        """
+
+        tracer = self.tracer
+        if tracer is None:
+            return self._run_attempt(job)
+        attempt_span = tracer.span(
+            "attempt", parent=job.span,
+            attempt=job.retries, executor=self.executor,
+        )
+        job.attempt_span = attempt_span
+        try:
+            with tracer.bind(attempt_span):
+                return self._run_attempt(job)
+        finally:
+            attempt_span.end()
+            job.attempt_span = None
+
+    def _run_attempt(self, job: Job) -> None:
         plan = self.faults
 
         def publish(row) -> None:  # row: repro.egraph.runner.IterationReport
@@ -563,6 +655,7 @@ class OptimizationService:
             # are carried to CANCELLED with the job
             self._drop_inflight(job)
             stragglers = job.cancel_run()
+            self._end_job_span(job, "cancelled")
             if stragglers:
                 self.stats.count("cancelled", stragglers)
             return
@@ -579,6 +672,14 @@ class OptimizationService:
                 and not self._queue.closed
             ):
                 job.retries += 1
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "job:retry", span=job.span,
+                        attempt=job.retries,
+                        backoff=self._backoff(job.retries),
+                        error=type(error).__name__,
+                        worker_death=isinstance(error, WorkerDiedError),
+                    )
                 if job.requeue():
                     self.stats.count("retried")
                     self.stats.job_requeued()
@@ -598,14 +699,37 @@ class OptimizationService:
             self.stats.count("recovered")
         if result.degraded:
             self.stats.count("degraded")
+            if self.tracer is not None:
+                self.tracer.event("job:degraded", span=job.span)
         self.stats.count("cache_hits" if from_cache else "pipeline_runs")
+        self._observe_result(result, from_cache)
         # leave the in-flight registry *before* resolving: a submission
         # racing with completion either attaches (and shares this result)
         # or misses the registry and hits the artifact cache — never both
         self._drop_inflight(job)
         outcomes = job.live_handles
         job.resolve(result, from_cache)
+        self._end_job_span(
+            job, "done", from_cache=from_cache, degraded=result.degraded,
+        )
         self.stats.count("completed", outcomes)
+
+    def _observe_result(self, result: OptimizationResult, from_cache: bool) -> None:
+        """Feed a completed cold run's phase times and per-rule counters
+        into the metrics registry (cache hits carry stale copies)."""
+
+        if from_cache:
+            return
+        metrics = self.metrics
+        for kernel in result.kernels:
+            runner = kernel.runner
+            if runner is None:
+                continue
+            for phase, seconds in runner.phase_times.items():
+                metrics.histogram(f"phase:{phase}").observe(seconds)
+            for name, rule in runner.rule_stats.items():
+                metrics.counter(f"rule:{name}:matches").inc(rule.matches)
+                metrics.counter(f"rule:{name}:applied").inc(rule.applied)
 
     # ------------------------------------------------------------------
     # execution backends
@@ -617,6 +741,10 @@ class OptimizationService:
         """Run one attempt of *job* on the configured backend."""
 
         request = job.request
+        tracer = self.tracer
+        trace_parent = (
+            None if tracer is None else tracer.current_id()
+        )
         if plan is None:
             if self._pool is None:
                 return self.session.run_detailed(
@@ -625,6 +753,8 @@ class OptimizationService:
                     request.name_prefix,
                     on_iteration=publish,
                     cancellation=job.cancellation,
+                    tracer=tracer,
+                    trace_parent=trace_parent,
                 )
             return self._dispatch(job, publish, plan, crash_after=None)
         with plan.scoped(job):
@@ -651,6 +781,8 @@ class OptimizationService:
                     on_iteration=publish,
                     cancellation=job.cancellation,
                     fault_hook=plan.fire,
+                    tracer=tracer,
+                    trace_parent=trace_parent,
                 )
             return self._dispatch(job, publish, plan, crash_after)
 
@@ -706,6 +838,7 @@ class OptimizationService:
                 # monotonic instants don't cross process boundaries:
                 # re-anchor the deadline as remaining seconds at dispatch
                 timeout = max(0.0, token.deadline - time.monotonic())
+        tracer = self.tracer
         task = WorkerTask(
             task_id=f"{job.seq}.{job.retries}",
             source=request.source,
@@ -714,8 +847,25 @@ class OptimizationService:
             timeout=timeout,
             trip_path=trip_path,
             crash_after=crash_after,
+            trace=tracer is not None,
         )
-        result, from_cache = self._pool.run_job(task, publish)
+        if tracer is None:
+            on_spans = None
+        else:
+            # re-parent the child's record stream under this attempt's
+            # span, offset to the attempt's start — the child rebased its
+            # timestamps to its own first record, and its whole run falls
+            # inside the dispatch→terminal window this span covers, so
+            # the ingested spans nest and a process-executor trace reads
+            # identically to a thread-executor one
+            attempt = tracer.current()
+            attempt_id = getattr(attempt, "span_id", attempt)
+            attempt_start = getattr(attempt, "start", 0.0)
+
+            def on_spans(records):
+                tracer.ingest(records, parent=attempt_id, offset=attempt_start)
+
+        result, from_cache = self._pool.run_job(task, publish, on_spans)
         if plan is not None and plan.check("ipc:result-drop"):
             raise TransientError(
                 f"result of task {task.task_id} dropped in IPC (injected)"

@@ -147,6 +147,18 @@ class ArtifactCache:
         #: with ``"cache:get"`` / ``"cache:store"`` before the respective
         #: IO in backends that support it.  ``None`` in production.
         self.fault_hook = None
+        #: Telemetry hook ``(site, attrs_dict)`` — ``None`` in production.
+        #: Called *after* each probe/store with the instrumentation-site
+        #: name (``"cache:get"`` / ``"cache:store"``, the same strings the
+        #: fault hook uses — see :mod:`repro.obs.sites`) and the probe
+        #: outcome.  Strictly observational: it sees completed operations
+        #: only and must not raise.
+        self.trace_hook = None
+
+    def _trace(self, site: str, **attrs: object) -> None:
+        hook = self.trace_hook
+        if hook is not None:
+            hook(site, attrs)
 
     def get(self, key: CacheKey) -> object:
         """Return the cached artifact or :data:`MISS`."""
@@ -185,10 +197,12 @@ class MemoryCache(ArtifactCache):
         with self._lock:
             if key not in self._entries:
                 self.stats.miss()
+                self._trace("cache:get", backend="memory", outcome="miss")
                 return MISS
             self._entries.move_to_end(key)
             self.stats.hit()
             value = self._entries[key]
+        self._trace("cache:get", backend="memory", outcome="hit")
         return copy.deepcopy(value)
 
     def put(self, key: CacheKey, value: object) -> None:
@@ -202,6 +216,7 @@ class MemoryCache(ArtifactCache):
             if self.max_entries is not None:
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
+        self._trace("cache:store", backend="memory")
 
     def clear(self) -> None:
         with self._lock:
@@ -229,6 +244,7 @@ class DiskCache(ArtifactCache):
                 value = pickle.load(fh)
         except FileNotFoundError:
             self.stats.miss()
+            self._trace("cache:get", backend="disk", outcome="miss")
             return MISS
         except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
             # the entry exists but won't load — truncated by a crashed
@@ -238,8 +254,10 @@ class DiskCache(ArtifactCache):
             self._quarantine(path)
             self.stats.corrupted()
             self.stats.miss()
+            self._trace("cache:get", backend="disk", outcome="corrupt")
             return MISS
         self.stats.hit()
+        self._trace("cache:get", backend="disk", outcome="hit")
         return value
 
     @staticmethod
@@ -271,6 +289,7 @@ class DiskCache(ArtifactCache):
                 pass
             raise
         self.stats.store()
+        self._trace("cache:store", backend="disk")
 
     def clear(self) -> None:
         for entry in self.root.glob("*/*.pkl"):
@@ -296,6 +315,8 @@ class TieredCache(ArtifactCache):
             value = self.memory.get(key)
             if value is not MISS:
                 self.stats.hit()
+                self._trace("cache:get", backend="tiered", outcome="hit",
+                            tier="memory")
                 return value
         if self.disk is not None:
             value = self.disk.get(key)
@@ -303,8 +324,11 @@ class TieredCache(ArtifactCache):
                 if self.memory is not None:
                     self.memory.put(key, value)
                 self.stats.hit()
+                self._trace("cache:get", backend="tiered", outcome="hit",
+                            tier="disk")
                 return value
         self.stats.miss()
+        self._trace("cache:get", backend="tiered", outcome="miss")
         return MISS
 
     def put(self, key: CacheKey, value: object) -> None:
@@ -313,6 +337,7 @@ class TieredCache(ArtifactCache):
         if self.disk is not None:
             self.disk.put(key, value)
         self.stats.store()
+        self._trace("cache:store", backend="tiered")
 
     def clear(self) -> None:
         if self.memory is not None:

@@ -120,6 +120,8 @@ class OptimizationSession:
         on_iteration: Optional["IterationCallback"] = None,
         cancellation: Optional["CancellationToken"] = None,
         fault_hook: Optional["FaultHook"] = None,
+        tracer=None,
+        trace_parent=None,
     ) -> OptimizationResult:
         """Optimize *source*, reusing a cached artifact when one exists.
 
@@ -133,6 +135,7 @@ class OptimizationSession:
         return self.run_detailed(
             source, config, name_prefix, on_iteration,
             cancellation=cancellation, fault_hook=fault_hook,
+            tracer=tracer, trace_parent=trace_parent,
         )[0]
 
     def run_detailed(
@@ -143,6 +146,8 @@ class OptimizationSession:
         on_iteration: Optional["IterationCallback"] = None,
         cancellation: Optional["CancellationToken"] = None,
         fault_hook: Optional["FaultHook"] = None,
+        tracer=None,
+        trace_parent=None,
     ) -> Tuple[OptimizationResult, bool]:
         """Like :meth:`run`, but also reports whether the cache served it.
 
@@ -155,6 +160,11 @@ class OptimizationSession:
         snapshot; degraded artifacts are *never* stored in the cache, so
         they can't shadow the full artifact a later unconstrained run
         produces.
+
+        ``tracer``/``trace_parent`` thread a :class:`repro.obs.Tracer`
+        into a cold run.  Like ``on_iteration``, the tracer is strictly
+        observational: it is not part of the cache key, and traced and
+        untraced runs produce byte-identical artifacts.
         """
 
         config = config or self.config
@@ -162,7 +172,7 @@ class OptimizationSession:
             return (
                 self._cold(
                     source, config, name_prefix, on_iteration,
-                    cancellation, fault_hook,
+                    cancellation, fault_hook, tracer, trace_parent,
                 ),
                 False,
             )
@@ -171,7 +181,8 @@ class OptimizationSession:
         if hit is not MISS:
             return self._mark_cached(hit), True
         result = self._cold(
-            source, config, name_prefix, on_iteration, cancellation, fault_hook
+            source, config, name_prefix, on_iteration, cancellation,
+            fault_hook, tracer, trace_parent,
         )
         if not result.degraded:
             self.cache.put(key, result)
@@ -254,6 +265,8 @@ class OptimizationSession:
         on_iteration: Optional["IterationCallback"] = None,
         cancellation: Optional["CancellationToken"] = None,
         fault_hook: Optional["FaultHook"] = None,
+        tracer=None,
+        trace_parent=None,
     ) -> OptimizationResult:
         from repro.saturator.driver import optimize_source
 
@@ -262,6 +275,8 @@ class OptimizationSession:
             on_iteration=on_iteration,
             cancellation=cancellation,
             fault_hook=fault_hook,
+            tracer=tracer,
+            trace_parent=trace_parent,
         )
 
     @staticmethod

@@ -129,6 +129,14 @@ class StageContext:
     #: Fault-injection hook called at stage boundaries (``"stage:<name>"``);
     #: ``None`` in production.  See :mod:`repro.service.faults`.
     fault_hook: Optional[FaultHook] = None
+    #: Optional :class:`repro.obs.Tracer` — strictly observational, like
+    #: ``on_iteration``: never part of the cache fingerprint; traced and
+    #: untraced runs produce byte-identical artifacts.
+    tracer: Optional[object] = None
+    #: Parent span id for this kernel's stage spans (set by the caller);
+    #: :func:`run_stages` re-points it at each running stage's span so the
+    #: saturation loop's iteration spans nest under ``stage:saturate``.
+    trace_span: Optional[str] = None
     #: Best in-loop extraction snapshot (set by :class:`SaturationStage`
     #: when anytime extraction ran with ``keep_best``); its class ids are
     #: canonical at the iteration that produced it, so consumers rebase
@@ -242,6 +250,8 @@ class SaturationStage(Stage):
                 anytime=anytime,
                 on_iteration=ctx.on_iteration,
                 cancellation=ctx.cancellation,
+                tracer=ctx.tracer,
+                trace_parent=ctx.trace_span,
             )
             ctx.report.runner = runner.run()
             if anytime is not None:
@@ -365,13 +375,34 @@ def run_stages(
     the paper uses for its "SSA/codegen" vs "saturation" split.
     """
 
+    tracer = ctx.tracer
+    trace_parent = ctx.trace_span
     for stage in (DEFAULT_STAGES if stages is None else stages):
         stage.check(ctx)
         if ctx.fault_hook is not None:
             ctx.fault_hook(f"stage:{stage.name}")
+        span = None
+        if tracer is not None:
+            # span names reuse the fault-hook site strings (the
+            # ``stage:`` prefix family of repro.obs.sites), and the
+            # running stage's span becomes ``ctx.trace_span`` so child
+            # work (the saturation loop's iteration spans) nests under it
+            span = tracer.span(
+                f"stage:{stage.name}", parent=trace_parent, kernel=ctx.name
+            )
+            ctx.trace_span = span.span_id
         t0 = time.perf_counter()
-        stage.run(ctx)
+        try:
+            stage.run(ctx)
+        except BaseException as exc:
+            if span is not None:
+                span.end(error=type(exc).__name__)
+                ctx.trace_span = trace_parent
+            raise
         elapsed = time.perf_counter() - t0
+        if span is not None:
+            span.end()
+            ctx.trace_span = trace_parent
         ctx.stage_times[stage.name] = ctx.stage_times.get(stage.name, 0.0) + elapsed
 
     report = ctx.report

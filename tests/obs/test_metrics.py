@@ -1,0 +1,92 @@
+"""MetricsRegistry: instruments, adapted sources, deterministic snapshots."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, sorted_deep
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(2)
+        assert registry.snapshot()["counters"]["hits"] == 3
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(5)
+        registry.gauge("depth").set(2)
+        assert registry.snapshot()["gauges"]["depth"] == 2
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 3.0, 2.0):
+            registry.histogram("latency").observe(value)
+        summary = registry.snapshot()["histograms"]["latency"]
+        assert summary == {"count": 3, "max": 3.0, "mean": 2.0,
+                           "min": 1.0, "total": 6.0}
+
+    def test_empty_histogram_has_null_summary_fields(self):
+        registry = MetricsRegistry()
+        registry.histogram("unused")
+        summary = registry.snapshot()["histograms"]["unused"]
+        assert summary["count"] == 0 and summary["mean"] is None
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestSources:
+    def test_sources_are_read_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"runs": 0}
+        registry.add_source("service", lambda: dict(state))
+        state["runs"] = 7
+        assert registry.snapshot()["service"] == {"runs": 7}
+
+    def test_reserved_source_names_are_rejected(self):
+        registry = MetricsRegistry()
+        for reserved in ("counters", "gauges", "histograms"):
+            with pytest.raises(ValueError):
+                registry.add_source(reserved, dict)
+
+
+class TestDeterminism:
+    def test_snapshot_key_order_is_recursively_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        registry.add_source("svc", lambda: {"b": {"y": 1, "x": 2}, "a": 3})
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["alpha", "zeta"]
+        assert list(snapshot["svc"]) == ["a", "b"]
+        assert list(snapshot["svc"]["b"]) == ["x", "y"]
+        # identical content serializes identically regardless of the
+        # insertion order of a second registry
+        other = MetricsRegistry()
+        other.counter("alpha").inc()
+        other.counter("zeta").inc()
+        other.add_source("svc", lambda: {"a": 3, "b": {"x": 2, "y": 1}})
+        assert json.dumps(snapshot) == json.dumps(other.snapshot())
+
+    def test_sorted_deep_handles_nesting_and_sequences(self):
+        obj = {"b": [{"z": 1, "a": 2}], "a": ({"k": 0},)}
+        out = sorted_deep(obj)
+        assert list(out) == ["a", "b"]
+        assert list(out["b"][0]) == ["a", "z"]
+        assert out["a"] == [{"k": 0}]

@@ -1,0 +1,236 @@
+"""Tracer mechanics: spans, events, binding, ingestion, and the exporters.
+
+The trace record stream is the PR-10 contract everything else builds on:
+a flat JSONL sequence of ``start`` / ``end`` / ``event`` records under
+one strictly monotone ``seq``, with ``start`` and ``end`` as *separate*
+records so "every started span ends" is checkable, and with
+cross-process ingestion re-parenting a child tracer's rebased records
+under a chosen parent span.
+"""
+
+import pytest
+
+from repro.obs import (
+    SCHEMA,
+    Tracer,
+    chrome_path_for,
+    load_jsonl,
+    render_summary,
+    to_chrome_trace,
+    validate_chrome_file,
+    validate_trace_records,
+    write_trace_files,
+)
+from repro.obs.sites import all_sites, check_site, is_known_site, register_site
+
+
+class TestSpans:
+    def test_start_and_end_are_separate_records(self):
+        tracer = Tracer()
+        span = tracer.span("work", kind="unit")
+        span.end(outcome="ok")
+        records = tracer.records()
+        assert [r["type"] for r in records] == ["start", "end"]
+        start, end = records
+        assert start["name"] == "work" and start["attrs"] == {"kind": "unit"}
+        assert end["id"] == start["id"] and end["attrs"] == {"outcome": "ok"}
+        assert end["ts"] >= start["ts"]
+
+    def test_seq_is_strictly_monotone_across_record_kinds(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            tracer.event("tick", span=outer)
+            tracer.span("inner").end()
+        seqs = [r["seq"] for r in tracer.records()]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.span("once")
+        span.end(first=True)
+        span.end(second=True)  # swallowed: exactly one end record
+        ends = [r for r in tracer.records() if r["type"] == "end"]
+        assert len(ends) == 1 and ends[0]["attrs"] == {"first": True}
+
+    def test_context_manager_records_the_exception_type(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (end,) = [r for r in tracer.records() if r["type"] == "end"]
+        assert end["attrs"]["error"] == "ValueError"
+
+    def test_record_span_takes_no_clock_readings(self):
+        reads = []
+
+        def clock():
+            reads.append(None)
+            return float(len(reads))
+
+        tracer = Tracer(clock=clock)
+        tracer.record_span("phase", 1.0, 2.0)
+        assert reads == []  # caller-supplied timestamps are used verbatim
+        start, end = tracer.records()
+        assert (start["ts"], end["ts"]) == (1.0, 2.0)
+
+    def test_name_keyword_lands_in_attrs_not_the_span_name(self):
+        tracer = Tracer()
+        tracer.span("kernel", name="jacld").end()
+        start = tracer.records()[0]
+        assert start["name"] == "kernel" and start["attrs"] == {"name": "jacld"}
+
+
+class TestBinding:
+    def test_bound_span_is_the_default_parent(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        with tracer.bind(outer):
+            child = tracer.span("child")
+            tracer.event("probe")
+        child.end()
+        outer.end()
+        records = tracer.records()
+        child_start = next(r for r in records if r.get("name") == "child")
+        event = next(r for r in records if r["type"] == "event")
+        assert child_start["parent"] == outer.span_id
+        assert event["span"] == outer.span_id
+
+    def test_explicit_parent_beats_the_binding(self):
+        tracer = Tracer()
+        a, b = tracer.span("a"), tracer.span("b")
+        with tracer.bind(a):
+            child = tracer.span("child", parent=b)
+        start = next(r for r in tracer.records() if r.get("name") == "child")
+        assert start["parent"] == b.span_id
+
+    def test_hook_adapter_emits_an_event_on_the_bound_span(self):
+        tracer = Tracer()
+        with tracer.span("job") as job, tracer.bind(job):
+            tracer.hook("cache:get", {"outcome": "hit"})
+        event = next(r for r in tracer.records() if r["type"] == "event")
+        assert event["name"] == "cache:get"
+        assert event["span"] == job.span_id
+        assert event["attrs"] == {"outcome": "hit"}
+
+
+class TestIngestion:
+    """Cross-process collection: a child tracer's records re-home cleanly."""
+
+    def _child_records(self):
+        child = Tracer()
+        root = child.span("worker:run", pid=123)
+        with child.bind(root):
+            inner = child.span("stage:saturate")
+            child.event("cache:get", outcome="miss")
+            inner.end()
+        root.end(outcome="done")
+        return child.rebased_records()
+
+    def test_rebased_records_start_at_zero(self):
+        records = self._child_records()
+        assert min(r["ts"] for r in records) == 0.0
+
+    def test_ingest_remaps_ids_and_reparents_roots(self):
+        parent = Tracer()
+        attempt = parent.span("attempt")
+        parent.ingest(self._child_records(), parent=attempt.span_id, offset=attempt.start)
+        attempt.end()
+        records = parent.records()
+        assert validate_trace_records(records) == []
+        worker = next(r for r in records if r.get("name") == "worker:run")
+        stage = next(r for r in records if r.get("name") == "stage:saturate")
+        assert worker["parent"] == attempt.span_id
+        assert stage["parent"] == worker["id"]
+        # remapped ids never collide with the parent tracer's own spans
+        assert worker["id"] != attempt.span_id
+
+    def test_ingested_seqs_stay_monotone(self):
+        parent = Tracer()
+        attempt = parent.span("attempt")
+        parent.ingest(self._child_records(), parent=attempt.span_id, offset=attempt.start)
+        parent.event("after")
+        attempt.end()
+        seqs = [r["seq"] for r in parent.records()]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_counts_track_open_and_ended_spans(self):
+        tracer = Tracer()
+        a = tracer.span("a")
+        tracer.span("b").end()
+        tracer.event("e")
+        counts = tracer.counts()
+        assert counts["spans_started"] == 2
+        assert counts["spans_ended"] == 1
+        assert counts["open_spans"] == 1
+        assert counts["events"] == 1
+        a.end()
+        assert tracer.counts()["open_spans"] == 0
+
+
+class TestExporters:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("job", seq=0) as job, tracer.bind(job):
+            with tracer.span("stage:frontend"):
+                tracer.event("cache:get", outcome="miss")
+        return tracer.records()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        records = self._traced()
+        path = str(tmp_path / "trace.json")
+        jsonl_path, chrome_path = write_trace_files(records, path, meta={"mode": "test"})
+        assert jsonl_path == path and chrome_path == str(tmp_path / "trace.chrome.json")
+        meta, loaded = load_jsonl(path)
+        assert meta["schema"] == SCHEMA and meta["mode"] == "test"
+        assert loaded == records
+
+    def test_chrome_export_pairs_starts_with_ends(self, tmp_path):
+        records = self._traced()
+        document = to_chrome_trace(records)
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert {e["name"] for e in complete} == {"job", "stage:frontend"}
+        assert [e["name"] for e in instants] == ["cache:get"]
+        for event in complete:
+            assert event["dur"] >= 0
+        path = str(tmp_path / "out.json")
+        write_trace_files(records, path)
+        assert validate_chrome_file(chrome_path_for(path)) == []
+
+    def test_chrome_path_derivation(self):
+        assert chrome_path_for("out.json") == "out.chrome.json"
+        assert chrome_path_for("dir/t.jsonl") == "dir/t.chrome.jsonl"
+        assert chrome_path_for("plain") == "plain.chrome.json"
+
+    def test_render_summary_names_spans_and_events(self):
+        text = render_summary(self._traced())
+        assert "job" in text and "cache:get" in text
+
+
+class TestSiteRegistry:
+    def test_builtin_sites_are_known(self):
+        for site in ("cache:get", "cache:store", "worker:pickup",
+                     "worker:crash", "progress:publish", "ipc:result-drop"):
+            assert is_known_site(site)
+
+    def test_stage_prefix_family(self):
+        assert is_known_site("stage:saturate")
+        assert is_known_site("stage:anything-new")
+
+    def test_unknown_site_is_rejected_with_the_inventory(self):
+        with pytest.raises(ValueError) as excinfo:
+            check_site("definitely-not-a-site")
+        assert "cache:get" in str(excinfo.value)
+
+    def test_registration_is_idempotent(self):
+        register_site("obs-test-site", "test")
+        register_site("obs-test-site", "test")
+        assert is_known_site("obs-test-site")
+        assert "obs-test-site" in all_sites()
+
+    def test_fault_rules_validate_against_the_registry(self):
+        from repro.service import FaultRule
+
+        with pytest.raises(ValueError):
+            FaultRule("not-an-instrumented-site", "transient", nth=1)
+        FaultRule("cache:get", "transient", nth=1)  # known: accepted

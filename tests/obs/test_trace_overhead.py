@@ -1,0 +1,104 @@
+"""The disabled path is genuinely disabled: no spans, no events, no clocks.
+
+Telemetry rides the ``Optional[Tracer] = None`` convention, so with no
+tracer attached the hot loops must never construct a :class:`Span`,
+append a record, or touch the obs layer at all.  These tests instrument
+the obs module itself (counting constructor calls) and run the full
+pipeline and a service wave untraced — any allocation is a regression
+that would tax every untraced run.
+"""
+
+import repro.obs.trace as trace_module
+from repro.egraph import EGraph, Runner, RunnerLimits
+from repro.egraph.runner import CancellationToken
+from repro.obs import Tracer
+from repro.rules import default_ruleset
+from repro.saturator import SaturatorConfig, Variant, optimize_source
+from repro.service import OptimizationService
+
+CONFIG = SaturatorConfig(
+    variant=Variant.ACCSAT, limits=RunnerLimits(800, 4, 60.0)
+)
+
+SOURCE = (
+    "#pragma acc parallel loop\n"
+    "for (i = 0; i < n; i++) { a[i] = b[i] * c[i] + b[i] * c[i]; }"
+)
+
+
+class _Guard:
+    """Counts every Span construction and Tracer method entry."""
+
+    def __init__(self, monkeypatch):
+        self.spans = 0
+        self.events = 0
+        original_span_init = trace_module.Span.__init__
+        original_event = trace_module.Tracer.event
+
+        def counting_span_init(span_self, *args, **kwargs):
+            self.spans += 1
+            return original_span_init(span_self, *args, **kwargs)
+
+        def counting_event(tracer_self, *args, **kwargs):
+            self.events += 1
+            return original_event(tracer_self, *args, **kwargs)
+
+        monkeypatch.setattr(trace_module.Span, "__init__", counting_span_init)
+        monkeypatch.setattr(trace_module.Tracer, "event", counting_event)
+
+
+def test_untraced_runner_allocates_no_spans(monkeypatch):
+    guard = _Guard(monkeypatch)
+    from repro.egraph.language import op, sym
+
+    eg = EGraph()
+    eg.add_term(op("+", op("*", sym("a"), sym("b")),
+                  op("*", sym("a"), sym("c"))))
+    report = Runner(eg, default_ruleset(), RunnerLimits(800, 4, 60.0)).run()
+    assert report.num_iterations > 0
+    assert guard.spans == 0 and guard.events == 0
+
+
+def test_untraced_pipeline_allocates_no_spans(monkeypatch):
+    guard = _Guard(monkeypatch)
+    result = optimize_source(SOURCE, CONFIG)
+    assert result.kernels
+    assert guard.spans == 0 and guard.events == 0
+
+
+def test_untraced_service_allocates_no_spans(monkeypatch):
+    guard = _Guard(monkeypatch)
+    service = OptimizationService(config=CONFIG, workers=2)
+    with service:
+        handle = service.submit(SOURCE, name_prefix="quiet")
+        assert service.join(60)
+    assert handle.result().kernels
+    assert guard.spans == 0 and guard.events == 0
+
+
+def test_untraced_cancellation_path_allocates_no_spans(monkeypatch):
+    """The early-exit (deadline) branch of the runner is guarded too."""
+
+    guard = _Guard(monkeypatch)
+    eg = EGraph()
+    from repro.egraph.language import op, sym
+
+    eg.add_term(op("+", sym("a"), op("*", sym("b"), sym("c"))))
+    token = CancellationToken(timeout=0.0)  # expires immediately
+    Runner(
+        eg, default_ruleset(), RunnerLimits(800, 4, 60.0),
+        cancellation=token,
+    ).run()
+    assert guard.spans == 0 and guard.events == 0
+
+
+def test_traced_runs_do_allocate(monkeypatch):
+    """Sanity check on the guard itself: with a tracer attached the same
+    counters move, so a silently-broken monkeypatch can't fake a pass."""
+
+    guard = _Guard(monkeypatch)
+    tracer = Tracer()
+    root = tracer.span("run")
+    optimize_source(SOURCE, CONFIG, tracer=tracer, trace_parent=root.span_id)
+    root.end()
+    assert guard.spans > 5

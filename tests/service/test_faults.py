@@ -13,6 +13,7 @@ import threading
 import pytest
 
 from repro.egraph.runner import CancellationToken, RunnerLimits
+from repro.obs.sites import register_site
 from repro.saturator import SaturatorConfig, Variant
 from repro.service import (
     FaultPlan,
@@ -26,6 +27,11 @@ from repro.session.fingerprint import CacheKey
 CONFIG = SaturatorConfig(
     variant=Variant.CSE_SAT, limits=RunnerLimits(400, 3, 60.0)
 )
+
+# FaultRule validates its site against the shared instrumentation-site
+# registry (repro.obs.sites); the synthetic site these tests use must be
+# declared like any other (registration is idempotent)
+register_site("site", "synthetic fault-harness test site")
 
 KERNELS = [
     "#pragma acc parallel loop\n"
